@@ -1,0 +1,119 @@
+// Command wire-bench regenerates every table and figure of the paper's
+// evaluation (§IV) on the simulated substrate.
+//
+// Usage:
+//
+//	wire-bench                 # everything, paper-scale settings
+//	wire-bench -quick          # reduced grid for a fast look
+//	wire-bench -only fig5,fig6 # subset: table1, fig2, fig3, fig4, fig5, fig6, overhead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced grid (fewer reps/units/workloads)")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,overhead,ablation,history")
+	seed := flag.Int64("seed", 1, "base seed")
+	svgDir := flag.String("svg", "", "also write every figure as SVG into this directory")
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	start := time.Now()
+
+	if selected("table1") {
+		section(experiments.Table1Report(experiments.Table1(cfg)))
+	}
+	if selected("fig2") {
+		points, err := experiments.LinearSweep(cfg, experiments.RGreaterU)
+		exitIf(err)
+		section(experiments.LinearReport(points))
+	}
+	if selected("fig3") {
+		points, err := experiments.LinearSweep(cfg, experiments.RLessEqualU)
+		exitIf(err)
+		section(experiments.LinearReport(points))
+	}
+	if selected("fig4") {
+		runs, err := experiments.PredictionExperiment(cfg)
+		exitIf(err)
+		section(experiments.PredictionReport(runs))
+	}
+	var cost *experiments.CostResult
+	if selected("fig5") || selected("fig6") {
+		var err error
+		cost, err = experiments.CostExperiment(cfg)
+		exitIf(err)
+	}
+	if selected("fig5") {
+		section(cost.Figure5Report())
+	}
+	if selected("fig6") {
+		section(cost.Figure6Report())
+		h := cost.Headline()
+		fmt.Printf("headline: other/wire cost %.2fx-%.2fx | full-site/wire %.2fx-%.2fx | "+
+			"wire slowdown %.2fx-%.2fx | wire within 2x of best in %.1f%% of settings | wire cheapest in %.1f%%\n\n",
+			h.OtherOverWireCostLo, h.OtherOverWireCostHi,
+			h.FullSiteOverWireLo, h.FullSiteOverWireHi,
+			h.WireSlowdownLo, h.WireSlowdownHi,
+			h.WireWithin2x*100, h.WireCheapestShare*100)
+	}
+	if selected("overhead") {
+		rows, err := experiments.OverheadExperiment(cfg)
+		exitIf(err)
+		section(experiments.OverheadReport(rows))
+	}
+	if selected("ablation") {
+		rows, err := experiments.AblationExperiment(cfg)
+		exitIf(err)
+		section(experiments.AblationReport(rows))
+	}
+	if selected("history") {
+		rows, err := experiments.HistoryExperiment(cfg)
+		exitIf(err)
+		section(experiments.HistoryReport(rows))
+	}
+
+	if *svgDir != "" {
+		files, err := experiments.WriteFigureSVGs(cfg, *svgDir)
+		exitIf(err)
+		fmt.Printf("wrote %d SVG figures to %s\n", len(files), *svgDir)
+	}
+
+	fmt.Printf("wire-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(t *report.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		exitIf(err)
+	}
+	fmt.Println()
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wire-bench:", err)
+		os.Exit(1)
+	}
+}

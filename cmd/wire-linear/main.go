@@ -1,0 +1,67 @@
+// Command wire-linear reproduces the §IV-A simulation study: the scaling
+// algorithm's resource usage and completion time against the optimum on
+// single-stage linear workflows (Figures 2 and 3).
+//
+// Usage:
+//
+//	wire-linear                  # both cases, paper sweep
+//	wire-linear -case rgtu       # Figure 2 only (R > U)
+//	wire-linear -case rleu -csv  # Figure 3 as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	which := flag.String("case", "both", "rgtu (Figure 2) | rleu (Figure 3) | both")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	quick := flag.Bool("quick", false, "reduced sweep for a fast look")
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+
+	var cases []experiments.LinearCase
+	switch *which {
+	case "rgtu":
+		cases = []experiments.LinearCase{experiments.RGreaterU}
+	case "rleu":
+		cases = []experiments.LinearCase{experiments.RLessEqualU}
+	case "both":
+		cases = []experiments.LinearCase{experiments.RGreaterU, experiments.RLessEqualU}
+	default:
+		fmt.Fprintf(os.Stderr, "wire-linear: unknown case %q\n", *which)
+		os.Exit(1)
+	}
+
+	for i, c := range cases {
+		points, err := experiments.LinearSweep(cfg, c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire-linear:", err)
+			os.Exit(1)
+		}
+		tbl := experiments.LinearReport(points)
+		if err := render(tbl, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-linear:", err)
+			os.Exit(1)
+		}
+		if i < len(cases)-1 {
+			fmt.Println()
+		}
+	}
+}
+
+func render(t *report.Table, csv bool) error {
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}

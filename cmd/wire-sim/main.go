@@ -1,0 +1,146 @@
+// Command wire-sim executes one workflow under one resource-management
+// policy on the simulated cloud site and prints the run report.
+//
+// Usage:
+//
+//	wire-sim -workflow genome-s -policy wire -unit 15m
+//	wire-sim -dag flow.json -policy pure-reactive -unit 1m -seed 7
+//
+// The workflow comes either from the Table I catalogue (-workflow) or from
+// a JSON file produced by wire-workflows -export / dagio (-dag).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dagio"
+	"repro/internal/dax"
+	"repro/internal/dist"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workflow := flag.String("workflow", "genome-s", "catalogued run key (see wire-workflows)")
+	dagFile := flag.String("dag", "", "JSON workflow file (overrides -workflow)")
+	daxFile := flag.String("dax", "", "Pegasus DAX XML file (overrides -workflow)")
+	policy := flag.String("policy", "wire", "wire | full-site | pure-reactive | reactive-conserving")
+	unit := flag.Duration("unit", 15*time.Minute, "charging unit")
+	lag := flag.Duration("lag", 3*time.Minute, "instantiation lag = MAPE interval")
+	slots := flag.Int("slots", 4, "task slots per worker instance")
+	maxInst := flag.Int("max-instances", 12, "site instance cap")
+	seed := flag.Int64("seed", 1, "generation/interference seed")
+	noise := flag.Float64("noise", 0.08, "lognormal sigma of per-attempt occupancy noise (0 = none)")
+	flag.Parse()
+
+	wf, err := loadWorkflow(*dagFile, *daxFile, *workflow, *seed)
+	if err != nil {
+		fail(err)
+	}
+	ctrl, err := controller(*policy)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.Config{
+		Cloud: cloud.Config{
+			SlotsPerInstance: *slots,
+			LagTime:          lag.Seconds(),
+			ChargingUnit:     unit.Seconds(),
+			MaxInstances:     *maxInst,
+		},
+		Seed: *seed,
+	}
+	if *noise > 0 {
+		cfg.Interference = dist.NewLognormalFromMean(1, *noise)
+	}
+	if *policy == "full-site" {
+		cfg.InitialInstances = *maxInst
+	}
+
+	res, err := sim.Run(wf, ctrl, cfg)
+	if err != nil {
+		fail(err)
+	}
+	printResult(wf, res)
+}
+
+func loadWorkflow(dagFile, daxFile, key string, seed int64) (*dag.Workflow, error) {
+	switch {
+	case dagFile != "":
+		f, err := os.Open(dagFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dagio.Read(f)
+	case daxFile != "":
+		f, err := os.Open(daxFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dax.Read(f, dax.Options{})
+	}
+	run, ok := workloads.ByKey(key)
+	if !ok {
+		return nil, fmt.Errorf("unknown workflow %q; known keys: %v", key, workloads.Keys())
+	}
+	return run.Generate(seed), nil
+}
+
+func controller(policy string) (sim.Controller, error) {
+	switch policy {
+	case "wire":
+		return core.New(core.Config{}), nil
+	case "full-site":
+		return baseline.Static{}, nil
+	case "pure-reactive":
+		return baseline.PureReactive{}, nil
+	case "reactive-conserving":
+		return &baseline.ReactiveConserving{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", policy)
+	}
+}
+
+func printResult(wf *dag.Workflow, res *sim.Result) {
+	t := &report.Table{Title: fmt.Sprintf("Run report — %s under %s", res.Workflow, res.Policy),
+		Headers: []string{"metric", "value"}}
+	t.AddRow("tasks", len(res.TaskRuns))
+	t.AddRow("stages", wf.NumStages())
+	t.AddRow("makespan", simtime.FormatDuration(res.Makespan))
+	t.AddRow("charging units", res.UnitsCharged)
+	t.AddRow("charged time", simtime.FormatDuration(res.ChargedSeconds))
+	t.AddRow("utilization", report.F(res.Utilization*100, 1)+"%")
+	t.AddRow("peak pool", res.PeakPool)
+	t.AddRow("launches", res.Launches)
+	t.AddRow("task restarts", res.Restarts)
+	t.AddRow("MAPE iterations", res.Decisions)
+	t.AddRow("controller wall", res.ControllerWall.Round(time.Microsecond))
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	fmt.Println()
+	pool := &report.Table{Title: "Pool timeline (changes only)", Headers: []string{"t", "held", "usable"}}
+	for _, s := range res.Pool {
+		pool.AddRow(simtime.FormatDuration(s.Time), s.Held, s.Usable)
+	}
+	if err := pool.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wire-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Command wire-whatif answers capacity-planning questions before renting
+// anything: for a given workflow it sweeps charging units × policies on the
+// simulator and prints the cost/time frontier, plus the cheapest setting
+// that stays within a chosen slowdown budget.
+//
+// Usage:
+//
+//	wire-whatif -workflow genome-l
+//	wire-whatif -dax flow.xml -budget 2.0 -units 1m,5m,15m,1h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dax"
+	"repro/internal/dist"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workflow := flag.String("workflow", "genome-s", "catalogued run key (see wire-workflows)")
+	daxFile := flag.String("dax", "", "Pegasus DAX XML file (overrides -workflow)")
+	unitsFlag := flag.String("units", "1m,5m,15m,30m,1h", "comma-separated charging units to sweep")
+	budget := flag.Float64("budget", 2.0, "acceptable slowdown vs the fastest observed setting")
+	lag := flag.Duration("lag", 3*time.Minute, "instantiation lag = MAPE interval")
+	slots := flag.Int("slots", 4, "task slots per worker instance")
+	maxInst := flag.Int("max-instances", 12, "site instance cap")
+	seed := flag.Int64("seed", 1, "generation/interference seed")
+	flag.Parse()
+
+	wf, err := load(*daxFile, *workflow, *seed)
+	if err != nil {
+		fail(err)
+	}
+	units, err := parseUnits(*unitsFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	type cell struct {
+		policy string
+		unit   simtime.Duration
+		cost   int
+		span   simtime.Duration
+	}
+	var cells []cell
+	fastest := 0.0
+	for _, unit := range units {
+		for _, policy := range []string{"full-site", "pure-reactive", "reactive-conserving", "wire"} {
+			cfg := sim.Config{
+				Cloud: cloud.Config{
+					SlotsPerInstance: *slots,
+					LagTime:          lag.Seconds(),
+					ChargingUnit:     unit,
+					MaxInstances:     *maxInst,
+				},
+				Seed:         *seed,
+				Interference: dist.NewLognormalFromMean(1, 0.05),
+			}
+			var ctrl sim.Controller
+			switch policy {
+			case "full-site":
+				ctrl = baseline.Static{}
+				cfg.InitialInstances = *maxInst
+			case "pure-reactive":
+				ctrl = baseline.PureReactive{}
+			case "reactive-conserving":
+				ctrl = &baseline.ReactiveConserving{}
+			case "wire":
+				ctrl = core.New(core.Config{})
+			}
+			res, err := sim.Run(wf, ctrl, cfg)
+			if err != nil {
+				fail(fmt.Errorf("%s/u=%v: %w", policy, unit, err))
+			}
+			cells = append(cells, cell{policy, unit, res.UnitsCharged, res.Makespan})
+			if fastest == 0 || res.Makespan < fastest {
+				fastest = res.Makespan
+			}
+		}
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("What-if frontier — %s (%d tasks, %d stages)", wf.Name, wf.NumTasks(), wf.NumStages()),
+		Headers: []string{"unit", "policy", "cost (units)", "paid time", "makespan", "slowdown"},
+	}
+	bestCost := -1
+	var best cell
+	for _, c := range cells {
+		slow := c.span / fastest
+		t.AddRow(
+			simtime.FormatDuration(c.unit), c.policy, c.cost,
+			simtime.FormatDuration(float64(c.cost)*c.unit),
+			simtime.FormatDuration(c.span),
+			report.Ratio(slow),
+		)
+		// Cheapest paid time within the slowdown budget.
+		paid := float64(c.cost) * c.unit
+		if slow <= *budget && (bestCost < 0 || paid < float64(bestCost)) {
+			bestCost = int(paid)
+			best = c
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+	if bestCost >= 0 {
+		fmt.Printf("\ncheapest setting within %.2fx of the fastest run: %s at u=%s "+
+			"(%d units, makespan %s)\n",
+			*budget, best.policy, simtime.FormatDuration(best.unit), best.cost,
+			simtime.FormatDuration(best.span))
+	} else {
+		fmt.Printf("\nno setting stayed within %.2fx of the fastest run\n", *budget)
+	}
+}
+
+func load(daxFile, key string, seed int64) (*dag.Workflow, error) {
+	if daxFile != "" {
+		f, err := os.Open(daxFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dax.Read(f, dax.Options{})
+	}
+	run, ok := workloads.ByKey(key)
+	if !ok {
+		return nil, fmt.Errorf("unknown workflow %q; known keys: %v", key, workloads.Keys())
+	}
+	return run.Generate(seed), nil
+}
+
+func parseUnits(s string) ([]simtime.Duration, error) {
+	var out []simtime.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad unit %q: %w", part, err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("non-positive unit %q", part)
+		}
+		out = append(out, d.Seconds())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no units given")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wire-whatif:", err)
+	os.Exit(1)
+}

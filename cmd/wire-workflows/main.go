@@ -1,0 +1,120 @@
+// Command wire-workflows prints the Table I workload characterization
+// (generated vs paper) and can export any catalogued workflow as JSON.
+//
+// Usage:
+//
+//	wire-workflows [-seed N] [-csv]     # Table I, generated vs paper
+//	wire-workflows -stages KEY          # per-stage breakdown of one run
+//	wire-workflows -export KEY          # workflow as JSON to stdout
+//	wire-workflows -dot KEY             # workflow as Graphviz DOT to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dagio"
+	"repro/internal/dot"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	export := flag.String("export", "", "export one catalogued workflow (by key, e.g. genome-s) as JSON to stdout")
+	stages := flag.String("stages", "", "print the per-stage breakdown of one catalogued workflow")
+	dotKey := flag.String("dot", "", "render one catalogued workflow as Graphviz DOT to stdout")
+	flag.Parse()
+
+	if *dotKey != "" {
+		run, ok := workloads.ByKey(*dotKey)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wire-workflows: unknown run %q; known keys: %v\n", *dotKey, workloads.Keys())
+			os.Exit(1)
+		}
+		if err := dot.Write(os.Stdout, run.Generate(*seed), dot.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-workflows:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *stages != "" {
+		if err := printStages(*stages, *seed, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-workflows:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *export != "" {
+		run, ok := workloads.ByKey(*export)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wire-workflows: unknown run %q; known keys: %v\n", *export, workloads.Keys())
+			os.Exit(1)
+		}
+		if err := dagio.Write(os.Stdout, run.Generate(*seed)); err != nil {
+			fmt.Fprintln(os.Stderr, "wire-workflows:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := experiments.Defaults()
+	cfg.Seed = *seed
+	tbl := experiments.Table1Report(experiments.Table1(cfg))
+	var err error
+	if *csv {
+		err = tbl.WriteCSV(os.Stdout)
+	} else {
+		err = tbl.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wire-workflows:", err)
+		os.Exit(1)
+	}
+}
+
+// printStages renders the per-stage breakdown of one catalogued run.
+func printStages(key string, seed int64, csv bool) error {
+	run, ok := workloads.ByKey(key)
+	if !ok {
+		return fmt.Errorf("unknown run %q; known keys: %v", key, workloads.Keys())
+	}
+	wf := run.Generate(seed)
+	t := &report.Table{
+		Title:   fmt.Sprintf("Stages of %s (seed %d)", run.Display, seed),
+		Headers: []string{"stage", "name", "tasks", "mean exec (s)", "fan-in", "input sizes (MB)"},
+	}
+	for _, st := range wf.Stages {
+		sizes := map[float64]bool{}
+		maxFanIn := 0
+		for _, tid := range st.Tasks {
+			task := wf.Task(tid)
+			sizes[task.InputSize] = true
+			if len(task.Deps) > maxFanIn {
+				maxFanIn = len(task.Deps)
+			}
+		}
+		var sizeList []float64
+		for s := range sizes {
+			sizeList = append(sizeList, s)
+		}
+		sort.Float64s(sizeList)
+		var sizeStrs []string
+		for _, s := range sizeList {
+			sizeStrs = append(sizeStrs, report.F(s, 2))
+		}
+		t.AddRow(int(st.ID), st.Name, len(st.Tasks),
+			report.F(wf.StageMeanExecTime(st.ID), 2), maxFanIn, strings.Join(sizeStrs, " "))
+	}
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,57 @@
+// Epigenomics: run the paper's Genome S workflow (Table I) under all four
+// resource-management settings of §IV-C3 and compare resource cost and
+// execution time — a one-workflow slice of Figures 5 and 6.
+//
+//	go run ./examples/epigenomics
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/wire"
+)
+
+func main() {
+	run, ok := wire.CatalogByKey("genome-s")
+	if !ok {
+		log.Fatal("genome-s missing from the catalogue")
+	}
+
+	cloud := wire.CloudConfig{
+		SlotsPerInstance: 4,   // XOXLarge instances host 4 tasks (§IV-B)
+		LagTime:          180, // ~3 min instantiation lag
+		ChargingUnit:     900, // 15 min charging unit
+		MaxInstances:     12,  // site maximum
+	}
+
+	type setting struct {
+		name string
+		ctrl func() wire.Controller
+		init int
+	}
+	settings := []setting{
+		{"full-site", func() wire.Controller { return wire.FullSite }, cloud.MaxInstances},
+		{"pure-reactive", func() wire.Controller { return wire.PureReactive }, 0},
+		{"reactive-conserving", wire.NewReactiveConserving, 0},
+		{"wire", func() wire.Controller { return wire.NewController(wire.ControllerConfig{}) }, 0},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "policy\tunits\tmakespan\tutilization\tpeak pool\trestarts")
+	for _, s := range settings {
+		wf := run.Generate(1) // same trace for every policy
+		cfg := wire.RunConfig{Cloud: cloud, Seed: 1, InitialInstances: s.init}
+		res, err := wire.Run(wf, s.ctrl(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f min\t%.1f%%\t%d\t%d\n",
+			s.name, res.UnitsCharged, res.Makespan/60, res.Utilization*100, res.PeakPool, res.Restarts)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package baseline implements the three comparator resource-management
+// settings of §IV-C3:
+//
+//   - Static (full-site): a fixed pool at the site maximum, never resized.
+//   - PureReactive: pool sized to the instantaneous active load, releases
+//     applied immediately, billing-oblivious.
+//   - ReactiveConserving: the same instantaneous load signal, but steered
+//     through WIRE's charging-aware resource policy (Algorithms 2/3) —
+//     isolating the value of WIRE's DAG-driven online prediction.
+package baseline
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/steer"
+)
+
+// Static never changes the pool; pair it with sim.Config.InitialInstances
+// set to the site maximum to reproduce the paper's full-site runs.
+type Static struct{}
+
+var _ sim.Controller = Static{}
+
+// Name implements sim.Controller.
+func (Static) Name() string { return "full-site" }
+
+// Plan implements sim.Controller.
+func (Static) Plan(*monitor.Snapshot) sim.Decision { return sim.Decision{} }
+
+// PureReactive resizes the pool every interval to ceil(active/l), where
+// active counts ready plus running tasks. It launches and releases eagerly
+// and ignores charging units entirely; shrinking releases idle instances
+// (never ones with running tasks) immediately.
+type PureReactive struct{}
+
+var _ sim.Controller = PureReactive{}
+
+// Name implements sim.Controller.
+func (PureReactive) Name() string { return "pure-reactive" }
+
+// Plan implements sim.Controller.
+func (PureReactive) Plan(snap *monitor.Snapshot) sim.Decision {
+	l := snap.SlotsPerInstance
+	target := (snap.ActiveLoad() + l - 1) / l
+	if target < 1 {
+		target = 1
+	}
+	if snap.MaxInstances > 0 && target > snap.MaxInstances {
+		target = snap.MaxInstances
+	}
+	held := snap.NonDrainingInstances()
+	m := len(held)
+	switch {
+	case target > m:
+		return sim.Decision{Launch: target - m}
+	case target < m:
+		// Cancel pending instances first (free), then idle active ones.
+		var rel []sim.ReleaseOrder
+		need := m - target
+		for _, in := range held {
+			if need == 0 {
+				break
+			}
+			if in.ActiveAt > snap.Now && len(in.Running) == 0 {
+				rel = append(rel, sim.ReleaseOrder{Instance: in.ID})
+				need--
+			}
+		}
+		for _, in := range held {
+			if need == 0 {
+				break
+			}
+			if in.ActiveAt <= snap.Now && len(in.Running) == 0 {
+				rel = append(rel, sim.ReleaseOrder{Instance: in.ID})
+				need--
+			}
+		}
+		return sim.Decision{Releases: rel}
+	default:
+		return sim.Decision{}
+	}
+}
+
+// ReactiveConserving predicts the load from the current idle/running tasks
+// only — no DAG lookahead, no per-stage models — and feeds it to the
+// resource-steering policy. Each active task's occupancy is estimated at
+// the global median of completed occupancies (falling back to the MAPE
+// interval before any completion).
+type ReactiveConserving struct {
+	completedOcc []float64
+}
+
+var _ sim.Controller = (*ReactiveConserving)(nil)
+
+// Name implements sim.Controller.
+func (*ReactiveConserving) Name() string { return "reactive-conserving" }
+
+// Plan implements sim.Controller.
+func (rc *ReactiveConserving) Plan(snap *monitor.Snapshot) sim.Decision {
+	rc.completedOcc = rc.completedOcc[:0]
+	for i := range snap.Tasks {
+		rec := &snap.Tasks[i]
+		if rec.State == monitor.Completed {
+			rc.completedOcc = append(rc.completedOcc, rec.Occupancy())
+		}
+	}
+	est, ok := stats.Median(rc.completedOcc)
+	if !ok {
+		est = snap.Interval
+	}
+
+	// Upcoming load = the current ready/running tasks at their estimated
+	// remaining occupancy; nothing beyond the observable present.
+	var remaining []float64
+	for i := range snap.Tasks {
+		rec := &snap.Tasks[i]
+		switch rec.State {
+		case monitor.Ready:
+			remaining = append(remaining, est)
+		case monitor.Running:
+			rem := est - rec.Elapsed
+			if rem < 0 {
+				rem = 0
+			}
+			remaining = append(remaining, rem)
+		}
+	}
+
+	cands := make([]steer.Candidate, 0, len(snap.Instances))
+	for _, in := range snap.NonDrainingInstances() {
+		c := steer.Candidate{ID: in.ID, TimeToNextCharge: in.TimeToNextCharge}
+		for _, tid := range in.Running {
+			sunk := snap.Task(tid).Elapsed + snap.Interval
+			if sunk > c.RestartCost {
+				c.RestartCost = sunk
+			}
+		}
+		cands = append(cands, c)
+	}
+
+	cfg := steer.FromSnapshot(snap)
+	emptyLoad := len(remaining) == 0 && !snap.Done()
+	return steer.Plan(remaining, emptyLoad, cands, cfg)
+}

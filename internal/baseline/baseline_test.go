@@ -1,0 +1,209 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/sim"
+)
+
+func wideWF(n int) *dag.Workflow {
+	b := dag.NewBuilder("wide")
+	s0 := b.AddStage("split")
+	s1 := b.AddStage("wide")
+	s2 := b.AddStage("merge")
+	root := b.AddTask(s0, "split", 20, 0, 10)
+	var mids []dag.TaskID
+	for i := 0; i < n; i++ {
+		mids = append(mids, b.AddTask(s1, "work", 100, 0, 50, root))
+	}
+	b.AddTask(s2, "merge", 20, 0, 10, mids...)
+	return b.MustBuild()
+}
+
+func cfg() sim.Config {
+	return sim.Config{
+		Cloud: cloud.Config{SlotsPerInstance: 1, LagTime: 10, ChargingUnit: 60, MaxInstances: 12},
+	}
+}
+
+func TestStaticNeverResizes(t *testing.T) {
+	wf := wideWF(6)
+	c := cfg()
+	c.InitialInstances = 12
+	res, err := sim.Run(wf, Static{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launches != 12 || res.PeakPool != 12 {
+		t.Fatalf("launches=%d peak=%d, want the static 12", res.Launches, res.PeakPool)
+	}
+	if res.Restarts != 0 {
+		t.Fatalf("static run restarted tasks: %d", res.Restarts)
+	}
+	// Optimal makespan: 10 lag + 20 + 100 + 20.
+	if res.Makespan > 160 {
+		t.Fatalf("full-site makespan = %v, want near-optimal", res.Makespan)
+	}
+}
+
+func TestPureReactiveTracksLoad(t *testing.T) {
+	wf := wideWF(8)
+	res, err := sim.Run(wf, PureReactive{}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaskRuns) != wf.NumTasks() {
+		t.Fatal("incomplete run")
+	}
+	if res.PeakPool < 4 {
+		t.Fatalf("peak pool = %d; pure-reactive failed to scale up", res.PeakPool)
+	}
+	// Pure-reactive never kills running tasks (releases idle only).
+	if res.Restarts != 0 {
+		t.Fatalf("pure-reactive restarted %d tasks", res.Restarts)
+	}
+	// Pool must come back down after the wide stage.
+	last := res.Pool[len(res.Pool)-1]
+	if last.Held != 0 {
+		t.Fatalf("pool left at %d", last.Held)
+	}
+}
+
+func TestPureReactiveReleasesIdleCapacity(t *testing.T) {
+	// Wide stage then a single merge: after the wide stage completes,
+	// pure-reactive should shed instances well before the run ends.
+	wf := wideWF(8)
+	res, err := sim.Run(wf, PureReactive{}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, sawShrinkBeforeEnd := 0, false
+	for _, s := range res.Pool[:len(res.Pool)-1] {
+		if s.Held > peak {
+			peak = s.Held
+		}
+		if peak > 1 && s.Held < peak {
+			sawShrinkBeforeEnd = true
+		}
+	}
+	if !sawShrinkBeforeEnd {
+		t.Fatal("pure-reactive never shrank before completion")
+	}
+}
+
+func TestReactiveConservingCompletes(t *testing.T) {
+	wf := wideWF(8)
+	res, err := sim.Run(wf, &ReactiveConserving{}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaskRuns) != wf.NumTasks() {
+		t.Fatal("incomplete run")
+	}
+	if res.PeakPool < 2 {
+		t.Fatalf("peak pool = %d; reactive-conserving failed to scale", res.PeakPool)
+	}
+}
+
+func TestReactiveConservingCheaperThanPureReactiveOnLongUnits(t *testing.T) {
+	// With a long charging unit, pure-reactive churns instances and pays
+	// for units it abandons; the conserving variant holds instances to
+	// their boundaries and should not cost more.
+	wf := wideWF(10)
+	c := cfg()
+	c.Cloud.ChargingUnit = 600
+	pr, err := sim.Run(wf, PureReactive{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := sim.Run(wf, &ReactiveConserving{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.UnitsCharged > pr.UnitsCharged {
+		t.Fatalf("reactive-conserving cost %d > pure-reactive %d", rc.UnitsCharged, pr.UnitsCharged)
+	}
+}
+
+func TestControllerNames(t *testing.T) {
+	if (Static{}).Name() != "full-site" {
+		t.Fatal("static name")
+	}
+	if (PureReactive{}).Name() != "pure-reactive" {
+		t.Fatal("pure-reactive name")
+	}
+	if (&ReactiveConserving{}).Name() != "reactive-conserving" {
+		t.Fatal("reactive-conserving name")
+	}
+}
+
+func TestProfileFromResult(t *testing.T) {
+	res := &sim.Result{TaskRuns: []sim.TaskRun{
+		{Stage: 0, ObservedExec: 10, ObservedTransfer: 1},
+		{Stage: 0, ObservedExec: 20, ObservedTransfer: 3},
+		{Stage: 1, ObservedExec: 50, ObservedTransfer: 2},
+	}}
+	p := ProfileFromResult(res)
+	if p.ExecMedian[0] != 15 || p.ExecMedian[1] != 50 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.TransferMedian != 2 {
+		t.Fatalf("transfer median = %v", p.TransferMedian)
+	}
+}
+
+func TestHistoryBasedCompletesAndUsesFrozenEstimates(t *testing.T) {
+	wf := wideWF(8)
+	// Profile from a full-site run.
+	c := cfg()
+	c.InitialInstances = c.Cloud.MaxInstances
+	prof, err := sim.Run(wf, Static{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHistoryBased(ProfileFromResult(prof))
+	if h.Name() != "history-based" {
+		t.Fatal("name wrong")
+	}
+	res, err := sim.Run(wideWF(8), h, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TaskRuns) != 10 {
+		t.Fatal("incomplete run")
+	}
+	// Frozen estimate equals the profiled median, regardless of run state.
+	if got := h.EstimateExec(1); got != 100 {
+		t.Fatalf("frozen estimate = %v, want the profiled 100", got)
+	}
+}
+
+func TestHistoryBasedUnderDriftMisestimates(t *testing.T) {
+	wf := wideWF(8)
+	c := cfg()
+	c.InitialInstances = c.Cloud.MaxInstances
+	prof, err := sim.Run(wf, Static{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHistoryBased(ProfileFromResult(prof))
+	// The new run is 2x slower; the frozen estimate does not move.
+	drifted := wideWF(8)
+	for _, task := range drifted.Tasks {
+		task.ExecTime *= 2
+	}
+	res, err := sim.Run(drifted, h, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.TaskRuns {
+		if tr.Stage != 1 {
+			continue
+		}
+		if est := h.EstimateExec(tr.Stage); est >= tr.ObservedExec {
+			t.Fatalf("frozen estimate %v should underestimate drifted time %v", est, tr.ObservedExec)
+		}
+	}
+}

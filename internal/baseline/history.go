@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"repro/internal/dag"
+	"repro/internal/lookahead"
+	"repro/internal/monitor"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/steer"
+)
+
+// StageProfile records the typical task execution time per stage, as
+// measured from a *previous* run of the same workflow — the input the
+// history-based systems the paper contrasts (Jockey, Apollo; §II-B) feed
+// their planners.
+type StageProfile struct {
+	// ExecMedian maps stage → median task execution time (seconds).
+	ExecMedian map[dag.StageID]float64
+	// TransferMedian is the recorded median data-transfer time.
+	TransferMedian float64
+}
+
+// ProfileFromResult builds a profile from a completed run.
+func ProfileFromResult(res *sim.Result) StageProfile {
+	byStage := map[dag.StageID][]float64{}
+	var transfers []float64
+	for _, tr := range res.TaskRuns {
+		byStage[tr.Stage] = append(byStage[tr.Stage], tr.ObservedExec)
+		transfers = append(transfers, tr.ObservedTransfer)
+	}
+	p := StageProfile{ExecMedian: make(map[dag.StageID]float64, len(byStage))}
+	for sid, execs := range byStage {
+		p.ExecMedian[sid], _ = stats.Median(execs)
+	}
+	p.TransferMedian, _ = stats.Median(transfers)
+	return p
+}
+
+// HistoryBased is the across-run comparator of §II-B: it steers the pool
+// through the very same DAG lookahead and charging-aware policy as WIRE,
+// but estimates every task from the recorded profile of a previous run
+// instead of from online observations. When the new run's conditions differ
+// — a different dataset, slower instances, co-located interference — the
+// frozen estimates are systematically wrong, which is exactly the paper's
+// Observation 2 argument for online prediction.
+type HistoryBased struct {
+	profile StageProfile
+}
+
+var _ sim.Controller = (*HistoryBased)(nil)
+var _ lookahead.Estimator = (*HistoryBased)(nil)
+
+// NewHistoryBased returns a controller planning from the given profile.
+func NewHistoryBased(profile StageProfile) *HistoryBased {
+	return &HistoryBased{profile: profile}
+}
+
+// Name implements sim.Controller.
+func (h *HistoryBased) Name() string { return "history-based" }
+
+// EstimateOccupancy implements lookahead.Estimator with the frozen profile.
+func (h *HistoryBased) EstimateOccupancy(snap *monitor.Snapshot, id dag.TaskID) (float64, predict.Policy) {
+	rec := snap.Task(id)
+	if rec.State == monitor.Completed {
+		return rec.ExecTime + rec.TransferTime, predict.PolicyNone
+	}
+	exec := h.profile.ExecMedian[rec.Stage]
+	return exec + h.profile.TransferMedian, predict.PolicyCompletedMedian
+}
+
+// EstimateExec exposes the frozen per-task execution estimate (for the
+// prediction-error accounting in the across-run experiment).
+func (h *HistoryBased) EstimateExec(stage dag.StageID) float64 {
+	return h.profile.ExecMedian[stage]
+}
+
+// Plan implements sim.Controller: identical Plan/Execute machinery to WIRE,
+// with the frozen estimator plugged into the lookahead.
+func (h *HistoryBased) Plan(snap *monitor.Snapshot) sim.Decision {
+	load := lookahead.Project(snap, h)
+	cands := make([]steer.Candidate, 0, len(snap.Instances))
+	for _, in := range snap.NonDrainingInstances() {
+		cands = append(cands, steer.Candidate{
+			ID:               in.ID,
+			TimeToNextCharge: in.TimeToNextCharge,
+			RestartCost:      load.RestartCost[in.ID],
+		})
+	}
+	cfg := steer.FromSnapshot(snap)
+	emptyLoad := len(load.Tasks) == 0 && !snap.Done()
+	return steer.Plan(load.Remainings(), emptyLoad, cands, cfg)
+}

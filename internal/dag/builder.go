@@ -1,0 +1,93 @@
+package dag
+
+import "fmt"
+
+// Builder incrementally assembles a workflow. It assigns dense task and
+// stage IDs, derives Succs from Deps, and validates the result on Build.
+type Builder struct {
+	name   string
+	tasks  []*Task
+	stages []*Stage
+	err    error
+}
+
+// NewBuilder returns a builder for a workflow with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// AddStage creates a new stage and returns its ID.
+func (b *Builder) AddStage(name string) StageID {
+	id := StageID(len(b.stages))
+	b.stages = append(b.stages, &Stage{ID: id, Name: name})
+	return id
+}
+
+// AddTask creates a task in the given stage and returns its ID. Times are in
+// seconds, sizes in MB. Dependencies must reference already-created tasks.
+func (b *Builder) AddTask(stage StageID, name string, execTime, transferTime, inputSize float64, deps ...TaskID) TaskID {
+	if b.err != nil {
+		return -1
+	}
+	if int(stage) < 0 || int(stage) >= len(b.stages) {
+		b.err = fmt.Errorf("dag: AddTask(%q): unknown stage %d", name, stage)
+		return -1
+	}
+	id := TaskID(len(b.tasks))
+	for _, d := range deps {
+		if int(d) < 0 || int(d) >= len(b.tasks) {
+			b.err = fmt.Errorf("dag: AddTask(%q): dependency %d not yet created", name, d)
+			return -1
+		}
+	}
+	t := &Task{
+		ID:           id,
+		Stage:        stage,
+		Name:         name,
+		Deps:         append([]TaskID(nil), deps...),
+		ExecTime:     execTime,
+		TransferTime: transferTime,
+		InputSize:    inputSize,
+	}
+	b.tasks = append(b.tasks, t)
+	b.stages[stage].Tasks = append(b.stages[stage].Tasks, id)
+	return id
+}
+
+// SetOutputSize records the output volume of a task (optional metadata).
+func (b *Builder) SetOutputSize(id TaskID, size float64) {
+	if b.err != nil || int(id) < 0 || int(id) >= len(b.tasks) {
+		return
+	}
+	b.tasks[id].OutputSize = size
+}
+
+// Build finalizes the workflow: derives successor lists and validates.
+func (b *Builder) Build() (*Workflow, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, t := range b.tasks {
+		t.Succs = nil
+	}
+	for _, t := range b.tasks {
+		for _, d := range t.Deps {
+			b.tasks[d].Succs = append(b.tasks[d].Succs, t.ID)
+		}
+	}
+	w := &Workflow{Name: b.name, Tasks: b.tasks, Stages: b.stages}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustBuild is Build for construction code where an error is a programming
+// bug (e.g. the named Table I generators).
+func (b *Builder) MustBuild() *Workflow {
+	w, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,105 @@
+// Package dagio serializes workflows to and from a JSON document, playing
+// the role of Pegasus's DAX files and of the Hadoop-to-Pegasus DAG
+// transformation in the paper (§IV-C2): recorded task profiles can be
+// exported from one tool and replayed through the simulator.
+package dagio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dag"
+)
+
+// Document is the on-disk workflow format. Field names are stable; this is
+// part of the public tooling surface.
+type Document struct {
+	Name   string      `json:"name"`
+	Stages []StageDoc  `json:"stages"`
+	Tasks  []TaskDoc   `json:"tasks"`
+	Meta   interface{} `json:"meta,omitempty"`
+}
+
+// StageDoc describes one stage.
+type StageDoc struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+// TaskDoc describes one task with its recorded resource profile.
+type TaskDoc struct {
+	ID           int     `json:"id"`
+	Stage        int     `json:"stage"`
+	Name         string  `json:"name,omitempty"`
+	Deps         []int   `json:"deps,omitempty"`
+	ExecTime     float64 `json:"exec_time_s"`
+	TransferTime float64 `json:"transfer_time_s,omitempty"`
+	InputSize    float64 `json:"input_size_mb,omitempty"`
+	OutputSize   float64 `json:"output_size_mb,omitempty"`
+}
+
+// Encode converts a workflow into its document form.
+func Encode(w *dag.Workflow) *Document {
+	doc := &Document{Name: w.Name}
+	for _, st := range w.Stages {
+		doc.Stages = append(doc.Stages, StageDoc{ID: int(st.ID), Name: st.Name})
+	}
+	for _, t := range w.Tasks {
+		td := TaskDoc{
+			ID:           int(t.ID),
+			Stage:        int(t.Stage),
+			Name:         t.Name,
+			ExecTime:     t.ExecTime,
+			TransferTime: t.TransferTime,
+			InputSize:    t.InputSize,
+			OutputSize:   t.OutputSize,
+		}
+		for _, d := range t.Deps {
+			td.Deps = append(td.Deps, int(d))
+		}
+		doc.Tasks = append(doc.Tasks, td)
+	}
+	return doc
+}
+
+// Decode converts a document back into a validated workflow. Tasks must be
+// listed in an order where dependencies precede dependents (Encode always
+// produces such an order because task IDs are assigned in creation order).
+func Decode(doc *Document) (*dag.Workflow, error) {
+	b := dag.NewBuilder(doc.Name)
+	for i, st := range doc.Stages {
+		if st.ID != i {
+			return nil, fmt.Errorf("dagio: stage %d out of order (ID %d)", i, st.ID)
+		}
+		b.AddStage(st.Name)
+	}
+	for i, td := range doc.Tasks {
+		if td.ID != i {
+			return nil, fmt.Errorf("dagio: task %d out of order (ID %d)", i, td.ID)
+		}
+		deps := make([]dag.TaskID, len(td.Deps))
+		for j, d := range td.Deps {
+			deps[j] = dag.TaskID(d)
+		}
+		id := b.AddTask(dag.StageID(td.Stage), td.Name, td.ExecTime, td.TransferTime, td.InputSize, deps...)
+		b.SetOutputSize(id, td.OutputSize)
+	}
+	return b.Build()
+}
+
+// Write serializes the workflow as indented JSON.
+func Write(w io.Writer, wf *dag.Workflow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Encode(wf))
+}
+
+// Read parses a workflow from JSON and validates it.
+func Read(r io.Reader) (*dag.Workflow, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	return Decode(&doc)
+}

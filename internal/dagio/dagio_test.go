@@ -1,0 +1,103 @@
+package dagio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func sample(t *testing.T) *dag.Workflow {
+	t.Helper()
+	b := dag.NewBuilder("sample")
+	s0 := b.AddStage("split")
+	s1 := b.AddStage("map")
+	root := b.AddTask(s0, "split", 5, 1, 200)
+	b.SetOutputSize(root, 180)
+	for i := 0; i < 3; i++ {
+		b.AddTask(s1, "map", float64(10+i), 0.5, 60, root)
+	}
+	w, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name || got.NumTasks() != w.NumTasks() || got.NumStages() != w.NumStages() {
+		t.Fatalf("round trip changed shape: %+v", got)
+	}
+	for i, task := range w.Tasks {
+		g := got.Tasks[i]
+		if g.ExecTime != task.ExecTime || g.TransferTime != task.TransferTime ||
+			g.InputSize != task.InputSize || g.OutputSize != task.OutputSize ||
+			g.Stage != task.Stage || len(g.Deps) != len(task.Deps) {
+			t.Fatalf("task %d changed: %+v vs %+v", i, g, task)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+}
+
+func TestDecodeRejectsOutOfOrderIDs(t *testing.T) {
+	doc := &Document{
+		Name:   "bad",
+		Stages: []StageDoc{{ID: 1, Name: "s"}},
+	}
+	if _, err := Decode(doc); err == nil {
+		t.Fatal("expected stage-order error")
+	}
+	doc2 := &Document{
+		Name:   "bad2",
+		Stages: []StageDoc{{ID: 0, Name: "s"}},
+		Tasks:  []TaskDoc{{ID: 5, Stage: 0}},
+	}
+	if _, err := Decode(doc2); err == nil {
+		t.Fatal("expected task-order error")
+	}
+}
+
+func TestDecodeRejectsForwardDeps(t *testing.T) {
+	doc := &Document{
+		Name:   "fwd",
+		Stages: []StageDoc{{ID: 0, Name: "s"}},
+		Tasks: []TaskDoc{
+			{ID: 0, Stage: 0, Deps: []int{1}},
+			{ID: 1, Stage: 0},
+		},
+	}
+	if _, err := Decode(doc); err == nil {
+		t.Fatal("expected forward-dependency error")
+	}
+}
+
+func TestEncodeFieldNamesStable(t *testing.T) {
+	w := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"exec_time_s"`, `"input_size_mb"`, `"stages"`, `"tasks"`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Fatalf("serialized form missing %s:\n%s", field, buf.String())
+		}
+	}
+}

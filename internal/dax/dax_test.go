@@ -1,0 +1,169 @@
+package dax
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+const sampleDAX = `<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="3.6" name="mini" jobCount="4">
+  <job id="ID01" namespace="genome" name="split" runtime="5.5">
+    <uses file="in.fastq" link="input" size="2097152"/>
+    <uses file="a.part" link="output" size="1048576"/>
+  </job>
+  <job id="ID02" namespace="genome" name="map" runtime="30">
+    <uses file="a.part" link="input" size="1048576"/>
+  </job>
+  <job id="ID03" namespace="genome" name="map" runtime="32">
+    <uses file="a.part" link="input" size="1048576"/>
+  </job>
+  <job id="ID04" namespace="genome" name="merge">
+  </job>
+  <child ref="ID02"><parent ref="ID01"/></child>
+  <child ref="ID03"><parent ref="ID01"/></child>
+  <child ref="ID04"><parent ref="ID02"/><parent ref="ID03"/></child>
+</adag>`
+
+func TestReadSample(t *testing.T) {
+	wf, err := Read(strings.NewReader(sampleDAX), Options{DefaultRuntime: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Name != "mini" || wf.NumTasks() != 4 || wf.NumStages() != 3 {
+		t.Fatalf("shape: %s %d/%d", wf.Name, wf.NumTasks(), wf.NumStages())
+	}
+	// Stage grouping by transformation name: split(1), map(2), merge(1).
+	widths := wf.StageWidths()
+	if widths[0] != 1 || widths[1] != 2 || widths[2] != 1 {
+		t.Fatalf("widths = %v", widths)
+	}
+	split := wf.Task(0)
+	if split.ExecTime != 5.5 {
+		t.Fatalf("runtime = %v", split.ExecTime)
+	}
+	if math.Abs(split.InputSize-2) > 1e-9 { // 2 MiB input
+		t.Fatalf("input size = %v MB", split.InputSize)
+	}
+	if math.Abs(split.OutputSize-1) > 1e-9 {
+		t.Fatalf("output size = %v MB", split.OutputSize)
+	}
+	// Missing runtime uses the default.
+	merge := wf.Task(3)
+	if merge.ExecTime != 7 {
+		t.Fatalf("default runtime = %v", merge.ExecTime)
+	}
+	if len(merge.Deps) != 2 {
+		t.Fatalf("merge deps = %v", merge.Deps)
+	}
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTransferSynthesis(t *testing.T) {
+	wf, err := Read(strings.NewReader(sampleDAX), Options{TransferPerMB: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// split: 2 MB input x 0.5 s/MB = 1 s transfer.
+	if got := wf.Task(0).TransferTime; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("transfer = %v", got)
+	}
+}
+
+func TestReadJobsOutOfOrder(t *testing.T) {
+	// Children listed before parents must still import (topo sort).
+	doc := `<adag name="rev">
+	  <job id="B" name="b" runtime="1"/>
+	  <job id="A" name="a" runtime="1"/>
+	  <child ref="B"><parent ref="A"/></child>
+	</adag>`
+	wf, err := Read(strings.NewReader(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.NumTasks() != 2 {
+		t.Fatal("wrong task count")
+	}
+	// Task named A must precede B in the DAG.
+	a := wf.Task(0)
+	if a.Name != "A" || len(a.Succs) != 1 {
+		t.Fatalf("topo order not applied: %+v", a)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       `<adag name="x"></adag>`,
+		"dup id":      `<adag name="x"><job id="A" name="a"/><job id="A" name="a"/></adag>`,
+		"no id":       `<adag name="x"><job name="a"/></adag>`,
+		"bad child":   `<adag name="x"><job id="A" name="a"/><child ref="Z"><parent ref="A"/></child></adag>`,
+		"bad parent":  `<adag name="x"><job id="A" name="a"/><child ref="A"><parent ref="Z"/></child></adag>`,
+		"self dep":    `<adag name="x"><job id="A" name="a"/><child ref="A"><parent ref="A"/></child></adag>`,
+		"bad runtime": `<adag name="x"><job id="A" name="a" runtime="fast"/></adag>`,
+		"bad size":    `<adag name="x"><job id="A" name="a"><uses file="f" link="input" size="-3"/></job></adag>`,
+		"cycle":       `<adag name="x"><job id="A" name="a"/><job id="B" name="b"/><child ref="A"><parent ref="B"/></child><child ref="B"><parent ref="A"/></child></adag>`,
+		"not xml":     `{"nope": true}`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc), Options{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	run, _ := workloads.ByKey("tpch6-s")
+	orig := run.Generate(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pegasus.isi.edu/schema/DAX") {
+		t.Fatal("missing DAX namespace")
+	}
+	back, err := Read(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != orig.NumTasks() || back.NumStages() != orig.NumStages() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			back.NumTasks(), back.NumStages(), orig.NumTasks(), orig.NumStages())
+	}
+	for i := range orig.Tasks {
+		o, b := orig.Tasks[i], back.Tasks[i]
+		if math.Abs(o.ExecTime-b.ExecTime) > 1e-9 {
+			t.Fatalf("task %d runtime %v vs %v", i, o.ExecTime, b.ExecTime)
+		}
+		if len(o.Deps) != len(b.Deps) {
+			t.Fatalf("task %d deps changed", i)
+		}
+		// Sizes quantize to whole bytes on export.
+		if math.Abs(o.InputSize-b.InputSize) > 1e-5 {
+			t.Fatalf("task %d input %v vs %v", i, o.InputSize, b.InputSize)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripEpigenomics(t *testing.T) {
+	run, _ := workloads.ByKey("genome-s")
+	orig := run.Generate(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != 405 || back.NumStages() != 8 {
+		t.Fatalf("shape = %d/%d", back.NumTasks(), back.NumStages())
+	}
+}

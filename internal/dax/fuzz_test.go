@@ -1,0 +1,30 @@
+package dax
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the importer never panics and that anything it accepts
+// is a valid workflow.
+func FuzzRead(f *testing.F) {
+	f.Add(sampleDAX)
+	f.Add(`<adag name="x"><job id="A" name="a" runtime="1"/></adag>`)
+	f.Add(`<adag name="x"><job id="A" name="a"/><job id="B" name="b"/>` +
+		`<child ref="B"><parent ref="A"/></child></adag>`)
+	f.Add(`<adag`)
+	f.Add(``)
+	f.Add(`<adag name="x"><job id="A" name="a" runtime="1e308"/></adag>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		wf, err := Read(strings.NewReader(doc), Options{})
+		if err != nil {
+			return
+		}
+		if wf == nil {
+			t.Fatal("nil workflow without error")
+		}
+		if err := wf.Validate(); err != nil {
+			t.Fatalf("accepted invalid workflow: %v", err)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package dist provides seeded random distributions used by the workload
+// generators and the interference model.
+//
+// Every distribution draws from an explicit *rand.Rand so that workloads are
+// reproducible from a seed; nothing in this package touches the global rand
+// state. The catalogue covers the shapes the paper leans on: skewed
+// intra-stage task times (lognormal, Pareto, Zipf — §II-A cites Zipfian load
+// skew) and memoryless data transfers (exponential, §III-B1).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist draws positive-valued samples.
+type Dist interface {
+	// Sample returns one draw using the supplied source.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution's analytic mean.
+	Mean() float64
+	// String describes the distribution for run reports.
+	String() string
+}
+
+// Constant always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%g)", c.V) }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%g,%g)", u.Lo, u.Hi) }
+
+// Exponential draws from an exponential distribution with the given mean
+// (memoryless; the paper's model for data-transfer times).
+type Exponential struct{ MeanV float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 { return rng.ExpFloat64() * e.MeanV }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanV }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(mean=%g)", e.MeanV) }
+
+// Normal draws from N(Mu, Sigma²) truncated at Min (resampling would bias the
+// mean less, but clamping keeps sampling O(1) and the truncation mass tiny
+// for the parameters we use).
+type Normal struct {
+	Mu, Sigma float64
+	Min       float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	v := n.Mu + rng.NormFloat64()*n.Sigma
+	if v < n.Min {
+		v = n.Min
+	}
+	return v
+}
+
+// Mean implements Dist. The reported mean ignores truncation.
+func (n Normal) Mean() float64 { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(mu=%g,sigma=%g)", n.Mu, n.Sigma) }
+
+// Lognormal draws exp(N(mu, sigma²)). Construct with NewLognormalFromMean to
+// parameterize by the arithmetic mean, which is what Table I reports.
+type Lognormal struct{ MuLog, SigmaLog float64 }
+
+// NewLognormalFromMean returns a lognormal with the given arithmetic mean and
+// log-space standard deviation sigmaLog (the skew knob: ~0.25 is mild,
+// ~1 is heavy-tailed).
+func NewLognormalFromMean(mean, sigmaLog float64) Lognormal {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: lognormal mean must be positive, got %g", mean))
+	}
+	return Lognormal{MuLog: math.Log(mean) - sigmaLog*sigmaLog/2, SigmaLog: sigmaLog}
+}
+
+// Sample implements Dist.
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.MuLog + rng.NormFloat64()*l.SigmaLog)
+}
+
+// Mean implements Dist.
+func (l Lognormal) Mean() float64 { return math.Exp(l.MuLog + l.SigmaLog*l.SigmaLog/2) }
+
+func (l Lognormal) String() string {
+	return fmt.Sprintf("lognormal(mean=%g,sigmaLog=%g)", l.Mean(), l.SigmaLog)
+}
+
+// Pareto draws from a Pareto distribution with scale Xm and shape Alpha
+// (heavy-tailed straggler model). Alpha must exceed 1 for a finite mean.
+type Pareto struct{ Xm, Alpha float64 }
+
+// Sample implements Dist.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Dist.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string { return fmt.Sprintf("pareto(xm=%g,alpha=%g)", p.Xm, p.Alpha) }
+
+// Zipf draws values Scale*rank where rank follows a Zipf law over
+// {1..N} with exponent S>1. It models the discrete skewed task-time
+// populations cited in §II-A.
+type Zipf struct {
+	N     int
+	S     float64
+	Scale float64
+}
+
+// Sample implements Dist.
+func (z Zipf) Sample(rng *rand.Rand) float64 {
+	// Inverse-CDF over the normalized generalized harmonic weights.
+	if z.N <= 0 {
+		panic("dist: Zipf.N must be positive")
+	}
+	total := 0.0
+	for k := 1; k <= z.N; k++ {
+		total += math.Pow(float64(k), -z.S)
+	}
+	target := rng.Float64() * total
+	acc := 0.0
+	for k := 1; k <= z.N; k++ {
+		acc += math.Pow(float64(k), -z.S)
+		if acc >= target {
+			return z.Scale * float64(k)
+		}
+	}
+	return z.Scale * float64(z.N)
+}
+
+// Mean implements Dist.
+func (z Zipf) Mean() float64 {
+	total, weighted := 0.0, 0.0
+	for k := 1; k <= z.N; k++ {
+		w := math.Pow(float64(k), -z.S)
+		total += w
+		weighted += w * float64(k)
+	}
+	return z.Scale * weighted / total
+}
+
+func (z Zipf) String() string { return fmt.Sprintf("zipf(n=%d,s=%g,scale=%g)", z.N, z.S, z.Scale) }
+
+// Empirical draws uniformly from a fixed sample set, which lets recorded
+// traces be replayed through the same generator interface.
+type Empirical struct{ Values []float64 }
+
+// Sample implements Dist.
+func (e Empirical) Sample(rng *rand.Rand) float64 {
+	if len(e.Values) == 0 {
+		panic("dist: Empirical with no values")
+	}
+	return e.Values[rng.Intn(len(e.Values))]
+}
+
+// Mean implements Dist.
+func (e Empirical) Mean() float64 {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range e.Values {
+		s += v
+	}
+	return s / float64(len(e.Values))
+}
+
+func (e Empirical) String() string { return fmt.Sprintf("empirical(n=%d)", len(e.Values)) }
+
+// Scaled wraps a distribution and multiplies every draw by Factor. The
+// workload generators use it to calibrate stage means against the aggregate
+// execution times published in Table I.
+type Scaled struct {
+	D      Dist
+	Factor float64
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(rng *rand.Rand) float64 { return s.D.Sample(rng) * s.Factor }
+
+// Mean implements Dist.
+func (s Scaled) Mean() float64 { return s.D.Mean() * s.Factor }
+
+func (s Scaled) String() string { return fmt.Sprintf("%v*%g", s.D, s.Factor) }
+
+// SampleN draws n samples.
+func SampleN(d Dist, rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// SampleSorted draws n samples and sorts them ascending; useful in tests
+// that assert on quantiles.
+func SampleSorted(d Dist, rng *rand.Rand, n int) []float64 {
+	out := SampleN(d, rng, n)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const sampleCount = 20000
+
+func meanOf(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func checkEmpiricalMean(t *testing.T, d Dist, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	got := meanOf(SampleN(d, rng, sampleCount))
+	want := d.Mean()
+	if math.Abs(got-want) > tol*math.Max(1, want) {
+		t.Errorf("%v: empirical mean %.4f, analytic %.4f", d, got, want)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 7}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d.Sample(rng) != 7 {
+			t.Fatal("constant varied")
+		}
+	}
+	checkEmpiricalMean(t, d, 0)
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 10}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < 2 || v >= 10 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+	}
+	checkEmpiricalMean(t, d, 0.05)
+}
+
+func TestExponential(t *testing.T) {
+	checkEmpiricalMean(t, Exponential{MeanV: 5}, 0.05)
+}
+
+func TestNormalTruncation(t *testing.T) {
+	d := Normal{Mu: 10, Sigma: 3, Min: 0.5}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		if v := d.Sample(rng); v < 0.5 {
+			t.Fatalf("normal sample %v below Min", v)
+		}
+	}
+	checkEmpiricalMean(t, d, 0.05)
+}
+
+func TestLognormalFromMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 5, 50} {
+		d := NewLognormalFromMean(mean, 0.6)
+		if math.Abs(d.Mean()-mean) > 1e-9 {
+			t.Fatalf("analytic mean %v, want %v", d.Mean(), mean)
+		}
+		checkEmpiricalMean(t, d, 0.06)
+	}
+}
+
+func TestLognormalPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLognormalFromMean(0, 1)
+}
+
+func TestLognormalPositive(t *testing.T) {
+	d := NewLognormalFromMean(3, 1.2)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		if v := d.Sample(rng); v <= 0 {
+			t.Fatalf("lognormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestPareto(t *testing.T) {
+	d := Pareto{Xm: 2, Alpha: 3}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		if v := d.Sample(rng); v < 2 {
+			t.Fatalf("pareto sample %v below xm", v)
+		}
+	}
+	checkEmpiricalMean(t, d, 0.1)
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Fatal("alpha<=1 should have infinite mean")
+	}
+}
+
+func TestZipf(t *testing.T) {
+	d := Zipf{N: 10, S: 1.5, Scale: 2}
+	rng := rand.New(rand.NewSource(6))
+	counts := map[float64]int{}
+	for i := 0; i < sampleCount; i++ {
+		v := d.Sample(rng)
+		if v < 2 || v > 20 {
+			t.Fatalf("zipf sample %v out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 1 must dominate rank 2 under a Zipf law.
+	if counts[2] <= counts[4] {
+		t.Fatalf("zipf not skewed: rank1=%d rank2=%d", counts[2], counts[4])
+	}
+	checkEmpiricalMean(t, d, 0.05)
+}
+
+func TestEmpirical(t *testing.T) {
+	d := Empirical{Values: []float64{1, 2, 3}}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[d.Sample(rng)] = true
+	}
+	for _, v := range d.Values {
+		if !seen[v] {
+			t.Fatalf("value %v never drawn", v)
+		}
+	}
+	if d.Mean() != 2 {
+		t.Fatalf("mean = %v, want 2", d.Mean())
+	}
+}
+
+func TestScaled(t *testing.T) {
+	d := Scaled{D: Constant{V: 3}, Factor: 2.5}
+	rng := rand.New(rand.NewSource(8))
+	if d.Sample(rng) != 7.5 {
+		t.Fatal("scale not applied")
+	}
+	if d.Mean() != 7.5 {
+		t.Fatal("mean not scaled")
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	d := NewLognormalFromMean(10, 0.8)
+	a := SampleN(d, rand.New(rand.NewSource(99)), 50)
+	b := SampleN(d, rand.New(rand.NewSource(99)), 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSampleSorted(t *testing.T) {
+	d := Uniform{Lo: 0, Hi: 1}
+	vals := SampleSorted(d, rand.New(rand.NewSource(10)), 100)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestStringDescriptions(t *testing.T) {
+	for _, d := range []Dist{
+		Constant{V: 1}, Uniform{Lo: 0, Hi: 1}, Exponential{MeanV: 2},
+		Normal{Mu: 1, Sigma: 2}, NewLognormalFromMean(3, 0.5),
+		Pareto{Xm: 1, Alpha: 2}, Zipf{N: 3, S: 1.1, Scale: 1},
+		Empirical{Values: []float64{1}}, Scaled{D: Constant{V: 2}, Factor: 3},
+	} {
+		if d.String() == "" {
+			t.Fatalf("%T has empty description", d)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Zipf{N: 0, S: 1.1, Scale: 1}.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestEmpiricalPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Empirical{}.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestEmpiricalEmptyMean(t *testing.T) {
+	if (Empirical{}).Mean() != 0 {
+		t.Fatal("empty empirical mean should be 0")
+	}
+}

@@ -1,0 +1,101 @@
+// Package dot renders workflow DAGs as Graphviz DOT documents, with tasks
+// clustered by stage — the quickest way to eyeball a generated or imported
+// workflow's shape.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Options tune the rendering.
+type Options struct {
+	// MaxTasksPerStage elides stages wider than this down to a
+	// representative node with a count label (default 24; 0 keeps all).
+	MaxTasksPerStage int
+	// RankDir is the graph direction ("TB" default, or "LR").
+	RankDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTasksPerStage == 0 {
+		o.MaxTasksPerStage = 24
+	}
+	if o.RankDir == "" {
+		o.RankDir = "TB"
+	}
+	return o
+}
+
+// stagePalette cycles fill colours per stage.
+var stagePalette = []string{
+	"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#80b1d3", "#fccde5",
+}
+
+// Write renders the workflow as DOT. Wide stages are elided to three
+// representative nodes plus an ellipsis node so the output stays readable
+// for thousand-task workflows.
+func Write(w io.Writer, wf *dag.Workflow, opts Options) error {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", wf.Name)
+	fmt.Fprintf(&b, "  rankdir=%s;\n  node [shape=box, style=filled, fontsize=10];\n", opts.RankDir)
+
+	// kept marks tasks rendered as real nodes; elided stages map the
+	// hidden tasks onto their stage's ellipsis node.
+	kept := make(map[dag.TaskID]bool, wf.NumTasks())
+	alias := make(map[dag.TaskID]string, wf.NumTasks())
+
+	for _, st := range wf.Stages {
+		color := stagePalette[int(st.ID)%len(stagePalette)]
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n    color=gray;\n", st.ID, st.Name)
+		elide := opts.MaxTasksPerStage > 0 && len(st.Tasks) > opts.MaxTasksPerStage
+		show := st.Tasks
+		if elide {
+			show = st.Tasks[:3]
+		}
+		for _, tid := range show {
+			t := wf.Task(tid)
+			kept[tid] = true
+			alias[tid] = nodeName(tid)
+			fmt.Fprintf(&b, "    %s [label=\"%s\\n%.1fs\", fillcolor=%q];\n",
+				nodeName(tid), escapeLabel(t.Name), t.ExecTime, color)
+		}
+		if elide {
+			ell := fmt.Sprintf("s%d_more", st.ID)
+			fmt.Fprintf(&b, "    %s [label=\"… %d more\", fillcolor=%q, style=\"filled,dashed\"];\n",
+				ell, len(st.Tasks)-len(show), color)
+			for _, tid := range st.Tasks[3:] {
+				alias[tid] = ell
+			}
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Edges, deduplicated after aliasing.
+	seen := map[string]bool{}
+	for _, t := range wf.Tasks {
+		dst := alias[t.ID]
+		for _, d := range t.Deps {
+			src := alias[d]
+			key := src + "->" + dst
+			if src == dst || seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintf(&b, "  %s -> %s;\n", src, dst)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nodeName(id dag.TaskID) string { return fmt.Sprintf("t%d", int(id)) }
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`"`, `\"`, "\n", " ").Replace(s)
+}

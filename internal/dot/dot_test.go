@@ -1,0 +1,79 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/workloads"
+)
+
+func TestWriteSmall(t *testing.T) {
+	b := dag.NewBuilder("mini")
+	s0 := b.AddStage("split")
+	s1 := b.AddStage("map")
+	r := b.AddTask(s0, "split", 5, 0, 1)
+	b.AddTask(s1, "m0", 10, 0, 1, r)
+	b.AddTask(s1, "m1", 10, 0, 1, r)
+	wf := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, wf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "mini"`, "subgraph cluster_0", "subgraph cluster_1",
+		"t0 -> t1", "t0 -> t2", "split", "rankdir=TB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteElidesWideStages(t *testing.T) {
+	run, _ := workloads.ByKey("genome-s")
+	wf := run.Generate(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, wf, Options{MaxTasksPerStage: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "more") {
+		t.Fatal("wide stages not elided")
+	}
+	// Elision keeps the node count manageable: far fewer nodes than tasks.
+	if got := strings.Count(out, "\n  t"); got > 100 {
+		t.Fatalf("too many rendered nodes: %d", got)
+	}
+	// No duplicate edges after aliasing.
+	lines := strings.Split(out, "\n")
+	seen := map[string]bool{}
+	for _, l := range lines {
+		l = strings.TrimSpace(l)
+		if !strings.Contains(l, "->") {
+			continue
+		}
+		if seen[l] {
+			t.Fatalf("duplicate edge %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestWriteRankDirAndQuotes(t *testing.T) {
+	b := dag.NewBuilder(`we"ird`)
+	s := b.AddStage("s")
+	b.AddTask(s, `na"me`, 1, 0, 0)
+	wf := b.MustBuild()
+	var buf bytes.Buffer
+	if err := Write(&buf, wf, Options{RankDir: "LR"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rankdir=LR") {
+		t.Fatal("rankdir not applied")
+	}
+	if strings.Contains(buf.String(), "na\"me\"") {
+		t.Fatal("unescaped quote in label")
+	}
+}

@@ -1,0 +1,220 @@
+// Package event provides the discrete-event engine underneath the cluster
+// and lookahead simulators.
+//
+// The engine maintains a future event list ordered by (time, priority,
+// sequence). Handlers run synchronously; they may schedule further events.
+// Determinism matters for reproducible experiments, so ties are broken by a
+// caller-supplied priority and then by insertion order.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Handler is the action executed when an event fires. The engine passes
+// itself so handlers can schedule follow-up events, and the fire time.
+type Handler func(e *Engine, now simtime.Time)
+
+// Priority orders events that fire at the same instant. Lower values run
+// first. The cluster simulator uses this to guarantee, e.g., that instance
+// activations are processed before the control tick of the same instant.
+type Priority int
+
+// Standard priorities used across the simulators. Task completions must
+// fire before instance terminations at the same instant: a task finishing
+// exactly at its instance's charging boundary has completed, not been
+// killed.
+const (
+	PriInstance  Priority = 0 // instance activations
+	PriTask      Priority = 1 // task completions
+	PriTerminate Priority = 2 // instance terminations
+	PriControl   Priority = 3 // MAPE control ticks
+	PriDefault   Priority = 4
+)
+
+// Event is a scheduled occurrence. It is exposed so callers can cancel
+// pending events.
+type Event struct {
+	time     simtime.Time
+	priority Priority
+	seq      uint64
+	handler  Handler
+	index    int // heap index, -1 once removed
+	canceled bool
+	name     string
+}
+
+// Time returns the instant the event is scheduled to fire.
+func (ev *Event) Time() simtime.Time { return ev.time }
+
+// Name returns the diagnostic label given at scheduling time.
+func (ev *Event) Name() string { return ev.name }
+
+// Canceled reports whether the event was canceled before firing.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Engine is a discrete-event simulation driver. The zero value is not
+// usable; call New.
+type Engine struct {
+	now     simtime.Time
+	queue   eventHeap
+	nextSeq uint64
+	fired   uint64
+	// MaxEvents bounds the number of events processed by Run as a guard
+	// against runaway simulations. Zero means no bound.
+	MaxEvents uint64
+}
+
+// New returns an engine whose clock starts at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Len returns the number of pending (non-canceled) events.
+func (e *Engine) Len() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules h to run at absolute time t with the given priority and a
+// diagnostic name. Scheduling in the past panics: it always indicates a
+// simulator bug, and silently clamping would corrupt causality.
+func (e *Engine) At(t simtime.Time, pri Priority, name string, h Handler) *Event {
+	if simtime.Before(t, e.now) {
+		panic(fmt.Sprintf("event: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	if t < e.now {
+		t = e.now // within tolerance: clamp to now
+	}
+	ev := &Event{time: t, priority: pri, seq: e.nextSeq, handler: h, name: name}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules h to run d seconds from now.
+func (e *Engine) After(d simtime.Duration, pri Priority, name string, h Handler) *Event {
+	return e.At(e.now+d, pri, name, h)
+}
+
+// Cancel marks a pending event so it will not fire. Canceling an already
+// fired or already canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step fires the next pending event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		ev.handler(e, e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or until (when set) the horizon
+// is reached; events scheduled at or before the horizon still fire. It
+// returns an error when MaxEvents is exceeded, which indicates a
+// non-terminating simulation.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil fires events whose time is at or before horizon. A negative
+// horizon means run to completion. The clock ends at the later of its
+// current value and the last fired event (it does not jump to the horizon).
+func (e *Engine) RunUntil(horizon simtime.Time) error {
+	for e.queue.Len() > 0 {
+		if e.MaxEvents > 0 && e.fired >= e.MaxEvents {
+			return fmt.Errorf("event: exceeded MaxEvents=%d at t=%v (next %q)", e.MaxEvents, e.now, e.queue[0].name)
+		}
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if horizon >= 0 && simtime.After(next.time, horizon) {
+			return nil
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// Peek returns the time of the next pending event, or ok=false when none.
+func (e *Engine) Peek() (t simtime.Time, ok bool) {
+	for e.queue.Len() > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].time, true
+	}
+	return 0, false
+}
+
+// eventHeap implements container/heap ordered by (time, priority, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,199 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestOrderByTime(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(3, PriDefault, "c", func(*Engine, simtime.Time) { got = append(got, 3) })
+	e.At(1, PriDefault, "a", func(*Engine, simtime.Time) { got = append(got, 1) })
+	e.At(2, PriDefault, "b", func(*Engine, simtime.Time) { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakByPriorityThenSeq(t *testing.T) {
+	e := New()
+	var got []string
+	e.At(5, PriControl, "control", func(*Engine, simtime.Time) { got = append(got, "control") })
+	e.At(5, PriTask, "task2", func(*Engine, simtime.Time) { got = append(got, "task2") })
+	e.At(5, PriInstance, "inst", func(*Engine, simtime.Time) { got = append(got, "inst") })
+	e.At(5, PriTask, "task3", func(*Engine, simtime.Time) { got = append(got, "task3") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"inst", "task2", "task3", "control"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHandlersScheduleMore(t *testing.T) {
+	e := New()
+	count := 0
+	var tick func(*Engine, simtime.Time)
+	tick = func(en *Engine, now simtime.Time) {
+		count++
+		if count < 10 {
+			en.After(1, PriDefault, "tick", tick)
+		}
+	}
+	e.At(0, PriDefault, "tick", tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 9 {
+		t.Fatalf("Now = %v, want 9", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, PriDefault, "x", func(*Engine, simtime.Time) { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+}
+
+func TestCancelFromHandler(t *testing.T) {
+	e := New()
+	fired := false
+	victim := e.At(2, PriDefault, "victim", func(*Engine, simtime.Time) { fired = true })
+	e.At(1, PriDefault, "killer", func(en *Engine, now simtime.Time) { en.Cancel(victim) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("victim fired despite cancel")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.At(5, PriDefault, "x", func(*Engine, simtime.Time) {})
+	if !e.Step() {
+		t.Fatal("no event")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(1, PriDefault, "past", func(*Engine, simtime.Time) {})
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := New()
+	var got []simtime.Time
+	for _, tm := range []simtime.Time{1, 2, 3, 4, 5} {
+		tm := tm
+		e.At(tm, PriDefault, "x", func(*Engine, simtime.Time) { got = append(got, tm) })
+	}
+	if err := e.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("fired %v, want first 3", got)
+	}
+	if next, ok := e.Peek(); !ok || next != 4 {
+		t.Fatalf("Peek = %v,%v want 4,true", next, ok)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %v, want all 5", got)
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	e := New()
+	e.MaxEvents = 100
+	var tick func(*Engine, simtime.Time)
+	tick = func(en *Engine, now simtime.Time) { en.After(1, PriDefault, "tick", tick) }
+	e.At(0, PriDefault, "tick", tick)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected MaxEvents error")
+	}
+}
+
+func TestLenAndFired(t *testing.T) {
+	e := New()
+	a := e.At(1, PriDefault, "a", func(*Engine, simtime.Time) {})
+	e.At(2, PriDefault, "b", func(*Engine, simtime.Time) {})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	e.Cancel(a)
+	if e.Len() != 1 {
+		t.Fatalf("Len after cancel = %d, want 1", e.Len())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestFiringOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []simtime.Time
+		times := make([]simtime.Time, n)
+		for i := 0; i < n; i++ {
+			times[i] = float64(rng.Intn(100))
+			tm := times[i]
+			e.At(tm, PriDefault, "x", func(*Engine, simtime.Time) { fired = append(fired, tm) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return len(fired) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// staticProfiler is a no-op controller used to record warm-start profiles.
+type staticProfiler struct{}
+
+func (staticProfiler) Name() string                        { return "profiler" }
+func (staticProfiler) Plan(*monitor.Snapshot) sim.Decision { return sim.Decision{} }
+
+// AblationRow is one variant of one ablation study.
+type AblationRow struct {
+	Study   string
+	Variant string
+	RunKey  string
+	Unit    simtime.Duration
+
+	Cost        float64 // charging units
+	Makespan    simtime.Duration
+	Utilization float64
+	Restarts    int
+
+	// Extra carries a study-specific metric (e.g. prediction error).
+	Extra string
+}
+
+// AblationExperiment exercises the design choices DESIGN.md calls out, one
+// study per knob:
+//
+//   - util-target: the §IV-A aggressiveness knob on the slowest Figure 6
+//     cell (Genome L at u = 30 min) — lower targets buy speed with cost.
+//   - first-five: the §III-C priority patch on Genome S — without it the
+//     predictor waits longer for its first per-stage completions.
+//   - restart-frac: the 0.2u release threshold of Algorithm 2.
+//   - ogd-epochs: gradient passes per MAPE interval (Algorithm 1 uses 1).
+//   - charge-origin: billing from activation (default) vs from the launch
+//     request.
+func AblationExperiment(cfg Config) ([]AblationRow, error) {
+	var rows []AblationRow
+
+	addRun := func(study, variant, runKey string, unit simtime.Duration, mutate func(*sim.Config), ctrl sim.Controller) error {
+		run, ok := workloads.ByKey(runKey)
+		if !ok {
+			return fmt.Errorf("experiments: unknown run %q", runKey)
+		}
+		wf := run.Generate(cfg.Seed)
+		simCfg := cfg.simConfig(unit, cfg.Seed)
+		if mutate != nil {
+			mutate(&simCfg)
+		}
+		res, err := sim.Run(wf, ctrl, simCfg)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %s/%s: %w", study, variant, err)
+		}
+		rows = append(rows, AblationRow{
+			Study:       study,
+			Variant:     variant,
+			RunKey:      runKey,
+			Unit:        unit,
+			Cost:        float64(res.UnitsCharged),
+			Makespan:    res.Makespan,
+			Utilization: res.Utilization,
+			Restarts:    res.Restarts,
+		})
+		return nil
+	}
+
+	// Utilization target: Genome L at 30 min, the economy-mode cell.
+	for _, theta := range []float64{1.0, 0.8, 0.6, 0.4} {
+		ctrl := core.New(core.Config{UtilizationTarget: theta})
+		if err := addRun("util-target", fmt.Sprintf("theta=%.1f", theta),
+			"genome-l", 30*simtime.Minute, nil, ctrl); err != nil {
+			return nil, err
+		}
+	}
+
+	// First-five priority on/off.
+	for _, off := range []bool{false, true} {
+		variant := "on"
+		mutate := func(*sim.Config) {}
+		if off {
+			variant = "off"
+			mutate = func(sc *sim.Config) { sc.DisableFirstFive = true }
+		}
+		if err := addRun("first-five", variant, "genome-s", 1*simtime.Minute,
+			mutate, core.New(core.Config{})); err != nil {
+			return nil, err
+		}
+	}
+
+	// Restart-cost release threshold.
+	for _, frac := range []float64{0.1, 0.2, 0.4} {
+		ctrl := core.New(core.Config{RestartFrac: frac})
+		if err := addRun("restart-frac", fmt.Sprintf("c<=%.1fu", frac),
+			"pagerank-l", 15*simtime.Minute, nil, ctrl); err != nil {
+			return nil, err
+		}
+	}
+
+	// Billing origin.
+	for _, fromReq := range []bool{false, true} {
+		variant := "from-activation"
+		mutate := func(*sim.Config) {}
+		if fromReq {
+			variant = "from-request"
+			mutate = func(sc *sim.Config) { sc.Cloud.ChargeFromRequest = true }
+		}
+		if err := addRun("charge-origin", variant, "genome-s", 1*simtime.Minute,
+			mutate, core.New(core.Config{})); err != nil {
+			return nil, err
+		}
+	}
+
+	// Site capacity: how wire's cost/speed scales with the instance cap
+	// (§IV-B: ExoGENI sites provided 1-12 instances).
+	for _, cap := range []int{2, 6, 12} {
+		mutate := func(sc *sim.Config) { sc.Cloud.MaxInstances = cap }
+		if err := addRun("site-cap", fmt.Sprintf("max=%d", cap),
+			"pagerank-l", 1*simtime.Minute, mutate, core.New(core.Config{})); err != nil {
+			return nil, err
+		}
+	}
+
+	// Warm-start priors (extension): seed the predictor with the
+	// previous run's per-stage medians; the early MAPE iterations then
+	// see real demand instead of Policy 1's zero estimates.
+	{
+		run, _ := workloads.ByKey("genome-s")
+		profWF := run.Generate(cfg.Seed)
+		profCfg := cfg.simConfig(1*simtime.Minute, cfg.Seed)
+		profCfg.InitialInstances = cfg.MaxInstances
+		profRes, err := sim.Run(profWF, staticProfiler{}, profCfg)
+		if err != nil {
+			return nil, err
+		}
+		priors := map[dag.StageID]float64{}
+		byStage := map[dag.StageID][]float64{}
+		for _, tr := range profRes.TaskRuns {
+			byStage[tr.Stage] = append(byStage[tr.Stage], tr.ObservedExec)
+		}
+		for sid, execs := range byStage {
+			priors[sid], _ = stats.Median(execs)
+		}
+		for _, variant := range []string{"cold", "warm"} {
+			pcfg := predict.Config{}
+			if variant == "warm" {
+				pcfg.Priors = priors
+			}
+			ctrl := core.New(core.Config{Predictor: pcfg})
+			if err := addRun("warm-start", variant, "genome-s", 1*simtime.Minute, nil, ctrl); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// OGD epochs per interval: measured through the Figure 4 replay on
+	// the run whose stages lean hardest on Policy 5.
+	for _, epochs := range []int{1, 4, 16} {
+		meanAbs, within, err := predictionAccuracy(cfg, "pagerank-s",
+			predict.Config{EpochsPerUpdate: epochs})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Study:   "ogd-epochs",
+			Variant: fmt.Sprintf("epochs=%d", epochs),
+			RunKey:  "pagerank-s",
+			Extra:   fmt.Sprintf("medium mean|err|=%.2fs, %.1f%% <=1s", meanAbs, within*100),
+		})
+	}
+
+	return rows, nil
+}
+
+// predictionAccuracy reruns the Figure 4 replay for one run with a custom
+// predictor configuration and returns the medium-stage accuracy.
+func predictionAccuracy(cfg Config, runKey string, pcfg predict.Config) (meanAbs, within float64, err error) {
+	run, ok := workloads.ByKey(runKey)
+	if !ok {
+		return 0, 0, fmt.Errorf("experiments: unknown run %q", runKey)
+	}
+	wf := run.Generate(cfg.Seed)
+	observed, err := observeRun(cfg, wf, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	var samples []metrics.ErrorSample
+	for ord := 0; ord < maxInt(cfg.Orders, 1); ord++ {
+		rng := newOrderRNG(cfg.Seed, 0, int64(ord))
+		for _, st := range wf.Stages {
+			if len(st.Tasks) < 2 {
+				continue
+			}
+			perm := shuffledStage(st.Tasks, rng)
+			samples = append(samples, replayStageWith(wf, st, perm, observed, pcfg)...)
+		}
+	}
+	sums := metrics.Summarize(samples)
+	m, ok := sums[metrics.MediumStage]
+	if !ok {
+		// Fall back to whatever class exists.
+		for _, s := range sums {
+			m = s
+			break
+		}
+	}
+	return m.MeanAbsTrueError, m.FracWithin1s, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationReport renders the study table.
+func AblationReport(rows []AblationRow) *report.Table {
+	t := &report.Table{
+		Title:   "Ablations — design-choice sensitivity",
+		Headers: []string{"study", "variant", "run", "unit", "cost", "makespan", "util", "restarts", "notes"},
+	}
+	for _, r := range rows {
+		unit := "-"
+		if r.Unit > 0 {
+			unit = simtime.FormatDuration(r.Unit)
+		}
+		cost, span, util := "-", "-", "-"
+		if r.Unit > 0 {
+			cost = report.F(r.Cost, 0)
+			span = simtime.FormatDuration(r.Makespan)
+			util = report.F(r.Utilization*100, 1) + "%"
+		}
+		t.AddRow(r.Study, r.Variant, r.RunKey, unit, cost, span, util, r.Restarts, r.Extra)
+	}
+	return t
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/simtime"
+)
+
+// LinearCharts converts a Figure 2/3 sweep into two SVG charts (resource
+// usage and completion time vs the ratio, one series per N) — the same two
+// y-axes the paper's subfigures carry.
+func LinearCharts(points []LinearPoint) (cost, time *plot.Chart) {
+	ratioName := "R/U"
+	figure := "Figure 2 (R > U)"
+	if len(points) > 0 && points[0].Case == RLessEqualU {
+		ratioName = "U/R"
+		figure = "Figure 3 (R <= U)"
+	}
+	byN := map[int][]LinearPoint{}
+	var ns []int
+	for _, p := range points {
+		if _, ok := byN[p.N]; !ok {
+			ns = append(ns, p.N)
+		}
+		byN[p.N] = append(byN[p.N], p)
+	}
+	mk := func(metric string, y func(LinearPoint) float64) *plot.Chart {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("%s — %s vs optimal", figure, metric),
+			XLabel: ratioName,
+			YLabel: metric + " / optimal",
+			LogX:   true,
+			LogY:   true,
+		}
+		for _, n := range ns {
+			s := plot.Series{Name: fmt.Sprintf("N=%d", n)}
+			for _, p := range byN[n] {
+				s.X = append(s.X, p.Ratio)
+				s.Y = append(s.Y, y(p))
+			}
+			c.Series = append(c.Series, s)
+		}
+		return c
+	}
+	return mk("resource usage", func(p LinearPoint) float64 { return p.CostRatio }),
+		mk("completion time", func(p LinearPoint) float64 { return p.TimeRatio })
+}
+
+// PredictionCharts renders the Figure 4 error CDFs: one chart per stage
+// class, one curve per run.
+func PredictionCharts(runs []PredictionRun) []*plot.Chart {
+	var out []*plot.Chart
+	for _, class := range []metrics.StageClass{metrics.ShortStage, metrics.MediumStage, metrics.LongStage} {
+		c := &plot.Chart{
+			Title:  fmt.Sprintf("Figure 4 — prediction error CDF, %s stages", class),
+			YLabel: "P[error <= x]",
+		}
+		lo, hi, n := -10.0, 10.0, 80
+		if class == metrics.LongStage {
+			c.XLabel = "relative true error"
+			lo, hi = -1, 1
+		} else {
+			c.XLabel = "true error (s)"
+		}
+		for _, pr := range runs {
+			sum, ok := pr.Summaries[class]
+			if !ok {
+				continue
+			}
+			cdf := sum.TrueErrCDF
+			if class == metrics.LongStage {
+				cdf = sum.RelErrCDF
+			}
+			s := plot.Series{Name: pr.Display}
+			for i := 0; i <= n; i++ {
+				x := lo + (hi-lo)*float64(i)/float64(n)
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, cdf.P(x))
+			}
+			c.Series = append(c.Series, s)
+		}
+		if len(c.Series) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CostCharts renders Figure 5 (charging units) and Figure 6 (relative
+// execution time) for one run as grouped bar charts: one group per charging
+// unit, one bar per policy.
+func CostCharts(res *CostResult, runKey string) (cost, relTime *plot.BarChart) {
+	cells := res.cellsFor(runKey)
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	display := cells[0].Display
+	best := 0.0
+	for _, c := range cells {
+		if best == 0 || c.Summary.MakespanMean < best {
+			best = c.Summary.MakespanMean
+		}
+	}
+	cost = &plot.BarChart{
+		Title:       fmt.Sprintf("Figure 5 — resource cost, %s", display),
+		YLabel:      "charging units",
+		SeriesNames: PolicyNames,
+		LogY:        true,
+	}
+	relTime = &plot.BarChart{
+		Title:       fmt.Sprintf("Figure 6 — relative execution time, %s", display),
+		YLabel:      "time / best",
+		SeriesNames: PolicyNames,
+	}
+	for _, u := range uniqueUnits(cells) {
+		gc := plot.BarGroup{Label: simtime.FormatDuration(u)}
+		gt := plot.BarGroup{Label: simtime.FormatDuration(u)}
+		for _, p := range PolicyNames {
+			cell, ok := res.Cell(runKey, p, u)
+			if !ok {
+				gc.Values = append(gc.Values, 0)
+				gt.Values = append(gt.Values, 0)
+				continue
+			}
+			gc.Values = append(gc.Values, cell.Summary.CostMean)
+			if best > 0 {
+				gt.Values = append(gt.Values, cell.Summary.MakespanMean/best)
+			} else {
+				gt.Values = append(gt.Values, 0)
+			}
+		}
+		cost.Groups = append(cost.Groups, gc)
+		relTime.Groups = append(relTime.Groups, gt)
+	}
+	return cost, relTime
+}
+
+// svgWriter abstracts the two chart kinds for WriteFigureSVGs.
+type svgWriter interface {
+	WriteSVG(io.Writer) error
+}
+
+// WriteFigureSVGs regenerates every figure and writes the SVGs into dir
+// (created if missing). It returns the written file names.
+func WriteFigureSVGs(cfg Config, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	save := func(name string, c svgWriter) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.WriteSVG(f); err != nil {
+			return err
+		}
+		files = append(files, path)
+		return nil
+	}
+
+	fig2, err := LinearSweep(cfg, RGreaterU)
+	if err != nil {
+		return nil, err
+	}
+	cost2, time2 := LinearCharts(fig2)
+	if err := save("fig2-cost.svg", cost2); err != nil {
+		return nil, err
+	}
+	if err := save("fig2-time.svg", time2); err != nil {
+		return nil, err
+	}
+
+	fig3, err := LinearSweep(cfg, RLessEqualU)
+	if err != nil {
+		return nil, err
+	}
+	cost3, time3 := LinearCharts(fig3)
+	if err := save("fig3-cost.svg", cost3); err != nil {
+		return nil, err
+	}
+	if err := save("fig3-time.svg", time3); err != nil {
+		return nil, err
+	}
+
+	preds, err := PredictionExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range PredictionCharts(preds) {
+		if err := save(fmt.Sprintf("fig4-%d.svg", i+1), c); err != nil {
+			return nil, err
+		}
+	}
+
+	costs, err := CostExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range costs.RunKeys() {
+		c5, c6 := CostCharts(costs, key)
+		if c5 == nil {
+			continue
+		}
+		if err := save(fmt.Sprintf("fig5-%s.svg", key), c5); err != nil {
+			return nil, err
+		}
+		if err := save(fmt.Sprintf("fig6-%s.svg", key), c6); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}

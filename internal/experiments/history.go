@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// HistoryRow compares online (wire) and history-based steering on one
+// across-run drift scenario.
+type HistoryRow struct {
+	RunKey string
+	// Drift is the multiplicative shift applied to every task's true
+	// execution time between the profiled run and the new run (1.0 = the
+	// recurrent-run assumption holds).
+	Drift float64
+	// Policy is "wire" or "history-based".
+	Policy string
+
+	Cost        int
+	Makespan    simtime.Duration
+	Utilization float64
+	// MeanAbsErr is the mean |estimated − actual| execution time over
+	// all tasks, measuring how wrong each policy's estimates were.
+	MeanAbsErr float64
+}
+
+// HistoryExperiment reproduces the paper's Observation 2 argument (§II-B):
+// history-based planners inherit a previous run's statistics, so when task
+// times drift across runs — different dataset, slower instances,
+// interference — their estimates are systematically wrong, while WIRE's
+// online models track the run that is actually happening.
+//
+// Protocol per workload: (1) profile a run at drift 1.0 under full-site and
+// record per-stage medians; (2) for each drift factor, scale the new run's
+// true execution times and execute it under wire and under the
+// history-based controller fed the stale profile; (3) report cost,
+// makespan, and estimate error.
+func HistoryExperiment(cfg Config) ([]HistoryRow, error) {
+	// One-minute units: the most elastic setting, where wrong estimates
+	// translate directly into wrong pool sizes.
+	unit := 1 * simtime.Minute
+	drifts := []float64{1.0, 1.5, 2.5}
+	var rows []HistoryRow
+	for _, run := range catalogueRuns(cfg) {
+		// Profile run: the recurrent job's previous execution.
+		profWF := run.Generate(cfg.Seed)
+		profCfg := cfg.simConfig(unit, cfg.Seed)
+		profCfg.InitialInstances = cfg.MaxInstances
+		profRes, err := sim.Run(profWF, baseline.Static{}, profCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: history profile %s: %w", run.Key, err)
+		}
+		profile := baseline.ProfileFromResult(profRes)
+
+		for _, drift := range drifts {
+			for _, policy := range []string{"history-based", "wire"} {
+				wf := run.Generate(cfg.Seed + 77) // a different dataset instance
+				scaleExecTimes(wf, drift)
+
+				var ctrl sim.Controller
+				hist := baseline.NewHistoryBased(profile)
+				wired := core.New(core.Config{})
+				if policy == "wire" {
+					ctrl = wired
+				} else {
+					ctrl = hist
+				}
+				res, err := sim.Run(wf, ctrl, cfg.simConfig(unit, cfg.Seed+77))
+				if err != nil {
+					return nil, fmt.Errorf("experiments: history %s/%s drift=%v: %w", run.Key, policy, drift, err)
+				}
+
+				rows = append(rows, HistoryRow{
+					RunKey:      run.Key,
+					Drift:       drift,
+					Policy:      policy,
+					Cost:        res.UnitsCharged,
+					Makespan:    res.Makespan,
+					Utilization: res.Utilization,
+					MeanAbsErr:  estimateError(policy, wf, res, hist, wired),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// scaleExecTimes applies the across-run drift to the ground truth.
+func scaleExecTimes(wf *dag.Workflow, factor float64) {
+	for _, t := range wf.Tasks {
+		t.ExecTime *= factor
+	}
+}
+
+// estimateError measures each policy's per-task execution-time estimate
+// against the observed times of the new run.
+func estimateError(policy string, wf *dag.Workflow, res *sim.Result, hist *baseline.HistoryBased, wired *core.Controller) float64 {
+	var errs []float64
+	if policy == "history-based" {
+		for _, tr := range res.TaskRuns {
+			est := hist.EstimateExec(tr.Stage)
+			d := est - tr.ObservedExec
+			if d < 0 {
+				d = -d
+			}
+			errs = append(errs, d)
+		}
+	} else {
+		preds := wired.PreStartPredictions()
+		for _, tr := range res.TaskRuns {
+			pr, ok := preds[tr.Task]
+			if !ok || pr.Policy < 3 {
+				continue // only completed-data policies are comparable
+			}
+			d := pr.EstimatedExec - tr.ObservedExec
+			if d < 0 {
+				d = -d
+			}
+			errs = append(errs, d)
+		}
+	}
+	m, _ := stats.Mean(errs)
+	return m
+}
+
+// HistoryReport renders the across-run comparison.
+func HistoryReport(rows []HistoryRow) *report.Table {
+	t := &report.Table{
+		Title:   "Observation 2 — online (wire) vs history-based steering under across-run drift",
+		Headers: []string{"run", "drift", "policy", "cost", "makespan", "util", "mean|est err|"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.RunKey, report.F(r.Drift, 1)+"x", r.Policy, r.Cost,
+			simtime.FormatDuration(r.Makespan), report.F(r.Utilization*100, 1)+"%",
+			report.F(r.MeanAbsErr, 2)+"s")
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// LinearCase selects which half of the §IV-A study to run.
+type LinearCase int
+
+// The two simulation regimes of Figures 2 and 3.
+const (
+	// RGreaterU sweeps R/U (Figure 2).
+	RGreaterU LinearCase = iota
+	// RLessEqualU sweeps U/R (Figure 3).
+	RLessEqualU
+)
+
+// String implements fmt.Stringer.
+func (c LinearCase) String() string {
+	if c == RGreaterU {
+		return "R>U"
+	}
+	return "R<=U"
+}
+
+// LinearPoint is one sweep point of Figure 2 or 3.
+type LinearPoint struct {
+	Case  LinearCase
+	N     int
+	Ratio float64 // R/U for RGreaterU, U/R for RLessEqualU
+
+	// CostRatio is the policy's resource usage over the optimum NR/U
+	// (sequential execution on one always-busy instance).
+	CostRatio float64
+	// TimeRatio is the policy's completion time over the optimum R
+	// (all N tasks in parallel).
+	TimeRatio float64
+
+	PeakPool int
+	Restarts int
+}
+
+// LinearSweep runs the scaling algorithm on single-stage linear workflows
+// under idealized conditions (§III-E: one slot per instance, continuous-ish
+// monitoring, instantaneous control) across the configured Ns and ratios.
+func LinearSweep(cfg Config, c LinearCase) ([]LinearPoint, error) {
+	var out []LinearPoint
+	for _, n := range cfg.LinearNs {
+		for _, ratio := range cfg.LinearRatios {
+			pt, err := LinearPointRun(n, ratio, c)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: linear n=%d ratio=%g: %w", n, ratio, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// LinearPointRun executes one (N, ratio) point of the study.
+func LinearPointRun(n int, ratio float64, c LinearCase) (LinearPoint, error) {
+	const base = 60.0
+	var r, u float64
+	if c == RGreaterU {
+		u = base
+		r = ratio * u
+	} else {
+		r = base
+		u = ratio * r
+	}
+
+	wf := workloads.Linear(n, r)
+
+	// Idealized control: zero lag (orders take effect immediately) and a
+	// control period fine relative to both R and U, bounded so long
+	// sweeps stay tractable. The §III-E analysis assumes continuous
+	// monitoring; Algorithm 3's batch sizing makes the discretization
+	// error negligible once the period is well under min(R, U).
+	horizonEst := 2.5 * r
+	if c == RLessEqualU {
+		horizonEst = float64(n)*r + 2*u
+	}
+	interval := minF(r, u) / 25
+	if lo := horizonEst / 1500; interval < lo {
+		interval = lo
+	}
+
+	simCfg := sim.Config{
+		Cloud: cloud.Config{
+			SlotsPerInstance: 1,
+			LagTime:          0,
+			ChargingUnit:     u,
+			MaxInstances:     0, // unbounded, as in the simulation study
+		},
+		Interval:         interval,
+		InitialInstances: 1,
+		MaxSimTime:       100 * horizonEst,
+	}
+	res, err := sim.Run(wf, core.New(core.Config{}), simCfg)
+	if err != nil {
+		return LinearPoint{}, err
+	}
+	optCost := float64(n) * r / u
+	return LinearPoint{
+		Case:      c,
+		N:         n,
+		Ratio:     ratio,
+		CostRatio: float64(res.UnitsCharged) / optCost,
+		TimeRatio: res.Makespan / r,
+		PeakPool:  res.PeakPool,
+		Restarts:  res.Restarts,
+	}, nil
+}
+
+// LinearReport renders a sweep as the textual Figure 2/3.
+func LinearReport(points []LinearPoint) *report.Table {
+	title := "Figure 2 — resource steering vs optimal (R > U)"
+	ratioName := "R/U"
+	if len(points) > 0 && points[0].Case == RLessEqualU {
+		title = "Figure 3 — resource steering vs optimal (R <= U)"
+		ratioName = "U/R"
+	}
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"N", ratioName, "cost/optimal", "time/optimal", "peak pool", "restarts"},
+	}
+	for _, p := range points {
+		t.AddRow(p.N, report.F(p.Ratio, 2), report.F(p.CostRatio, 3), report.F(p.TimeRatio, 3), p.PeakPool, p.Restarts)
+	}
+	return t
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

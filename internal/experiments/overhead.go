@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// OverheadRow reports the controller cost of one wire run (§IV-F): real CPU
+// time spent inside the MAPE loop relative to the workload's aggregate task
+// execution time, plus the size of the controller's retained state.
+type OverheadRow struct {
+	RunKey   string
+	Display  string
+	Unit     simtime.Duration
+	AggExec  simtime.Duration // aggregate task execution time (Table I metric)
+	Wall     time.Duration    // total time inside Plan
+	Iters    int
+	Fraction float64 // Wall / AggExec
+	// StateBytes approximates the controller's retained state: the
+	// per-task prediction wavefront plus per-stage model coefficients.
+	StateBytes int
+}
+
+// OverheadExperiment measures the wire controller across all catalogued
+// runs and charging units (experiment E7).
+func OverheadExperiment(cfg Config) ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, run := range catalogueRuns(cfg) {
+		for _, unit := range cfg.Units {
+			wf := run.Generate(cfg.Seed)
+			ctrl := core.New(core.Config{})
+			res, err := sim.Run(wf, ctrl, cfg.simConfig(unit, cfg.Seed))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: overhead %s/u=%v: %w", run.Key, unit, err)
+			}
+			agg := wf.AggregateExecTime()
+			frac := 0.0
+			if agg > 0 {
+				frac = res.ControllerWall.Seconds() / agg
+			}
+			// Prediction wavefront entries dominate retained state;
+			// each holds a Prediction (~48 B) plus map overhead
+			// (~48 B), and each stage keeps two OGD coefficients,
+			// a scale, and cached medians (~64 B).
+			state := len(ctrl.PreStartPredictions())*96 + wf.NumStages()*64
+			rows = append(rows, OverheadRow{
+				RunKey:     run.Key,
+				Display:    run.Display,
+				Unit:       unit,
+				AggExec:    agg,
+				Wall:       res.ControllerWall,
+				Iters:      ctrl.Iterations(),
+				Fraction:   frac,
+				StateBytes: state,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// OverheadReport renders the §IV-F table.
+func OverheadReport(rows []OverheadRow) *report.Table {
+	t := &report.Table{
+		Title:   "§IV-F — WIRE controller overhead",
+		Headers: []string{"run", "unit", "MAPE iters", "controller wall", "agg exec", "wall/agg", "state"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			r.Display, simtime.FormatDuration(r.Unit), r.Iters,
+			r.Wall.Round(time.Microsecond).String(),
+			simtime.FormatDuration(r.AggExec),
+			report.F(r.Fraction*100, 4)+"%",
+			fmt.Sprintf("%.1fKB", float64(r.StateBytes)/1024),
+		)
+	}
+	return t
+}

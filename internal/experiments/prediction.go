@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// PredictionRun is the Figure 4 result for one catalogued run: prediction
+// errors of the completed-data policies (3, 4 and 5, §IV-D) across
+// repetitions and random task orders, bucketed by stage class.
+type PredictionRun struct {
+	RunKey    string
+	Display   string
+	Samples   []metrics.ErrorSample
+	Summaries map[metrics.StageClass]metrics.ErrorSummary
+}
+
+// PredictionExperiment reproduces the §IV-D study. For every catalogued run
+// it executes Reps wire runs on the simulated site to obtain observed task
+// execution times (with interference), then for each stage with at least
+// two tasks replays Orders random task orders through the online predictor:
+// task k in the order is predicted from the first k completed peers exactly
+// as Policies 3/4/5 would at runtime, and the error against the observed
+// execution time is recorded.
+func PredictionExperiment(cfg Config) ([]PredictionRun, error) {
+	var out []PredictionRun
+	for _, run := range catalogueRuns(cfg) {
+		pr := PredictionRun{RunKey: run.Key, Display: run.Display}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			wf := run.Generate(cfg.Seed + 1000*int64(rep))
+			observed, err := observeRun(cfg, wf, int64(rep))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 %s rep=%d: %w", run.Key, rep, err)
+			}
+			for ord := 0; ord < cfg.Orders; ord++ {
+				rng := newOrderRNG(cfg.Seed, int64(rep), int64(ord))
+				pr.Samples = append(pr.Samples, replayStages(wf, observed, rng)...)
+			}
+		}
+		pr.Summaries = metrics.Summarize(pr.Samples)
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// observeRun executes the workflow under WIRE once and returns the observed
+// execution time per task.
+func observeRun(cfg Config, wf *dag.Workflow, rep int64) (map[dag.TaskID]float64, error) {
+	// A 15 min charging unit; prediction inputs are the observed task
+	// times, which billing does not affect.
+	simCfg := cfg.simConfig(15*simtime.Minute, cfg.Seed+7919*rep)
+	res, err := sim.Run(wf, core.New(core.Config{}), simCfg)
+	if err != nil {
+		return nil, err
+	}
+	obs := make(map[dag.TaskID]float64, len(res.TaskRuns))
+	for _, tr := range res.TaskRuns {
+		obs[tr.Task] = tr.ObservedExec
+	}
+	return obs, nil
+}
+
+// newOrderRNG seeds the task-order shuffler for one (rep, order) pair.
+func newOrderRNG(seed, rep, ord int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 7907*rep + 31*ord))
+}
+
+// shuffledStage returns a random permutation of a stage's tasks.
+func shuffledStage(tasks []dag.TaskID, rng *rand.Rand) []dag.TaskID {
+	order := append([]dag.TaskID(nil), tasks...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// replayStages runs the per-stage task-order replay over all stages with at
+// least two tasks and returns the prediction-error samples.
+func replayStages(wf *dag.Workflow, observed map[dag.TaskID]float64, rng *rand.Rand) []metrics.ErrorSample {
+	var out []metrics.ErrorSample
+	for _, st := range wf.Stages {
+		if len(st.Tasks) < 2 {
+			continue
+		}
+		out = append(out, replayStageWith(wf, st, shuffledStage(st.Tasks, rng), observed, predict.Config{})...)
+	}
+	return out
+}
+
+// replayStageWith feeds completions to a fresh predictor one task at a time
+// (in the given order) and records, for each task after the first, the
+// Policy 3/4/5 estimate it would have received as a ready task.
+func replayStageWith(wf *dag.Workflow, st *dag.Stage, order []dag.TaskID, observed map[dag.TaskID]float64, pcfg predict.Config) []metrics.ErrorSample {
+	pred := predict.New(pcfg)
+	snap := &monitor.Snapshot{
+		Now:      0,
+		Interval: 1,
+		Workflow: wf,
+		Tasks:    make([]monitor.TaskRecord, wf.NumTasks()),
+	}
+	for _, t := range wf.Tasks {
+		snap.Tasks[t.ID] = monitor.TaskRecord{
+			ID: t.ID, Stage: t.Stage, State: monitor.Blocked, InputSize: t.InputSize,
+		}
+	}
+
+	// Stage class from all observed times of the stage (as in §IV-D).
+	execs := make([]float64, 0, len(st.Tasks))
+	for _, tid := range st.Tasks {
+		execs = append(execs, observed[tid])
+	}
+	stMean, _ := stats.Mean(execs)
+	stClass := metrics.Classify(stMean)
+
+	var out []metrics.ErrorSample
+	for k, tid := range order {
+		if k > 0 {
+			// Predict task k as ready-to-run from the first k
+			// completions (Policy 4 or 5; Policy 3 when every peer
+			// shares one input size, where it coincides with 4).
+			snap.Tasks[tid].State = monitor.Ready
+			snap.Now = float64(k)
+			pred.Update(snap)
+			est, pol := pred.EstimateExec(snap, tid)
+			switch pol {
+			case predict.PolicyCompletedMedian, predict.PolicyGroupMedian, predict.PolicyOGD:
+				out = append(out, metrics.ErrorSample{
+					Task:      tid,
+					Stage:     st.ID,
+					Class:     stClass,
+					Predicted: est,
+					Actual:    observed[tid],
+				})
+			}
+		}
+		// Complete the task with its observed execution time.
+		rec := &snap.Tasks[tid]
+		rec.State = monitor.Completed
+		rec.ExecTime = observed[tid]
+		rec.CompletedAt = float64(k + 1)
+		rec.TransferObserved = true
+	}
+	return out
+}
+
+// PredictionReport renders the Figure 4 summaries: per run and stage class,
+// sample counts, headline accuracy numbers, and an ASCII CDF sketch of the
+// error distribution.
+func PredictionReport(runs []PredictionRun) *report.Table {
+	t := &report.Table{
+		Title: "Figure 4 — task-prediction error by stage class " +
+			"(true error for short/medium, relative for long; CDF over [-10s,10s] / [-1,1])",
+		Headers: []string{"run", "class", "tasks", "mean|err|", "within", "cdf"},
+	}
+	for _, pr := range runs {
+		for _, class := range []metrics.StageClass{metrics.ShortStage, metrics.MediumStage, metrics.LongStage} {
+			s, ok := pr.Summaries[class]
+			if !ok {
+				continue
+			}
+			var meanErr, within, sketch string
+			if class == metrics.LongStage {
+				meanErr = report.F(s.MeanAbsRelError*100, 1) + "%"
+				within = report.F(s.FracWithin15pct*100, 1) + "% <=15%"
+				sketch = report.CDFSketch(s.RelErrCDF, -1, 1, 24)
+			} else {
+				meanErr = report.F(s.MeanAbsTrueError, 2) + "s"
+				within = report.F(s.FracWithin1s*100, 1) + "% <=1s"
+				sketch = report.CDFSketch(s.TrueErrCDF, -10, 10, 24)
+			}
+			t.AddRow(pr.Display, class.String(), s.Count, meanErr, within, sketch)
+		}
+	}
+	return t
+}

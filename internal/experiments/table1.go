@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"repro/internal/dag"
+	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Table1Row characterizes one generated run next to the paper's Table I.
+type Table1Row struct {
+	Run       workloads.Run
+	Tasks     int
+	Stages    int
+	WidthLo   int
+	WidthHi   int
+	AggHours  float64
+	MeanLo    float64
+	MeanHi    float64
+	PaperAgg  float64
+	PaperLo   float64
+	PaperHi   float64
+	PaperTask int
+}
+
+// Table1 generates the catalogue and characterizes each run (experiment E1).
+func Table1(cfg Config) []Table1Row {
+	var rows []Table1Row
+	for _, run := range catalogueRuns(cfg) {
+		wf := run.Generate(cfg.Seed)
+		widths := wf.StageWidths()
+		wLo, wHi := widths[0], widths[0]
+		for _, w := range widths {
+			if w < wLo {
+				wLo = w
+			}
+			if w > wHi {
+				wHi = w
+			}
+		}
+		var means []float64
+		for sid := range wf.Stages {
+			means = append(means, wf.StageMeanExecTime(dag.StageID(sid)))
+		}
+		mLo, _ := stats.Min(means)
+		mHi, _ := stats.Max(means)
+		rows = append(rows, Table1Row{
+			Run:       run,
+			Tasks:     wf.NumTasks(),
+			Stages:    wf.NumStages(),
+			WidthLo:   wLo,
+			WidthHi:   wHi,
+			AggHours:  wf.AggregateExecTime() / simtime.Hour,
+			MeanLo:    mLo,
+			MeanHi:    mHi,
+			PaperAgg:  run.Paper.AggHours,
+			PaperLo:   run.Paper.MeanLo,
+			PaperHi:   run.Paper.MeanHi,
+			PaperTask: run.Paper.Tasks,
+		})
+	}
+	return rows
+}
+
+// Table1Report renders the paper-vs-generated comparison.
+func Table1Report(rows []Table1Row) *report.Table {
+	t := &report.Table{
+		Title: "Table I — workflow characterization (generated vs paper)",
+		Headers: []string{
+			"run", "framework", "tasks", "tasks(paper)", "stages",
+			"width", "width(paper)", "agg(h)", "agg(paper,h)",
+			"stage-mean(s)", "stage-mean(paper,s)",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			r.Run.Display, r.Run.Framework,
+			r.Tasks, r.PaperTask, r.Stages,
+			rangeStr(float64(r.WidthLo), float64(r.WidthHi), 0),
+			rangeStr(float64(r.Run.Paper.WidthLo), float64(r.Run.Paper.WidthHi), 0),
+			report.F(r.AggHours, 3), report.F(r.PaperAgg, 3),
+			rangeStr(r.MeanLo, r.MeanHi, 2),
+			rangeStr(r.PaperLo, r.PaperHi, 2),
+		)
+	}
+	return t
+}
+
+func rangeStr(lo, hi float64, prec int) string {
+	return report.F(lo, prec) + "-" + report.F(hi, prec)
+}
+
+// catalogueRuns applies the RunKeys filter.
+func catalogueRuns(cfg Config) []workloads.Run {
+	all := workloads.Catalog()
+	if len(cfg.RunKeys) == 0 {
+		return all
+	}
+	var out []workloads.Run
+	for _, key := range cfg.RunKeys {
+		if r, ok := workloads.ByKey(key); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

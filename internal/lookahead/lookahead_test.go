@@ -1,0 +1,267 @@
+package lookahead
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/monitor"
+	"repro/internal/predict"
+)
+
+// fixedEst returns a constant occupancy estimate for every task, optionally
+// overridden per task.
+type fixedEst struct {
+	def float64
+	per map[dag.TaskID]float64
+}
+
+func (f fixedEst) EstimateOccupancy(_ *monitor.Snapshot, id dag.TaskID) (float64, predict.Policy) {
+	if v, ok := f.per[id]; ok {
+		return v, predict.PolicyGroupMedian
+	}
+	return f.def, predict.PolicyGroupMedian
+}
+
+// twoStage builds stage A (nA tasks) -> stage B (nB tasks, each depending on
+// all of A).
+func twoStage(nA, nB int) *dag.Workflow {
+	b := dag.NewBuilder("two")
+	sa := b.AddStage("A")
+	sb := b.AddStage("B")
+	var as []dag.TaskID
+	for i := 0; i < nA; i++ {
+		as = append(as, b.AddTask(sa, "a", 10, 0, 1))
+	}
+	for i := 0; i < nB; i++ {
+		b.AddTask(sb, "b", 10, 0, 1, as...)
+	}
+	return b.MustBuild()
+}
+
+// snap builds a snapshot; caller mutates records afterwards.
+func snap(wf *dag.Workflow, now, interval float64) *monitor.Snapshot {
+	s := &monitor.Snapshot{
+		Now:              now,
+		Interval:         interval,
+		ChargingUnit:     600,
+		SlotsPerInstance: 1,
+		Workflow:         wf,
+		Tasks:            make([]monitor.TaskRecord, wf.NumTasks()),
+	}
+	for _, t := range wf.Tasks {
+		s.Tasks[t.ID] = monitor.TaskRecord{ID: t.ID, Stage: t.Stage, State: monitor.Blocked, InputSize: t.InputSize}
+	}
+	return s
+}
+
+func addInstance(s *monitor.Snapshot, id cloud.InstanceID, slots int, activeAt float64, running ...dag.TaskID) {
+	s.Instances = append(s.Instances, monitor.InstanceRecord{
+		ID: id, State: cloud.Active, Slots: slots, ActiveAt: activeAt, Running: running,
+	})
+}
+
+func TestProjectQueuedBacklog(t *testing.T) {
+	// 4 ready tasks, 1 slot, estimates 100 >> interval 10: one starts
+	// (well, one is running after dispatch at now) and three stay queued.
+	wf := twoStage(4, 0)
+	s := snap(wf, 100, 10)
+	for i := 0; i < 4; i++ {
+		s.Tasks[i].State = monitor.Ready
+		s.Tasks[i].ReadyAt = 50
+	}
+	addInstance(s, 0, 1, 0)
+	load := Project(s, fixedEst{def: 100})
+	if load.At != 110 {
+		t.Fatalf("At = %v", load.At)
+	}
+	if len(load.Tasks) != 4 {
+		t.Fatalf("Q_task = %+v, want all 4 runnable", load.Tasks)
+	}
+	// The dispatched task has consumed the interval: remaining 90.
+	if !load.Tasks[0].Running || load.Tasks[0].Remaining != 90 {
+		t.Fatalf("first entry = %+v, want running rem=90", load.Tasks[0])
+	}
+	for _, tl := range load.Tasks[1:] {
+		if tl.Running || tl.Remaining != 100 {
+			t.Fatalf("queued entry = %+v", tl)
+		}
+	}
+	// Restart cost of instance 0 = consumed 10.
+	if load.RestartCost[0] != 10 {
+		t.Fatalf("restart cost = %v", load.RestartCost)
+	}
+}
+
+func TestProjectRunningTaskCompletesAndSuccessorsFire(t *testing.T) {
+	// Stage A: one running task with 5s remaining; stage B (2 tasks)
+	// becomes ready mid-interval and joins Q_task.
+	wf := twoStage(1, 2)
+	s := snap(wf, 100, 10)
+	s.Tasks[0].State = monitor.Running
+	s.Tasks[0].StartedAt = 95
+	s.Tasks[0].Elapsed = 5
+	addInstance(s, 0, 1, 0, 0)
+	load := Project(s, fixedEst{def: 10, per: map[dag.TaskID]float64{0: 10}})
+	// Task 0 completes at 105; B tasks ready at 105; one dispatches
+	// (runs 105..115 crosses horizon) and one queues.
+	if load.ProjectedCompletions != 1 {
+		t.Fatalf("completions = %d", load.ProjectedCompletions)
+	}
+	if len(load.Tasks) != 2 {
+		t.Fatalf("Q_task = %+v", load.Tasks)
+	}
+	var running, queued int
+	for _, tl := range load.Tasks {
+		if tl.Running {
+			running++
+			if tl.Remaining != 5 { // started at 105, horizon 110
+				t.Fatalf("remaining = %v, want 5", tl.Remaining)
+			}
+		} else {
+			queued++
+		}
+	}
+	if running != 1 || queued != 1 {
+		t.Fatalf("running=%d queued=%d", running, queued)
+	}
+	// Restart cost is conservative: task 0 (running at the snapshot with
+	// 5s elapsed) is assumed to hold its slot through the interval even
+	// though it is predicted to finish — 5 + 10 = 15 dominates the B
+	// task's 5s of projected consumption.
+	if load.RestartCost[0] != 15 {
+		t.Fatalf("restart cost = %v", load.RestartCost)
+	}
+}
+
+func TestProjectZeroEstimateCascade(t *testing.T) {
+	// Unstarted stages with estimate 0 (Policy 1) cascade through the
+	// whole DAG instantly; Q_task comes out empty.
+	wf := twoStage(3, 2)
+	s := snap(wf, 0, 10)
+	for i := 0; i < 3; i++ {
+		s.Tasks[i].State = monitor.Ready
+	}
+	addInstance(s, 0, 1, 0)
+	load := Project(s, fixedEst{def: 0})
+	if len(load.Tasks) != 0 {
+		t.Fatalf("Q_task = %+v, want empty", load.Tasks)
+	}
+	if load.ProjectedCompletions != 5 {
+		t.Fatalf("completions = %d, want 5", load.ProjectedCompletions)
+	}
+}
+
+func TestProjectPendingInstanceAddsCapacity(t *testing.T) {
+	wf := twoStage(2, 0)
+	s := snap(wf, 100, 10)
+	s.Tasks[0].State = monitor.Ready
+	s.Tasks[1].State = monitor.Ready
+	addInstance(s, 0, 1, 0)
+	// Second instance activates mid-interval.
+	s.Instances = append(s.Instances, monitor.InstanceRecord{
+		ID: 1, State: cloud.Pending, Slots: 1, ActiveAt: 105,
+	})
+	load := Project(s, fixedEst{def: 100})
+	runningCount := 0
+	for _, tl := range load.Tasks {
+		if tl.Running {
+			runningCount++
+		}
+	}
+	if runningCount != 2 {
+		t.Fatalf("running = %d, want 2 (pending instance activated)", runningCount)
+	}
+	// The late starter consumed only 5s.
+	if load.RestartCost[1] != 5 {
+		t.Fatalf("restart cost inst1 = %v", load.RestartCost)
+	}
+}
+
+func TestProjectSkipsDrainingInstances(t *testing.T) {
+	wf := twoStage(2, 0)
+	s := snap(wf, 100, 10)
+	s.Tasks[0].State = monitor.Ready
+	s.Tasks[1].State = monitor.Ready
+	addInstance(s, 0, 1, 0)
+	s.Instances = append(s.Instances, monitor.InstanceRecord{
+		ID: 1, State: cloud.Active, Slots: 1, ActiveAt: 0, Draining: true,
+	})
+	load := Project(s, fixedEst{def: 100})
+	if _, ok := load.RestartCost[1]; ok {
+		t.Fatal("draining instance should not appear in restart costs")
+	}
+	running := 0
+	for _, tl := range load.Tasks {
+		if tl.Running {
+			running++
+		}
+	}
+	if running != 1 {
+		t.Fatalf("running = %d, want 1 (draining instance unused)", running)
+	}
+}
+
+func TestProjectOverdueRunningTask(t *testing.T) {
+	// A running task past its estimate is predicted to finish
+	// immediately; its successor work enters Q_task.
+	wf := twoStage(1, 1)
+	s := snap(wf, 100, 10)
+	s.Tasks[0].State = monitor.Running
+	s.Tasks[0].StartedAt = 0
+	s.Tasks[0].Elapsed = 100
+	addInstance(s, 0, 1, 0, 0)
+	load := Project(s, fixedEst{def: 50})
+	// Task 0 completes at 100 (remaining 0); task 1 starts at 100 with
+	// est 50, remaining 40 at horizon 110.
+	if len(load.Tasks) != 1 || !load.Tasks[0].Running || load.Tasks[0].Remaining != 40 {
+		t.Fatalf("Q_task = %+v", load.Tasks)
+	}
+}
+
+func TestProjectFIFOOrderByReadyTime(t *testing.T) {
+	wf := twoStage(3, 0)
+	s := snap(wf, 100, 1)
+	// No instances: all stay queued; order must follow (readyAt, id).
+	s.Tasks[0].State = monitor.Ready
+	s.Tasks[0].ReadyAt = 30
+	s.Tasks[1].State = monitor.Ready
+	s.Tasks[1].ReadyAt = 10
+	s.Tasks[2].State = monitor.Ready
+	s.Tasks[2].ReadyAt = 10
+	load := Project(s, fixedEst{def: 100})
+	want := []dag.TaskID{1, 2, 0}
+	for i, tl := range load.Tasks {
+		if tl.Task != want[i] {
+			t.Fatalf("order = %+v, want %v", load.Tasks, want)
+		}
+	}
+}
+
+func TestProjectDoesNotMutateSnapshot(t *testing.T) {
+	wf := twoStage(2, 1)
+	s := snap(wf, 100, 10)
+	s.Tasks[0].State = monitor.Running
+	s.Tasks[0].Elapsed = 9
+	s.Tasks[1].State = monitor.Ready
+	addInstance(s, 0, 2, 0, 0)
+	before := make([]monitor.TaskRecord, len(s.Tasks))
+	copy(before, s.Tasks)
+	Project(s, fixedEst{def: 10})
+	for i := range before {
+		if s.Tasks[i] != before[i] {
+			t.Fatalf("snapshot task %d mutated", i)
+		}
+	}
+}
+
+func TestLoadHelpers(t *testing.T) {
+	l := &Load{Tasks: []TaskLoad{{Remaining: 10}, {Remaining: 20}}}
+	if l.TotalRemaining() != 30 {
+		t.Fatalf("TotalRemaining = %v", l.TotalRemaining())
+	}
+	r := l.Remainings()
+	if len(r) != 2 || r[0] != 10 || r[1] != 20 {
+		t.Fatalf("Remainings = %v", r)
+	}
+}

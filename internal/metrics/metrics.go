@@ -1,0 +1,261 @@
+// Package metrics computes the evaluation metrics of §IV: task-prediction
+// errors bucketed by stage class (Figure 4), resource cost in charging units
+// (Figure 5), relative execution time (Figure 6), and controller overhead
+// (§IV-F).
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// StageClass buckets stages by average task execution time (§IV-D).
+type StageClass int
+
+// Stage classes.
+const (
+	// ShortStage: mean task execution ≤ 10 s.
+	ShortStage StageClass = iota
+	// MediumStage: 10 s < mean ≤ 30 s.
+	MediumStage
+	// LongStage: mean > 30 s.
+	LongStage
+)
+
+// String implements fmt.Stringer.
+func (c StageClass) String() string {
+	switch c {
+	case ShortStage:
+		return "short"
+	case MediumStage:
+		return "medium"
+	case LongStage:
+		return "long"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classify returns the stage class for a mean task execution time in
+// seconds.
+func Classify(meanExec float64) StageClass {
+	switch {
+	case meanExec <= 10:
+		return ShortStage
+	case meanExec <= 30:
+		return MediumStage
+	default:
+		return LongStage
+	}
+}
+
+// ErrorSample is one task's prediction error.
+type ErrorSample struct {
+	Task      dag.TaskID
+	Stage     dag.StageID
+	Class     StageClass
+	Predicted float64
+	Actual    float64
+}
+
+// TrueError returns predicted − actual in seconds (§IV-D footnote 3).
+func (e ErrorSample) TrueError() float64 { return e.Predicted - e.Actual }
+
+// RelTrueError returns (predicted − actual)/actual; it is the metric
+// reported for long stages.
+func (e ErrorSample) RelTrueError() float64 {
+	if e.Actual == 0 {
+		return 0
+	}
+	return (e.Predicted - e.Actual) / e.Actual
+}
+
+// ErrorSummary aggregates the samples of one stage class the way Figure 4
+// and §IV-D report them.
+type ErrorSummary struct {
+	Class StageClass
+	Count int
+
+	// MeanAbsTrueError is the average |predicted − actual| in seconds
+	// (the headline metric for short/medium stages).
+	MeanAbsTrueError float64
+	// MeanAbsRelError is the average |relative true error| (the headline
+	// metric for long stages).
+	MeanAbsRelError float64
+
+	// FracWithin1s is the fraction of tasks with |true error| ≤ 1 s.
+	FracWithin1s float64
+	// FracWithin15pct is the fraction with |relative error| ≤ 15 %.
+	FracWithin15pct float64
+
+	// TrueErrCDF / RelErrCDF expose the full distributions for the
+	// Figure 4 CDF plots.
+	TrueErrCDF *stats.CDF
+	RelErrCDF  *stats.CDF
+}
+
+// Summarize buckets samples by class and aggregates each bucket.
+func Summarize(samples []ErrorSample) map[StageClass]ErrorSummary {
+	byClass := map[StageClass][]ErrorSample{}
+	for _, s := range samples {
+		byClass[s.Class] = append(byClass[s.Class], s)
+	}
+	out := make(map[StageClass]ErrorSummary, len(byClass))
+	for class, ss := range byClass {
+		sum := ErrorSummary{Class: class, Count: len(ss)}
+		trueErrs := make([]float64, len(ss))
+		relErrs := make([]float64, len(ss))
+		within1, within15 := 0, 0
+		absT, absR := 0.0, 0.0
+		for i, s := range ss {
+			te, re := s.TrueError(), s.RelTrueError()
+			trueErrs[i], relErrs[i] = te, re
+			if te >= -1 && te <= 1 {
+				within1++
+			}
+			if re >= -0.15 && re <= 0.15 {
+				within15++
+			}
+			if te < 0 {
+				te = -te
+			}
+			if re < 0 {
+				re = -re
+			}
+			absT += te
+			absR += re
+		}
+		n := float64(len(ss))
+		sum.MeanAbsTrueError = absT / n
+		sum.MeanAbsRelError = absR / n
+		sum.FracWithin1s = float64(within1) / n
+		sum.FracWithin15pct = float64(within15) / n
+		sum.TrueErrCDF = stats.NewCDF(trueErrs)
+		sum.RelErrCDF = stats.NewCDF(relErrs)
+		out[class] = sum
+	}
+	return out
+}
+
+// CollectErrors pairs pre-start execution-time predictions with observed
+// execution times. Only stages with at least minStageTasks tasks are kept
+// (the paper analyzes the 45 stages with ≥ 2 tasks), and tasks without a
+// recorded prediction are skipped. Stage classes come from the observed
+// per-stage means of this run.
+func CollectErrors(wf *dag.Workflow, predicted map[dag.TaskID]float64, runs []sim.TaskRun, minStageTasks int) []ErrorSample {
+	stageExec := make(map[dag.StageID][]float64)
+	actual := make(map[dag.TaskID]float64, len(runs))
+	for _, tr := range runs {
+		stageExec[tr.Stage] = append(stageExec[tr.Stage], tr.ObservedExec)
+		actual[tr.Task] = tr.ObservedExec
+	}
+	class := make(map[dag.StageID]StageClass, len(stageExec))
+	for sid, execs := range stageExec {
+		m, _ := stats.Mean(execs)
+		class[sid] = Classify(m)
+	}
+	var out []ErrorSample
+	for _, st := range wf.Stages {
+		if len(st.Tasks) < minStageTasks {
+			continue
+		}
+		for _, tid := range st.Tasks {
+			pred, ok := predicted[tid]
+			if !ok {
+				continue
+			}
+			act, ok := actual[tid]
+			if !ok {
+				continue
+			}
+			out = append(out, ErrorSample{
+				Task:      tid,
+				Stage:     st.ID,
+				Class:     class[st.ID],
+				Predicted: pred,
+				Actual:    act,
+			})
+		}
+	}
+	return out
+}
+
+// CostSummary aggregates repeated runs of one (policy, charging unit)
+// setting the way Figures 5/6 report them.
+type CostSummary struct {
+	Policy string
+	Unit   float64 // charging unit, seconds
+
+	Reps int
+
+	CostMean float64 // charging units
+	CostStd  float64
+
+	MakespanMean float64 // seconds
+	MakespanStd  float64
+
+	UtilizationMean float64
+	RestartsMean    float64
+
+	// ControllerWallMean is the mean real time spent in Plan (§IV-F).
+	ControllerWallMean time.Duration
+}
+
+// SummarizeRuns aggregates a setting's repetitions. It panics on an empty
+// input: a setting with zero runs is an experiment-driver bug.
+func SummarizeRuns(results []*sim.Result, unit float64) CostSummary {
+	if len(results) == 0 {
+		panic("metrics: SummarizeRuns with no results")
+	}
+	costs := make([]float64, len(results))
+	spans := make([]float64, len(results))
+	utils := make([]float64, len(results))
+	restarts := make([]float64, len(results))
+	var wall time.Duration
+	for i, r := range results {
+		costs[i] = float64(r.UnitsCharged)
+		spans[i] = r.Makespan
+		utils[i] = r.Utilization
+		restarts[i] = float64(r.Restarts)
+		wall += r.ControllerWall
+	}
+	cm, cs := stats.MeanStd(costs)
+	mm, ms := stats.MeanStd(spans)
+	um, _ := stats.Mean(utils)
+	rm, _ := stats.Mean(restarts)
+	return CostSummary{
+		Policy:             results[0].Policy,
+		Unit:               unit,
+		Reps:               len(results),
+		CostMean:           cm,
+		CostStd:            cs,
+		MakespanMean:       mm,
+		MakespanStd:        ms,
+		UtilizationMean:    um,
+		RestartsMean:       rm,
+		ControllerWallMean: wall / time.Duration(len(results)),
+	}
+}
+
+// RelativeTimes normalizes each summary's mean makespan to the fastest
+// setting in the group (Figure 6's relative execution time). It returns the
+// multiplier per summary, aligned by index.
+func RelativeTimes(summaries []CostSummary) []float64 {
+	best := 0.0
+	for _, s := range summaries {
+		if best == 0 || s.MakespanMean < best {
+			best = s.MakespanMean
+		}
+	}
+	out := make([]float64, len(summaries))
+	for i, s := range summaries {
+		if best > 0 {
+			out[i] = s.MakespanMean / best
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		mean float64
+		want StageClass
+	}{
+		{1, ShortStage}, {10, ShortStage}, {10.1, MediumStage},
+		{30, MediumStage}, {30.1, LongStage}, {500, LongStage},
+	}
+	for _, c := range cases {
+		if got := Classify(c.mean); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.mean, got, c.want)
+		}
+	}
+	if ShortStage.String() != "short" || MediumStage.String() != "medium" || LongStage.String() != "long" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestErrorSampleMetrics(t *testing.T) {
+	e := ErrorSample{Predicted: 12, Actual: 10}
+	if e.TrueError() != 2 {
+		t.Fatalf("TrueError = %v", e.TrueError())
+	}
+	if math.Abs(e.RelTrueError()-0.2) > 1e-12 {
+		t.Fatalf("RelTrueError = %v", e.RelTrueError())
+	}
+	zero := ErrorSample{Predicted: 5, Actual: 0}
+	if zero.RelTrueError() != 0 {
+		t.Fatal("zero actual should yield zero relative error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := []ErrorSample{
+		{Class: ShortStage, Predicted: 5, Actual: 5},    // err 0
+		{Class: ShortStage, Predicted: 5.5, Actual: 5},  // err 0.5
+		{Class: ShortStage, Predicted: 9, Actual: 5},    // err 4
+		{Class: LongStage, Predicted: 110, Actual: 100}, // rel 0.1
+		{Class: LongStage, Predicted: 150, Actual: 100}, // rel 0.5
+	}
+	sums := Summarize(samples)
+	short := sums[ShortStage]
+	if short.Count != 3 {
+		t.Fatalf("short count = %d", short.Count)
+	}
+	if math.Abs(short.FracWithin1s-2.0/3) > 1e-12 {
+		t.Fatalf("FracWithin1s = %v", short.FracWithin1s)
+	}
+	if math.Abs(short.MeanAbsTrueError-1.5) > 1e-12 {
+		t.Fatalf("MeanAbsTrueError = %v", short.MeanAbsTrueError)
+	}
+	long := sums[LongStage]
+	if math.Abs(long.FracWithin15pct-0.5) > 1e-12 {
+		t.Fatalf("FracWithin15pct = %v", long.FracWithin15pct)
+	}
+	if math.Abs(long.MeanAbsRelError-0.3) > 1e-12 {
+		t.Fatalf("MeanAbsRelError = %v", long.MeanAbsRelError)
+	}
+	if long.TrueErrCDF.Len() != 2 || long.RelErrCDF.Len() != 2 {
+		t.Fatal("CDFs missing")
+	}
+}
+
+func buildWF() *dag.Workflow {
+	b := dag.NewBuilder("m")
+	s0 := b.AddStage("solo")
+	s1 := b.AddStage("wide")
+	b.AddTask(s0, "solo", 5, 0, 1)
+	for i := 0; i < 3; i++ {
+		b.AddTask(s1, "w", 20, 0, 1)
+	}
+	return b.MustBuild()
+}
+
+func TestCollectErrors(t *testing.T) {
+	wf := buildWF()
+	runs := []sim.TaskRun{
+		{Task: 0, Stage: 0, ObservedExec: 5},
+		{Task: 1, Stage: 1, ObservedExec: 20},
+		{Task: 2, Stage: 1, ObservedExec: 22},
+		{Task: 3, Stage: 1, ObservedExec: 18},
+	}
+	preds := map[dag.TaskID]float64{0: 4, 1: 21, 2: 22, 3: 10}
+	samples := CollectErrors(wf, preds, runs, 2)
+	// Stage 0 has <2 tasks: excluded. All 3 wide-stage tasks included.
+	if len(samples) != 3 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	for _, s := range samples {
+		if s.Stage != 1 || s.Class != MediumStage {
+			t.Fatalf("sample %+v", s)
+		}
+	}
+	// A task without a prediction is skipped.
+	delete(preds, 3)
+	if got := len(CollectErrors(wf, preds, runs, 2)); got != 2 {
+		t.Fatalf("samples = %d, want 2", got)
+	}
+}
+
+func TestSummarizeRuns(t *testing.T) {
+	results := []*sim.Result{
+		{Policy: "wire", UnitsCharged: 10, Makespan: 100, Utilization: 0.8, Restarts: 1, ControllerWall: 2 * time.Millisecond},
+		{Policy: "wire", UnitsCharged: 14, Makespan: 120, Utilization: 0.9, Restarts: 3, ControllerWall: 4 * time.Millisecond},
+	}
+	s := SummarizeRuns(results, 60)
+	if s.Policy != "wire" || s.Reps != 2 || s.Unit != 60 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.CostMean != 12 || s.MakespanMean != 110 {
+		t.Fatalf("means = %v/%v", s.CostMean, s.MakespanMean)
+	}
+	if s.CostStd != 2 {
+		t.Fatalf("cost std = %v", s.CostStd)
+	}
+	if s.RestartsMean != 2 || math.Abs(s.UtilizationMean-0.85) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ControllerWallMean != 3*time.Millisecond {
+		t.Fatalf("wall = %v", s.ControllerWallMean)
+	}
+}
+
+func TestSummarizeRunsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SummarizeRuns(nil, 60)
+}
+
+func TestRelativeTimes(t *testing.T) {
+	sums := []CostSummary{
+		{MakespanMean: 100},
+		{MakespanMean: 150},
+		{MakespanMean: 300},
+	}
+	rel := RelativeTimes(sums)
+	want := []float64{1, 1.5, 3}
+	for i := range want {
+		if math.Abs(rel[i]-want[i]) > 1e-12 {
+			t.Fatalf("rel = %v", rel)
+		}
+	}
+}

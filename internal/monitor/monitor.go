@@ -1,0 +1,198 @@
+// Package monitor defines the monitoring snapshot a workflow framework
+// exposes to the WIRE controller at the start of each MAPE iteration
+// (§III-B1). It is the contract between the execution simulator (standing in
+// for Pegasus/HTCondor kickstart records) and the Analyze/Plan phases.
+//
+// A Snapshot contains only information a real framework publishes: the
+// static DAG structure, per-task lifecycle state and observed times, input
+// data sizes, instance pool state, and billing parameters. Controllers must
+// not read the ground-truth ExecTime/TransferTime fields of the embedded
+// workflow's tasks — those model the physical world, and the whole point of
+// WIRE is to predict them from observations. The predictor's tests enforce
+// this by perturbing ground truth after the snapshot is taken.
+package monitor
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/simtime"
+)
+
+// TaskState is the lifecycle state of a task as seen by the framework.
+type TaskState int
+
+// Task lifecycle states.
+const (
+	// Blocked: at least one predecessor has not completed.
+	Blocked TaskState = iota
+	// Ready: all predecessors completed; waiting for a slot.
+	Ready
+	// Running: occupying a slot.
+	Running
+	// Completed: finished; observed times are final.
+	Completed
+)
+
+// String implements fmt.Stringer.
+func (s TaskState) String() string {
+	switch s {
+	case Blocked:
+		return "blocked"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	default:
+		return "unknown"
+	}
+}
+
+// TaskRecord is the monitoring view of one task.
+type TaskRecord struct {
+	ID    dag.TaskID
+	Stage dag.StageID
+	State TaskState
+
+	// InputSize is recorded for every task (§II-C property 1) and feeds
+	// Policies 4 and 5.
+	InputSize float64
+
+	// ReadyAt is when the task became ready (valid for Ready and later).
+	ReadyAt simtime.Time
+
+	// StartedAt / Instance / Slot are valid while Running and after.
+	StartedAt simtime.Time
+	Instance  cloud.InstanceID
+	Slot      int
+
+	// Elapsed is the run time so far for Running tasks (slot occupancy
+	// consumed — the restart/sunk cost of §III-B2).
+	Elapsed simtime.Duration
+
+	// TransferObserved is true once the task's input transfer finished;
+	// TransferTime then holds the observed transfer duration.
+	TransferObserved bool
+	TransferTime     simtime.Duration
+
+	// CompletedAt / ExecTime are valid once Completed. ExecTime is the
+	// observed execution portion (occupancy minus transfer).
+	CompletedAt simtime.Time
+	ExecTime    simtime.Duration
+}
+
+// Occupancy returns the observed total slot occupancy of a completed task.
+func (r *TaskRecord) Occupancy() simtime.Duration { return r.ExecTime + r.TransferTime }
+
+// InstanceRecord is the monitoring view of one held worker instance.
+type InstanceRecord struct {
+	ID          cloud.InstanceID
+	State       cloud.State
+	Slots       int
+	RequestedAt simtime.Time
+	ActiveAt    simtime.Time
+
+	// TimeToNextCharge is r_j, measured from Snapshot.Now (§III-D).
+	TimeToNextCharge simtime.Duration
+
+	// Running lists the tasks currently occupying slots.
+	Running []dag.TaskID
+
+	// Draining marks instances already ordered released; the scheduler
+	// stops assigning work to them and the controller must not count
+	// them toward future capacity.
+	Draining bool
+}
+
+// Snapshot is everything the controller sees at one MAPE iteration.
+type Snapshot struct {
+	// Now is the iteration start time; Interval is the MAPE period
+	// (equal to the cloud lag time, §III-A).
+	Now      simtime.Time
+	Interval simtime.Duration
+
+	// Billing and site parameters the steering policy needs.
+	ChargingUnit     simtime.Duration
+	LagTime          simtime.Duration
+	SlotsPerInstance int
+	MaxInstances     int
+
+	// Workflow is the static DAG (structure, stages, input sizes). See
+	// the package comment for what controllers may read from it.
+	Workflow *dag.Workflow
+
+	// Tasks is indexed by dag.TaskID.
+	Tasks []TaskRecord
+
+	// Instances lists held (pending or active) instances.
+	Instances []InstanceRecord
+
+	// RecentTransfers are the data-transfer durations observed since the
+	// previous snapshot — the basis for the memoryless transfer estimate
+	// (§III-B1).
+	RecentTransfers []float64
+}
+
+// Task returns the record for the given task.
+func (s *Snapshot) Task(id dag.TaskID) *TaskRecord { return &s.Tasks[id] }
+
+// StageRecords returns the records of all tasks in a stage, in stage task
+// order.
+func (s *Snapshot) StageRecords(stage dag.StageID) []*TaskRecord {
+	st := s.Workflow.Stage(stage)
+	out := make([]*TaskRecord, 0, len(st.Tasks))
+	for _, tid := range st.Tasks {
+		out = append(out, &s.Tasks[tid])
+	}
+	return out
+}
+
+// CountByState returns how many tasks are in each lifecycle state.
+func (s *Snapshot) CountByState() map[TaskState]int {
+	m := make(map[TaskState]int, 4)
+	for i := range s.Tasks {
+		m[s.Tasks[i].State]++
+	}
+	return m
+}
+
+// RemainingTasks returns the number of tasks not yet completed.
+func (s *Snapshot) RemainingTasks() int {
+	n := 0
+	for i := range s.Tasks {
+		if s.Tasks[i].State != Completed {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveLoad returns the number of ready plus running tasks — the signal the
+// reactive baselines scale on (§IV-C3).
+func (s *Snapshot) ActiveLoad() int {
+	n := 0
+	for i := range s.Tasks {
+		if st := s.Tasks[i].State; st == Ready || st == Running {
+			n++
+		}
+	}
+	return n
+}
+
+// HeldInstances returns the count of pending+active instances (pool size m).
+func (s *Snapshot) HeldInstances() int { return len(s.Instances) }
+
+// NonDrainingInstances returns held instances not already ordered released.
+func (s *Snapshot) NonDrainingInstances() []InstanceRecord {
+	var out []InstanceRecord
+	for _, in := range s.Instances {
+		if !in.Draining {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Done reports whether every task has completed.
+func (s *Snapshot) Done() bool { return s.RemainingTasks() == 0 }

@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, svg []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("svg not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestChartSVG(t *testing.T) {
+	c := &Chart{
+		Title:  "Figure 2 <shape>",
+		XLabel: "R/U",
+		YLabel: "ratio",
+		Series: []Series{
+			{Name: "N=10", X: []float64{1, 2, 5, 10}, Y: []float64{1.5, 1.25, 1.1, 1.05}},
+			{Name: "N=100", X: []float64{1, 2, 5, 10}, Y: []float64{1.65, 1.25, 1.1, 1.05}},
+		},
+		LogX: true,
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	for _, want := range []string{"<svg", "polyline", "N=10", "N=100", "R/U", "&lt;shape&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Two polylines for two series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d", got)
+	}
+}
+
+func TestChartEmptyErrors(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error for empty chart")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{2}}}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestChartLogSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		LogX:   true,
+		Series: []Series{{Name: "s", X: []float64{0, 1, 10}, Y: []float64{1, 2, 3}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	// Two markers survive (x=0 dropped).
+	if got := strings.Count(buf.String(), "<circle"); got != 2 {
+		t.Fatalf("markers = %d", got)
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:       "Figure 5",
+		YLabel:      "charging units",
+		SeriesNames: []string{"full-site", "wire"},
+		Groups: []BarGroup{
+			{Label: "1m", Values: []float64{60, 39}},
+			{Label: "30m", Values: []float64{12, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wellFormed(t, buf.Bytes())
+	if got := strings.Count(out, "<rect"); got < 5 { // background + 4 bars + legend
+		t.Fatalf("rects = %d", got)
+	}
+	for _, want := range []string{"full-site", "wire", "1m", "30m"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestBarChartEmptyErrors(t *testing.T) {
+	if err := (&BarChart{Title: "x"}).WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBarChartLogY(t *testing.T) {
+	c := &BarChart{
+		SeriesNames: []string{"a"},
+		Groups:      []BarGroup{{Label: "g", Values: []float64{0, 1000}}},
+		LogY:        true,
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Fatalf("escape = %q", escape(`a<b>&"c"`))
+	}
+}

@@ -1,0 +1,392 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/monitor"
+)
+
+// stageWF builds a workflow with one stage of n tasks having the given
+// input sizes (ground-truth times are irrelevant to the predictor).
+func stageWF(sizes ...float64) *dag.Workflow {
+	b := dag.NewBuilder("stage")
+	st := b.AddStage("s")
+	for _, sz := range sizes {
+		b.AddTask(st, "t", 1, 0, sz)
+	}
+	return b.MustBuild()
+}
+
+// snapFor assembles a snapshot with the given task records (records default
+// to Blocked with the task's input size).
+func snapFor(wf *dag.Workflow, now float64, recs map[dag.TaskID]monitor.TaskRecord) *monitor.Snapshot {
+	snap := &monitor.Snapshot{
+		Now:      now,
+		Interval: 10,
+		Workflow: wf,
+		Tasks:    make([]monitor.TaskRecord, wf.NumTasks()),
+	}
+	for _, t := range wf.Tasks {
+		rec := monitor.TaskRecord{ID: t.ID, Stage: t.Stage, State: monitor.Blocked, InputSize: t.InputSize}
+		if r, ok := recs[t.ID]; ok {
+			r.ID = t.ID
+			r.Stage = t.Stage
+			if r.InputSize == 0 {
+				r.InputSize = t.InputSize
+			}
+			rec = r
+		}
+		snap.Tasks[t.ID] = rec
+	}
+	return snap
+}
+
+func TestPolicy1NothingStarted(t *testing.T) {
+	wf := stageWF(1, 1, 1)
+	p := New(Config{})
+	snap := snapFor(wf, 0, nil)
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 0)
+	if est != 0 || pol != PolicyZero {
+		t.Fatalf("est=%v pol=%v, want 0/p1", est, pol)
+	}
+}
+
+func TestPolicy2RunningMedian(t *testing.T) {
+	wf := stageWF(1, 1, 1, 1)
+	p := New(Config{})
+	snap := snapFor(wf, 100, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Running, StartedAt: 90, Elapsed: 10},
+		1: {State: monitor.Running, StartedAt: 70, Elapsed: 30},
+		2: {State: monitor.Ready, ReadyAt: 0},
+	})
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 2)
+	if pol != PolicyRunningMedian || est != 20 {
+		t.Fatalf("est=%v pol=%v, want 20/p2", est, pol)
+	}
+	// Blocked peers get the same treatment while nothing has completed.
+	est3, pol3 := p.EstimateExec(snap, 3)
+	if pol3 != PolicyRunningMedian || est3 != 20 {
+		t.Fatalf("blocked est=%v pol=%v", est3, pol3)
+	}
+}
+
+func TestPolicy3CompletedMedianForBlocked(t *testing.T) {
+	wf := stageWF(1, 1, 1, 1)
+	p := New(Config{})
+	snap := snapFor(wf, 100, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10, TransferObserved: true},
+		1: {State: monitor.Completed, ExecTime: 30, TransferObserved: true},
+		2: {State: monitor.Completed, ExecTime: 20, TransferObserved: true},
+		// task 3 stays Blocked
+	})
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 3)
+	if pol != PolicyCompletedMedian || est != 20 {
+		t.Fatalf("est=%v pol=%v, want 20/p3", est, pol)
+	}
+}
+
+func TestPolicy4GroupMedian(t *testing.T) {
+	// Two size groups among completions: size 100 -> {10,12,14};
+	// size 200 -> {40}. A ready task of size 100 uses the group median.
+	wf := stageWF(100, 100, 100, 200, 100)
+	p := New(Config{})
+	snap := snapFor(wf, 50, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Completed, ExecTime: 12},
+		2: {State: monitor.Completed, ExecTime: 14},
+		3: {State: monitor.Completed, ExecTime: 40},
+		4: {State: monitor.Ready},
+	})
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 4)
+	if pol != PolicyGroupMedian || est != 12 {
+		t.Fatalf("est=%v pol=%v, want 12/p4", est, pol)
+	}
+}
+
+func TestPolicy4ToleratesNearEqualSizes(t *testing.T) {
+	wf := stageWF(100, 100.5, 100.2)
+	p := New(Config{})
+	snap := snapFor(wf, 50, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Completed, ExecTime: 20},
+		2: {State: monitor.Ready},
+	})
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 2)
+	if pol != PolicyGroupMedian || est != 15 {
+		t.Fatalf("est=%v pol=%v, want 15/p4 (sizes within 1%%)", est, pol)
+	}
+}
+
+func TestPolicy5OGDForNewSize(t *testing.T) {
+	// Completions at sizes 100 and 200; the ready task has size 400 —
+	// outside tolerance of both groups — so Policy 5 applies.
+	wf := stageWF(100, 200, 400)
+	p := New(Config{})
+	snap := snapFor(wf, 50, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Completed, ExecTime: 20},
+		2: {State: monitor.Ready},
+	})
+	p.Update(snap)
+	_, pol := p.EstimateExec(snap, 2)
+	if pol != PolicyOGD {
+		t.Fatalf("pol=%v, want p5", pol)
+	}
+}
+
+func TestOGDConvergesToLinearLaw(t *testing.T) {
+	// Ground truth t = 0.1*d. Completions at d=100 (t=10) and d=200
+	// (t=20). With one gradient pass per update, repeated updates must
+	// drive the prediction for d=150 toward 15.
+	wf := stageWF(100, 200, 150)
+	p := New(Config{})
+	recs := map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Completed, ExecTime: 20},
+		2: {State: monitor.Ready},
+	}
+	var est float64
+	for i := 0; i < 400; i++ {
+		snap := snapFor(wf, float64(i*10), recs)
+		p.Update(snap)
+		est, _ = p.EstimateExec(snap, 2)
+	}
+	if math.Abs(est-15) > 1.5 {
+		t.Fatalf("OGD estimate for d=150 is %v, want ~15", est)
+	}
+	a0, a1, scale, ok := p.Coefficients(0)
+	if !ok || scale != 200 {
+		t.Fatalf("coefficients a0=%v a1=%v scale=%v ok=%v", a0, a1, scale, ok)
+	}
+}
+
+func TestOGDMoreEpochsConvergeFaster(t *testing.T) {
+	wf := stageWF(100, 200, 150)
+	recs := map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Completed, ExecTime: 20},
+		2: {State: monitor.Ready},
+	}
+	errAfter := func(epochs, updates int) float64 {
+		p := New(Config{EpochsPerUpdate: epochs})
+		var est float64
+		for i := 0; i < updates; i++ {
+			snap := snapFor(wf, float64(i*10), recs)
+			p.Update(snap)
+			est, _ = p.EstimateExec(snap, 2)
+		}
+		return math.Abs(est - 15)
+	}
+	if errAfter(8, 20) >= errAfter(1, 20) {
+		t.Fatal("extra epochs did not speed convergence")
+	}
+}
+
+func TestOGDPredictionNonNegative(t *testing.T) {
+	wf := stageWF(100, 200, 1)
+	p := New(Config{})
+	recs := map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Completed, ExecTime: 20},
+		2: {State: monitor.Ready},
+	}
+	for i := 0; i < 100; i++ {
+		snap := snapFor(wf, float64(i*10), recs)
+		p.Update(snap)
+		est, _ := p.EstimateExec(snap, 2)
+		if est < 0 {
+			t.Fatalf("negative estimate %v", est)
+		}
+	}
+}
+
+func TestTransferEstimate(t *testing.T) {
+	wf := stageWF(1, 1)
+	p := New(Config{TransferWindow: 3})
+	if p.EstimateTransfer() != 0 {
+		t.Fatal("transfer estimate before any observation should be 0")
+	}
+	snap := snapFor(wf, 10, nil)
+	snap.RecentTransfers = []float64{4, 6, 8}
+	p.Update(snap)
+	if got := p.EstimateTransfer(); got != 6 {
+		t.Fatalf("transfer estimate = %v, want 6", got)
+	}
+	// Next interval with no observations: estimate persists.
+	snap2 := snapFor(wf, 20, nil)
+	p.Update(snap2)
+	if got := p.EstimateTransfer(); got != 6 {
+		t.Fatalf("estimate lost without new data: %v", got)
+	}
+	// Moving median across intervals smooths a spike.
+	snap3 := snapFor(wf, 30, nil)
+	snap3.RecentTransfers = []float64{100}
+	p.Update(snap3)
+	if got := p.EstimateTransfer(); got != 53 {
+		t.Fatalf("moving median = %v, want 53 (median of {6,100})", got)
+	}
+}
+
+func TestEstimateOccupancyAddsTransfer(t *testing.T) {
+	wf := stageWF(1, 1)
+	p := New(Config{})
+	snap := snapFor(wf, 10, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 30},
+		1: {State: monitor.Ready},
+	})
+	snap.RecentTransfers = []float64{5}
+	p.Update(snap)
+	occ, pol := p.EstimateOccupancy(snap, 1)
+	if occ != 35 || pol != PolicyGroupMedian {
+		t.Fatalf("occ=%v pol=%v", occ, pol)
+	}
+}
+
+func TestRemainingOccupancy(t *testing.T) {
+	wf := stageWF(1, 1, 1)
+	p := New(Config{})
+	snap := snapFor(wf, 100, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 50},
+		1: {State: monitor.Running, Elapsed: 20},
+		2: {State: monitor.Ready},
+	})
+	p.Update(snap)
+	// Ready task: full estimate.
+	rem, _ := p.RemainingOccupancy(snap, 2, 100)
+	if rem != 50 {
+		t.Fatalf("ready remaining = %v, want 50", rem)
+	}
+	// Running task at snapshot time: 50 - 20 = 30.
+	rem, _ = p.RemainingOccupancy(snap, 1, 100)
+	if rem != 30 {
+		t.Fatalf("running remaining = %v, want 30", rem)
+	}
+	// Projected 10s into the interval: 20.
+	rem, _ = p.RemainingOccupancy(snap, 1, 110)
+	if rem != 20 {
+		t.Fatalf("projected remaining = %v, want 20", rem)
+	}
+	// A straggler running past its estimate floors at zero.
+	rem, _ = p.RemainingOccupancy(snap, 1, 1000)
+	if rem != 0 {
+		t.Fatalf("overdue remaining = %v, want 0", rem)
+	}
+}
+
+func TestCompletedTaskReturnsObserved(t *testing.T) {
+	wf := stageWF(1)
+	p := New(Config{})
+	snap := snapFor(wf, 10, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 42},
+	})
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 0)
+	if est != 42 || pol != PolicyNone {
+		t.Fatalf("est=%v pol=%v", est, pol)
+	}
+}
+
+func TestPredictorIgnoresGroundTruth(t *testing.T) {
+	// Mutating the workflow's ground-truth times after the snapshot must
+	// not change estimates: the predictor may only read observations.
+	wf := stageWF(100, 100)
+	p := New(Config{})
+	snap := snapFor(wf, 10, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Completed, ExecTime: 10},
+		1: {State: monitor.Ready},
+	})
+	p.Update(snap)
+	before, _ := p.EstimateExec(snap, 1)
+	wf.Tasks[1].ExecTime = 99999
+	wf.Tasks[0].ExecTime = 99999
+	after, _ := p.EstimateExec(snap, 1)
+	if before != after {
+		t.Fatalf("prediction depends on ground truth: %v vs %v", before, after)
+	}
+}
+
+func TestEstimateWithoutUpdate(t *testing.T) {
+	wf := stageWF(1)
+	p := New(Config{})
+	snap := snapFor(wf, 0, nil)
+	est, pol := p.EstimateExec(snap, 0)
+	if est != 0 || pol != PolicyZero {
+		t.Fatalf("fresh predictor: est=%v pol=%v", est, pol)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for pol, want := range map[Policy]string{
+		PolicyNone:            "none",
+		PolicyZero:            "p1-zero",
+		PolicyRunningMedian:   "p2-running-median",
+		PolicyCompletedMedian: "p3-completed-median",
+		PolicyGroupMedian:     "p4-group-median",
+		PolicyOGD:             "p5-ogd",
+	} {
+		if pol.String() != want {
+			t.Fatalf("Policy(%d).String() = %q", int(pol), pol.String())
+		}
+	}
+	if Policy(42).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
+
+func TestUpdatesCounter(t *testing.T) {
+	wf := stageWF(1)
+	p := New(Config{})
+	for i := 0; i < 3; i++ {
+		p.Update(snapFor(wf, float64(i), nil))
+	}
+	if p.Updates() != 3 {
+		t.Fatalf("Updates = %d", p.Updates())
+	}
+}
+
+func TestPriorsWarmStartUnstartedStage(t *testing.T) {
+	wf := stageWF(1, 1, 1)
+	p := New(Config{Priors: map[dag.StageID]float64{0: 42}})
+	snap := snapFor(wf, 0, nil)
+	p.Update(snap)
+	est, pol := p.EstimateExec(snap, 0)
+	if pol != PolicyPrior || est != 42 {
+		t.Fatalf("est=%v pol=%v, want 42/p6", est, pol)
+	}
+	// The first online observation overrides the prior.
+	snap2 := snapFor(wf, 10, map[dag.TaskID]monitor.TaskRecord{
+		0: {State: monitor.Running, Elapsed: 7},
+	})
+	p.Update(snap2)
+	est2, pol2 := p.EstimateExec(snap2, 1)
+	if pol2 != PolicyRunningMedian || est2 != 7 {
+		t.Fatalf("online data did not override prior: est=%v pol=%v", est2, pol2)
+	}
+}
+
+func TestPriorsBeforeFirstUpdate(t *testing.T) {
+	wf := stageWF(1)
+	p := New(Config{Priors: map[dag.StageID]float64{0: 9}})
+	snap := snapFor(wf, 0, nil)
+	est, pol := p.EstimateExec(snap, 0) // no Update yet
+	if pol != PolicyPrior || est != 9 {
+		t.Fatalf("est=%v pol=%v", est, pol)
+	}
+}
+
+func TestZeroOrMissingPriorFallsBack(t *testing.T) {
+	wf := stageWF(1, 1)
+	p := New(Config{Priors: map[dag.StageID]float64{0: 0}})
+	snap := snapFor(wf, 0, nil)
+	p.Update(snap)
+	if _, pol := p.EstimateExec(snap, 0); pol != PolicyZero {
+		t.Fatalf("zero prior should fall back to policy 1, got %v", pol)
+	}
+}

@@ -1,0 +1,176 @@
+// Package sched implements the framework master's ready-queue discipline.
+//
+// The baseline order is FIFO over ready times (§III-D assumes the expected
+// scheduling algorithm is FIFO). On top of that, WIRE's Condor patch gives
+// the first five ready-to-run tasks of every stage high priority (§III-C),
+// so each stage yields early completions for the online predictor as soon
+// as possible. Both behaviours live here, plus an optional submission-order
+// permutation used by the Figure 4 task-order study (§IV-D).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/simtime"
+)
+
+// PriorityTasksPerStage is the number of early tasks per stage that are
+// boosted ahead of the FIFO order (the paper's "first five").
+const PriorityTasksPerStage = 5
+
+// Item is one ready task waiting for a slot.
+type Item struct {
+	Task    dag.TaskID
+	Stage   dag.StageID
+	ReadyAt simtime.Time
+	// Priority marks one of the first-five ready tasks of its stage.
+	Priority bool
+	// order is the FIFO tie-break rank (submission-order index).
+	order int
+	index int
+}
+
+// Queue is a ready queue with the first-five-per-stage boost. The zero
+// value is not usable; call NewQueue.
+type Queue struct {
+	h          itemHeap
+	stageCount map[dag.StageID]int
+	orderOf    func(dag.TaskID) int
+	boost      int
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithOrder supplies a submission-order permutation: orderOf(task) is the
+// task's rank. Tasks becoming ready at the same instant are dequeued in
+// rank order, which is how the Figure 4 experiments realize their five
+// random task orders per stage.
+func WithOrder(orderOf func(dag.TaskID) int) Option {
+	return func(q *Queue) { q.orderOf = orderOf }
+}
+
+// WithBoost overrides how many early tasks per stage are prioritized.
+// Zero disables the first-five rule (pure FIFO).
+func WithBoost(n int) Option {
+	return func(q *Queue) {
+		if n < 0 {
+			panic(fmt.Sprintf("sched: negative boost %d", n))
+		}
+		q.boost = n
+	}
+}
+
+// NewQueue returns an empty ready queue.
+func NewQueue(opts ...Option) *Queue {
+	q := &Queue{
+		stageCount: make(map[dag.StageID]int),
+		orderOf:    func(t dag.TaskID) int { return int(t) },
+		boost:      PriorityTasksPerStage,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Push enqueues a task that just became ready. The first `boost` pushes for
+// each stage are flagged high priority.
+func (q *Queue) Push(task dag.TaskID, stage dag.StageID, readyAt simtime.Time) {
+	n := q.stageCount[stage]
+	q.stageCount[stage] = n + 1
+	it := &Item{
+		Task:     task,
+		Stage:    stage,
+		ReadyAt:  readyAt,
+		Priority: n < q.boost,
+		order:    q.orderOf(task),
+	}
+	heap.Push(&q.h, it)
+}
+
+// Requeue re-enqueues a task whose execution was killed by an instance
+// release. It keeps its original priority flag (the stage counter is not
+// re-incremented) and re-enters the FIFO order at its new ready time.
+func (q *Queue) Requeue(task dag.TaskID, stage dag.StageID, readyAt simtime.Time, priority bool) {
+	it := &Item{Task: task, Stage: stage, ReadyAt: readyAt, Priority: priority, order: q.orderOf(task)}
+	heap.Push(&q.h, it)
+}
+
+// Pop dequeues the next task, or ok=false when empty.
+func (q *Queue) Pop() (Item, bool) {
+	if q.h.Len() == 0 {
+		return Item{}, false
+	}
+	it := heap.Pop(&q.h).(*Item)
+	return *it, true
+}
+
+// Peek returns the next task without removing it.
+func (q *Queue) Peek() (Item, bool) {
+	if q.h.Len() == 0 {
+		return Item{}, false
+	}
+	return *q.h[0], true
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int { return q.h.Len() }
+
+// Snapshot returns the queued items in dequeue order without disturbing the
+// queue; the lookahead simulator uses it to replicate dispatch order.
+func (q *Queue) Snapshot() []Item {
+	tmp := make(itemHeap, len(q.h))
+	for i, it := range q.h {
+		cp := *it
+		tmp[i] = &cp
+		tmp[i].index = i
+	}
+	out := make([]Item, 0, len(tmp))
+	for tmp.Len() > 0 {
+		out = append(out, *heap.Pop(&tmp).(*Item))
+	}
+	return out
+}
+
+// itemHeap orders by (priority desc, readyAt, order, task).
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Priority != b.Priority {
+		return a.Priority
+	}
+	if a.ReadyAt != b.ReadyAt {
+		return a.ReadyAt < b.ReadyAt
+	}
+	if a.order != b.order {
+		return a.order < b.order
+	}
+	return a.Task < b.Task
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,750 @@
+// Package sim executes a workflow DAG on a simulated elastic cloud site.
+//
+// It plays the role of Pegasus WMS/HTCondor plus ExoGENI in the paper: it
+// dispatches ready tasks FIFO onto instance slots (with the first-five-per-
+// stage priority patch, §III-C), tracks task lifecycles, publishes
+// monitoring snapshots, and applies a Controller's pool decisions with the
+// cloud lag. The controller — WIRE or a baseline — is a plug-in; the
+// simulator is the shared substrate every policy is measured on (§IV-C3).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dist"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/simtime"
+)
+
+// Controller plans the worker pool once per MAPE interval.
+type Controller interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Plan inspects the snapshot and returns pool-change orders that the
+	// simulator applies with the cloud's lag semantics.
+	Plan(snap *monitor.Snapshot) Decision
+}
+
+// ReleaseOrder asks for one instance to be released.
+type ReleaseOrder struct {
+	Instance cloud.InstanceID
+	// AtBoundary delays the termination to the instance's next charging
+	// boundary (WIRE's no-recharge release, §III-D); otherwise the
+	// release is immediate.
+	AtBoundary bool
+}
+
+// Decision is a controller's plan for the next interval.
+type Decision struct {
+	// Launch is the number of new instances to request now; they become
+	// usable one lag later, i.e. at the start of the next interval.
+	Launch int
+	// Releases lists instances to drain and terminate.
+	Releases []ReleaseOrder
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Cloud cloud.Config
+
+	// Interval is the MAPE period; zero means use the cloud lag time
+	// (§III-A sets them equal).
+	Interval simtime.Duration
+
+	// InitialInstances is the pool size requested at t=0 (default 1).
+	InitialInstances int
+
+	// Seed drives the interference sampler; runs are deterministic in it.
+	Seed int64
+
+	// Interference, when set, multiplies each task attempt's occupancy by
+	// a fresh draw — the across-run/across-instance variability of §II-B.
+	Interference dist.Dist
+
+	// InstanceSpeed, when set, samples one speed factor per instance at
+	// launch; every attempt on that instance divides its occupancy by
+	// the factor. This models §II-B's second variability source:
+	// instances of nominally one type still differ in per-core memory
+	// and network bandwidth. Draws should have mean ~1.
+	InstanceSpeed dist.Dist
+
+	// TransferCongestion scales each attempt's data-transfer time by
+	// (1 + TransferCongestion·(usable-1)) where usable is the pool size
+	// at dispatch — a crude shared-network contention model (§III-B1
+	// notes transfer times vary with the number of instances). Zero
+	// disables it.
+	TransferCongestion float64
+
+	// Order optionally permutes FIFO tie-breaking among simultaneously
+	// ready tasks (the Figure 4 task orders). Entry i is the rank of task
+	// i; unlisted tasks keep their ID as rank.
+	Order map[dag.TaskID]int
+
+	// DisableFirstFive turns off the per-stage priority boost.
+	DisableFirstFive bool
+
+	// MaxSimTime aborts runs that exceed this simulated horizon
+	// (default 1e8 s) — a guard against controller deadlock.
+	MaxSimTime simtime.Duration
+
+	// MTBF, when positive, injects instance failures: each instance
+	// draws an exponentially distributed lifetime with this mean at
+	// launch and crashes when it expires — billing stops, its running
+	// tasks are resubmitted, and the controller simply observes a
+	// smaller pool at the next snapshot. Zero disables failures.
+	MTBF simtime.Duration
+
+	// Observer, when set, receives every lifecycle event of the run
+	// (task starts/completions/kills, instance lifecycle, decisions) on
+	// the simulation goroutine. Used by the trace tooling.
+	Observer func(Event)
+}
+
+// EventKind labels an observer notification.
+type EventKind int
+
+// Observer event kinds.
+const (
+	EvTaskStart EventKind = iota
+	EvTaskComplete
+	EvTaskKilled
+	EvInstanceLaunch
+	EvInstanceActive
+	EvInstanceTerminated
+	EvInstanceFailed
+	EvDecision
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvTaskStart:
+		return "task-start"
+	case EvTaskComplete:
+		return "task-complete"
+	case EvTaskKilled:
+		return "task-killed"
+	case EvInstanceLaunch:
+		return "instance-launch"
+	case EvInstanceActive:
+		return "instance-active"
+	case EvInstanceTerminated:
+		return "instance-terminated"
+	case EvInstanceFailed:
+		return "instance-failed"
+	case EvDecision:
+		return "decision"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one observer notification. Task and Instance are -1 when not
+// applicable.
+type Event struct {
+	Time     simtime.Time
+	Kind     EventKind
+	Task     dag.TaskID
+	Instance cloud.InstanceID
+	// Launch and Released describe EvDecision events.
+	Launch   int
+	Released int
+}
+
+func (c Config) interval() simtime.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	if c.Cloud.LagTime > 0 {
+		return c.Cloud.LagTime
+	}
+	return 1
+}
+
+// TaskRun records the successful execution of one task.
+type TaskRun struct {
+	Task             dag.TaskID
+	Stage            dag.StageID
+	Instance         cloud.InstanceID
+	ReadyAt          simtime.Time
+	Start            simtime.Time
+	End              simtime.Time
+	ObservedExec     simtime.Duration
+	ObservedTransfer simtime.Duration
+	Restarts         int // times this task was killed before this run
+}
+
+// PoolSample is one point of the pool-size timeline.
+type PoolSample struct {
+	Time   simtime.Time
+	Held   int
+	Usable int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Workflow string
+	Policy   string
+
+	Makespan       simtime.Duration
+	UnitsCharged   int
+	ChargedSeconds float64
+	Utilization    float64
+
+	PeakPool  int
+	Launches  int
+	Restarts  int
+	Failures  int
+	Decisions int
+
+	// ControllerWall is the real CPU-wall time spent inside Plan calls:
+	// the paper's controller-overhead metric (§IV-F).
+	ControllerWall time.Duration
+
+	TaskRuns []TaskRun
+	Pool     []PoolSample
+}
+
+// run is the mutable state of one simulation.
+type run struct {
+	wf   *dag.Workflow
+	ctrl Controller
+	cfg  Config
+
+	eng   *event.Engine
+	site  *cloud.Site
+	queue *sched.Queue
+	rng   *rand.Rand
+
+	tasks     []taskState
+	instances map[cloud.InstanceID]*instState
+
+	completed int
+	lastTick  simtime.Time
+	done      bool
+	doneAt    simtime.Time
+	err       error
+
+	res      *Result
+	nextTick *event.Event
+}
+
+type taskState struct {
+	state    monitor.TaskState
+	waiting  int // unmet dependencies
+	readyAt  simtime.Time
+	priority bool
+
+	// Fields of the current/last attempt.
+	startedAt      simtime.Time
+	inst           *instState
+	slot           int
+	attemptDur     simtime.Duration // sampled total occupancy
+	actualTransfer simtime.Duration
+	actualExec     simtime.Duration
+	completeEv     *event.Event
+
+	restarts    int
+	completedAt simtime.Time
+}
+
+type instState struct {
+	inst     *cloud.Instance
+	running  map[dag.TaskID]struct{}
+	draining bool
+	termEv   *event.Event
+	speed    float64
+}
+
+func (is *instState) freeSlots() int { return is.inst.Slots - len(is.running) }
+
+// Run executes the workflow to completion under the controller and returns
+// the run summary. It returns an error for invalid configuration, controller
+// protocol violations, or a run exceeding the simulation horizon.
+func Run(wf *dag.Workflow, ctrl Controller, cfg Config) (*Result, error) {
+	return runWithBudget(wf, ctrl, cfg, 50_000_000)
+}
+
+func runWithBudget(wf *dag.Workflow, ctrl Controller, cfg Config, maxEvents uint64) (*Result, error) {
+	if err := cfg.Cloud.Validate(); err != nil {
+		return nil, err
+	}
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialInstances <= 0 {
+		cfg.InitialInstances = 1
+	}
+	if cfg.MaxSimTime <= 0 {
+		cfg.MaxSimTime = 1e8
+	}
+
+	orderOf := func(t dag.TaskID) int { return int(t) }
+	if cfg.Order != nil {
+		order := cfg.Order
+		orderOf = func(t dag.TaskID) int {
+			if r, ok := order[t]; ok {
+				return r
+			}
+			return int(t)
+		}
+	}
+	boost := sched.PriorityTasksPerStage
+	if cfg.DisableFirstFive {
+		boost = 0
+	}
+
+	site, err := cloud.NewSite(cfg.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{
+		wf:        wf,
+		ctrl:      ctrl,
+		cfg:       cfg,
+		eng:       event.New(),
+		site:      site,
+		queue:     sched.NewQueue(sched.WithOrder(orderOf), sched.WithBoost(boost)),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		tasks:     make([]taskState, wf.NumTasks()),
+		instances: make(map[cloud.InstanceID]*instState),
+		res: &Result{
+			Workflow: wf.Name,
+			Policy:   ctrl.Name(),
+			TaskRuns: make([]TaskRun, 0, wf.NumTasks()),
+		},
+	}
+	r.eng.MaxEvents = maxEvents
+
+	// Initial dependency counts and root readiness.
+	for _, t := range wf.Tasks {
+		r.tasks[t.ID].waiting = len(t.Deps)
+		r.tasks[t.ID].state = monitor.Blocked
+	}
+	for _, id := range wf.Roots() {
+		r.markReady(id, 0)
+	}
+
+	// Initial pool.
+	for i := 0; i < cfg.InitialInstances; i++ {
+		if _, err := r.launch(0); err != nil {
+			return nil, fmt.Errorf("sim: initial pool: %w", err)
+		}
+	}
+	r.samplePool(0)
+
+	// First control tick one interval in; pool changes it orders become
+	// effective at the start of the following interval (§III-A).
+	iv := cfg.interval()
+	r.nextTick = r.eng.At(iv, event.PriControl, "control", r.controlTick)
+
+	if err := r.eng.RunUntil(cfg.MaxSimTime); err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !r.done {
+		return nil, fmt.Errorf("sim: %s/%s exceeded horizon %v with %d/%d tasks done",
+			wf.Name, ctrl.Name(), cfg.MaxSimTime, r.completed, wf.NumTasks())
+	}
+
+	r.res.Makespan = r.doneAt
+	r.res.UnitsCharged = site.TotalUnitsCharged(r.doneAt)
+	r.res.ChargedSeconds = site.TotalChargedSeconds(r.doneAt)
+	r.res.Utilization = site.Utilization(r.doneAt)
+	return r.res, nil
+}
+
+func (r *run) emit(ev Event) {
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(ev)
+	}
+}
+
+func (r *run) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	// Drain: cancel the tick chain so the engine stops.
+	if r.nextTick != nil {
+		r.eng.Cancel(r.nextTick)
+	}
+}
+
+func (r *run) launch(now simtime.Time) (*instState, error) {
+	in, err := r.site.Launch(now)
+	if err != nil {
+		return nil, err
+	}
+	r.emit(Event{Time: now, Kind: EvInstanceLaunch, Task: -1, Instance: in.ID})
+	is := &instState{inst: in, running: make(map[dag.TaskID]struct{}), speed: 1}
+	if r.cfg.InstanceSpeed != nil {
+		if s := r.cfg.InstanceSpeed.Sample(r.rng); s > 0.01 {
+			is.speed = s
+		} else {
+			is.speed = 0.01
+		}
+	}
+	r.instances[in.ID] = is
+	r.res.Launches++
+	if held := r.site.Held(); held > r.res.PeakPool {
+		r.res.PeakPool = held
+	}
+	r.eng.At(in.ActiveAt, event.PriInstance, "activate", func(_ *event.Engine, t simtime.Time) {
+		if is.inst.State != cloud.Pending {
+			return // canceled while pending
+		}
+		if err := r.site.Activate(is.inst, t); err != nil {
+			r.fail(err)
+			return
+		}
+		r.emit(Event{Time: t, Kind: EvInstanceActive, Task: -1, Instance: is.inst.ID})
+		r.dispatch(t)
+	})
+	if r.cfg.MTBF > 0 {
+		// Draw the lifetime now so the rng consumption order stays
+		// deterministic regardless of later event interleavings.
+		life := r.rng.ExpFloat64() * r.cfg.MTBF
+		r.eng.At(in.ActiveAt+life, event.PriTerminate, "failure", func(_ *event.Engine, t simtime.Time) {
+			if is.inst.State != cloud.Active {
+				return // already gone
+			}
+			r.res.Failures++
+			r.emit(Event{Time: t, Kind: EvInstanceFailed, Task: -1, Instance: is.inst.ID})
+			r.terminate(is, t)
+		})
+	}
+	return is, nil
+}
+
+func (r *run) markReady(id dag.TaskID, now simtime.Time) {
+	ts := &r.tasks[id]
+	ts.state = monitor.Ready
+	ts.readyAt = now
+	t := r.wf.Task(id)
+	r.queue.Push(id, t.Stage, now)
+}
+
+// dispatch assigns ready tasks to free slots of usable, non-draining
+// instances, lowest instance ID first.
+func (r *run) dispatch(now simtime.Time) {
+	if r.done || r.err != nil {
+		return
+	}
+	for r.queue.Len() > 0 {
+		is := r.pickInstance(now)
+		if is == nil {
+			return
+		}
+		it, _ := r.queue.Pop()
+		r.start(it.Task, is, now, it.Priority)
+	}
+}
+
+func (r *run) pickInstance(now simtime.Time) *instState {
+	var best *instState
+	for _, in := range r.site.Instances() {
+		is := r.instances[in.ID]
+		if is.draining || in.State != cloud.Active || !in.UsableAt(now) {
+			continue
+		}
+		if is.freeSlots() <= 0 {
+			continue
+		}
+		if best == nil || in.ID < best.inst.ID {
+			best = is
+		}
+	}
+	return best
+}
+
+func (r *run) start(id dag.TaskID, is *instState, now simtime.Time, priority bool) {
+	ts := &r.tasks[id]
+	t := r.wf.Task(id)
+
+	factor := 1.0
+	if r.cfg.Interference != nil {
+		factor = r.cfg.Interference.Sample(r.rng)
+		if factor <= 0 {
+			factor = 0.01
+		}
+	}
+	factor /= is.speed
+	congestion := 1.0
+	if r.cfg.TransferCongestion > 0 {
+		if usable := len(r.site.UsableInstances(now)); usable > 1 {
+			congestion += r.cfg.TransferCongestion * float64(usable-1)
+		}
+	}
+	ts.state = monitor.Running
+	ts.priority = priority
+	ts.startedAt = now
+	ts.inst = is
+	ts.actualTransfer = t.TransferTime * factor * congestion
+	ts.actualExec = t.ExecTime * factor
+	ts.attemptDur = ts.actualTransfer + ts.actualExec
+	is.running[id] = struct{}{}
+
+	r.emit(Event{Time: now, Kind: EvTaskStart, Task: id, Instance: is.inst.ID})
+
+	ts.completeEv = r.eng.At(now+ts.attemptDur, event.PriTask, "complete", func(_ *event.Engine, tm simtime.Time) {
+		r.complete(id, tm)
+	})
+}
+
+func (r *run) complete(id dag.TaskID, now simtime.Time) {
+	ts := &r.tasks[id]
+	is := ts.inst
+	ts.state = monitor.Completed
+	ts.completedAt = now
+	delete(is.running, id)
+	is.inst.BusySlotSeconds += ts.attemptDur
+	r.completed++
+	r.emit(Event{Time: now, Kind: EvTaskComplete, Task: id, Instance: is.inst.ID})
+
+	t := r.wf.Task(id)
+	r.res.TaskRuns = append(r.res.TaskRuns, TaskRun{
+		Task:             id,
+		Stage:            t.Stage,
+		Instance:         is.inst.ID,
+		ReadyAt:          ts.readyAt,
+		Start:            ts.startedAt,
+		End:              now,
+		ObservedExec:     ts.actualExec,
+		ObservedTransfer: ts.actualTransfer,
+		Restarts:         ts.restarts,
+	})
+
+	for _, s := range t.Succs {
+		ss := &r.tasks[s]
+		ss.waiting--
+		if ss.waiting == 0 {
+			r.markReady(s, now)
+		}
+	}
+
+	if r.completed == r.wf.NumTasks() {
+		r.finish(now)
+		return
+	}
+	r.dispatch(now)
+}
+
+func (r *run) finish(now simtime.Time) {
+	r.done = true
+	r.doneAt = now
+	if r.nextTick != nil {
+		r.eng.Cancel(r.nextTick)
+	}
+	for _, in := range r.site.Instances() {
+		is := r.instances[in.ID]
+		if is.termEv != nil {
+			r.eng.Cancel(is.termEv)
+		}
+		if in.State != cloud.Terminated {
+			if err := r.site.Terminate(in, now); err != nil {
+				r.fail(err)
+			}
+			r.emit(Event{Time: now, Kind: EvInstanceTerminated, Task: -1, Instance: in.ID})
+		}
+	}
+	r.samplePool(now)
+}
+
+// terminate kills an instance, requeueing its running tasks.
+func (r *run) terminate(is *instState, now simtime.Time) {
+	if is.inst.State == cloud.Terminated {
+		return
+	}
+	for id := range is.running {
+		ts := &r.tasks[id]
+		r.eng.Cancel(ts.completeEv)
+		is.inst.BusySlotSeconds += now - ts.startedAt
+		ts.restarts++
+		r.res.Restarts++
+		ts.state = monitor.Ready
+		ts.readyAt = now
+		ts.inst = nil
+		t := r.wf.Task(id)
+		r.queue.Requeue(id, t.Stage, now, ts.priority)
+		r.emit(Event{Time: now, Kind: EvTaskKilled, Task: id, Instance: is.inst.ID})
+	}
+	is.running = make(map[dag.TaskID]struct{})
+	if err := r.site.Terminate(is.inst, now); err != nil {
+		r.fail(err)
+		return
+	}
+	r.emit(Event{Time: now, Kind: EvInstanceTerminated, Task: -1, Instance: is.inst.ID})
+	r.samplePool(now)
+	r.dispatch(now)
+}
+
+func (r *run) samplePool(now simtime.Time) {
+	s := PoolSample{
+		Time:   now,
+		Held:   r.site.Held(),
+		Usable: len(r.site.UsableInstances(now)),
+	}
+	// Record only changes (plus the first sample) — long runs tick many
+	// thousands of times with a steady pool.
+	if n := len(r.res.Pool); n > 0 {
+		last := r.res.Pool[n-1]
+		if last.Held == s.Held && last.Usable == s.Usable {
+			return
+		}
+	}
+	r.res.Pool = append(r.res.Pool, s)
+}
+
+func (r *run) controlTick(_ *event.Engine, now simtime.Time) {
+	if r.done || r.err != nil {
+		return
+	}
+	iv := r.cfg.interval()
+	r.nextTick = r.eng.At(now+iv, event.PriControl, "control", r.controlTick)
+
+	snap := r.Snapshot(now)
+	r.lastTick = now
+
+	wallStart := time.Now()
+	dec := r.ctrl.Plan(snap)
+	r.res.ControllerWall += time.Since(wallStart)
+	r.res.Decisions++
+	r.emit(Event{Time: now, Kind: EvDecision, Task: -1, Instance: -1, Launch: dec.Launch, Released: len(dec.Releases)})
+
+	if err := r.apply(dec, now); err != nil {
+		r.fail(err)
+	}
+}
+
+func (r *run) apply(dec Decision, now simtime.Time) error {
+	if dec.Launch < 0 {
+		return fmt.Errorf("sim: controller %s requested negative launch %d", r.ctrl.Name(), dec.Launch)
+	}
+	for i := 0; i < dec.Launch; i++ {
+		if _, err := r.launch(now); err != nil {
+			if err == cloud.ErrSiteFull {
+				break // best effort at the cap
+			}
+			return err
+		}
+	}
+	for _, ro := range dec.Releases {
+		is, ok := r.instances[ro.Instance]
+		if !ok {
+			return fmt.Errorf("sim: controller %s released unknown instance %d", r.ctrl.Name(), ro.Instance)
+		}
+		if is.inst.State == cloud.Terminated {
+			return fmt.Errorf("sim: controller %s released terminated instance %d", r.ctrl.Name(), ro.Instance)
+		}
+		if is.draining {
+			continue
+		}
+		is.draining = true
+		at := now
+		if ro.AtBoundary && is.inst.State == cloud.Active {
+			at = is.inst.NextChargeBoundary(now)
+		}
+		if simtime.AtOrBefore(at, now) {
+			r.terminate(is, now)
+			continue
+		}
+		is.termEv = r.eng.At(at, event.PriTerminate, "terminate", func(_ *event.Engine, t simtime.Time) {
+			r.terminate(is, t)
+		})
+	}
+	r.samplePool(now)
+	// Newly freed capacity (immediate releases free nothing, but launches
+	// don't either until active); still, draining changes assignment
+	// eligibility only, so no dispatch needed here.
+	return nil
+}
+
+// Snapshot builds the monitoring view at time now. Exported for controller
+// unit tests; the simulator calls it on every control tick.
+func (r *run) Snapshot(now simtime.Time) *monitor.Snapshot {
+	snap := &monitor.Snapshot{
+		Now:              now,
+		Interval:         r.cfg.interval(),
+		ChargingUnit:     r.cfg.Cloud.ChargingUnit,
+		LagTime:          r.cfg.Cloud.LagTime,
+		SlotsPerInstance: r.cfg.Cloud.SlotsPerInstance,
+		MaxInstances:     r.cfg.Cloud.MaxInstances,
+		Workflow:         r.wf,
+		Tasks:            make([]monitor.TaskRecord, r.wf.NumTasks()),
+	}
+	for _, t := range r.wf.Tasks {
+		ts := &r.tasks[t.ID]
+		rec := monitor.TaskRecord{
+			ID:        t.ID,
+			Stage:     t.Stage,
+			State:     ts.state,
+			InputSize: t.InputSize,
+			ReadyAt:   ts.readyAt,
+		}
+		switch ts.state {
+		case monitor.Running:
+			rec.StartedAt = ts.startedAt
+			rec.Instance = ts.inst.inst.ID
+			rec.Elapsed = now - ts.startedAt
+			if simtime.AtOrAfter(now, ts.startedAt+ts.actualTransfer) {
+				rec.TransferObserved = true
+				rec.TransferTime = ts.actualTransfer
+			}
+		case monitor.Completed:
+			rec.StartedAt = ts.startedAt
+			if ts.inst != nil {
+				rec.Instance = ts.inst.inst.ID
+			}
+			rec.CompletedAt = ts.completedAt
+			rec.ExecTime = ts.actualExec
+			rec.TransferObserved = true
+			rec.TransferTime = ts.actualTransfer
+		}
+		snap.Tasks[t.ID] = rec
+
+		// Transfers whose completion fell inside the last interval.
+		if ts.state == monitor.Running || ts.state == monitor.Completed {
+			obsAt := ts.startedAt + ts.actualTransfer
+			if simtime.After(obsAt, r.lastTick) && simtime.AtOrBefore(obsAt, now) {
+				snap.RecentTransfers = append(snap.RecentTransfers, ts.actualTransfer)
+			}
+		}
+	}
+	for _, in := range r.site.Instances() {
+		if in.State == cloud.Terminated {
+			continue
+		}
+		is := r.instances[in.ID]
+		rec := monitor.InstanceRecord{
+			ID:               in.ID,
+			State:            in.State,
+			Slots:            in.Slots,
+			RequestedAt:      in.RequestedAt,
+			ActiveAt:         in.ActiveAt,
+			TimeToNextCharge: in.TimeToNextCharge(now),
+			Draining:         is.draining,
+		}
+		for id := range is.running {
+			rec.Running = append(rec.Running, id)
+		}
+		sortTaskIDs(rec.Running)
+		snap.Instances = append(snap.Instances, rec)
+	}
+	return snap
+}
+
+func sortTaskIDs(ids []dag.TaskID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

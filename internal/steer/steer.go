@@ -1,0 +1,225 @@
+// Package steer implements WIRE's resource-steering policy: Algorithm 3
+// (ResizePool — the ideal pool size for the upcoming load) and Algorithm 2
+// (Plan — grow/shrink orders against the current pool), §III-D.
+//
+// The policy's contract: grow the pool only when the predicted load keeps
+// every new instance busy for at least one charging unit, and release an
+// instance only when its charging unit is about to expire (no recharge) and
+// the sunk cost of restarting its tasks is below a threshold (0.2u by
+// default, freely configurable).
+package steer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Config parameterizes the policy. The zero value is invalid; fill in the
+// billing fields from the monitoring snapshot.
+type Config struct {
+	// ChargingUnit is u.
+	ChargingUnit simtime.Duration
+	// SlotsPerInstance is l.
+	SlotsPerInstance int
+	// Lag is t, the pool-change lag (equal to the MAPE interval).
+	Lag simtime.Duration
+	// RestartFrac is the release threshold on restart cost as a fraction
+	// of u (paper: 0.2).
+	RestartFrac float64
+	// MaxInstances caps requested growth (0 = unbounded).
+	MaxInstances int
+	// MinPool is the floor kept while the workflow is incomplete
+	// (paper: a minimal pool of 1).
+	MinPool int
+	// UtilizationTarget modulates the aggressiveness of the heuristic
+	// (§IV-A: "it is possible to modulate the aggressiveness of the
+	// heuristic to obtain a selected balance of cost and speed, e.g., by
+	// modulating the target utilization level"). Algorithm 3 counts an
+	// instance once the projected busy time reaches UtilizationTarget·u
+	// instead of a full unit, so lower targets grow the pool earlier and
+	// trade cost for speed. Zero means the paper's default of 1.0.
+	UtilizationTarget float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RestartFrac <= 0 {
+		c.RestartFrac = 0.2
+	}
+	if c.MinPool <= 0 {
+		c.MinPool = 1
+	}
+	if c.UtilizationTarget <= 0 || c.UtilizationTarget > 1 {
+		c.UtilizationTarget = 1
+	}
+	return c
+}
+
+// FromSnapshot builds the standard configuration from a monitoring snapshot.
+func FromSnapshot(snap *monitor.Snapshot) Config {
+	return Config{
+		ChargingUnit:     snap.ChargingUnit,
+		SlotsPerInstance: snap.SlotsPerInstance,
+		Lag:              snap.Interval,
+		MaxInstances:     snap.MaxInstances,
+	}.withDefaults()
+}
+
+// ResizePool implements Algorithm 3 with the paper's default utilization
+// target of 1.0: see ResizePoolTarget.
+func ResizePool(remaining []float64, u simtime.Duration, l int, restartFrac float64) int {
+	return ResizePoolTarget(remaining, u, l, restartFrac, 1)
+}
+
+// ResizePoolTarget implements Algorithm 3. remaining holds the predicted
+// minimum remaining occupancy of each upcoming task (Q_task), in dispatch
+// order; u is the charging unit and l the slots per instance. It returns
+// the number of instances p that the upcoming load can keep busy for at
+// least target·u each, plus one instance for any significant tail
+// (> restartFrac·u) — and never less than one for a non-empty load. A
+// target below 1 is the §IV-A aggressiveness knob: the pool grows before
+// each instance is provably busy for a whole unit.
+func ResizePoolTarget(remaining []float64, u simtime.Duration, l int, restartFrac, target float64) int {
+	if u <= 0 || l <= 0 {
+		panic(fmt.Sprintf("steer: invalid u=%v l=%d", u, l))
+	}
+	if restartFrac <= 0 {
+		restartFrac = 0.2
+	}
+	if target <= 0 || target > 1 {
+		target = 1
+	}
+	if len(remaining) == 0 {
+		return 0
+	}
+	q := remaining
+	p := 0
+	tUsed := 0.0
+	goal := target * u
+	var slots []float64
+	for len(q) > 0 {
+		for len(slots) < l && len(q) > 0 {
+			slots = append(slots, q[0])
+			q = q[1:]
+		}
+		if len(slots) < l {
+			break // queue drained with a partial slot set
+		}
+		tMin := slots[0]
+		for _, v := range slots[1:] {
+			if v < tMin {
+				tMin = v
+			}
+		}
+		tUsed += tMin
+		if tUsed >= goal {
+			p++
+			tUsed = 0
+			slots = slots[:0]
+			continue
+		}
+		// Retire the finished task(s) and advance the others.
+		keep := slots[:0]
+		for _, v := range slots {
+			if v == tMin {
+				continue
+			}
+			keep = append(keep, v-tMin)
+		}
+		slots = keep
+	}
+	maxLeft := 0.0
+	for _, v := range slots {
+		if v > maxLeft {
+			maxLeft = v
+		}
+	}
+	if p == 0 || maxLeft > restartFrac*u {
+		p++
+	}
+	return p
+}
+
+// Candidate describes one current instance for the shrink path of
+// Algorithm 2.
+type Candidate struct {
+	ID cloud.InstanceID
+	// TimeToNextCharge is r_j measured from the planning instant.
+	TimeToNextCharge simtime.Duration
+	// RestartCost is c_j, the maximum projected sunk cost among tasks on
+	// the instance at the start of the next interval.
+	RestartCost simtime.Duration
+}
+
+// Plan implements Algorithm 2: it compares the ideal pool size p for the
+// upcoming load against the current pool size m and returns the launch count
+// and boundary-timed releases. emptyLoad marks Q_task empty, in which case
+// the policy retains a minimal pool (§III-D).
+func Plan(remaining []float64, emptyLoad bool, current []Candidate, cfg Config) sim.Decision {
+	cfg = cfg.withDefaults()
+	var p int
+	if emptyLoad {
+		p = cfg.MinPool
+	} else {
+		p = ResizePoolTarget(remaining, cfg.ChargingUnit, cfg.SlotsPerInstance, cfg.RestartFrac, cfg.UtilizationTarget)
+		if p < cfg.MinPool {
+			p = cfg.MinPool
+		}
+	}
+	return PlanTo(p, current, cfg)
+}
+
+// PlanTo runs Algorithm 2's adjust step against an externally chosen ideal
+// pool size p: grow by launching, or shrink by releasing only instances
+// whose charging unit expires within the lag and whose restart cost is
+// below the threshold, cheapest restarts first. Alternative controllers
+// (e.g. the deadline policy) reuse it with their own sizing rule.
+func PlanTo(p int, current []Candidate, cfg Config) sim.Decision {
+	cfg = cfg.withDefaults()
+	if p < cfg.MinPool {
+		p = cfg.MinPool
+	}
+	if cfg.MaxInstances > 0 && p > cfg.MaxInstances {
+		p = cfg.MaxInstances
+	}
+
+	m := len(current)
+	switch {
+	case p > m:
+		return sim.Decision{Launch: p - m}
+	case p < m:
+		// Release only instances whose charging unit expires before the
+		// next interval starts and whose restart cost is tolerable;
+		// prefer the cheapest restarts (the paper selects instances to
+		// minimize restart costs).
+		eligible := make([]Candidate, 0, m)
+		for _, c := range current {
+			if c.TimeToNextCharge <= cfg.Lag+simtime.Eps && c.RestartCost <= cfg.RestartFrac*cfg.ChargingUnit+simtime.Eps {
+				eligible = append(eligible, c)
+			}
+		}
+		sort.Slice(eligible, func(i, j int) bool {
+			if eligible[i].RestartCost != eligible[j].RestartCost {
+				return eligible[i].RestartCost < eligible[j].RestartCost
+			}
+			if eligible[i].TimeToNextCharge != eligible[j].TimeToNextCharge {
+				return eligible[i].TimeToNextCharge < eligible[j].TimeToNextCharge
+			}
+			return eligible[i].ID < eligible[j].ID
+		})
+		var rel []sim.ReleaseOrder
+		for _, c := range eligible {
+			if m-len(rel) <= p {
+				break
+			}
+			rel = append(rel, sim.ReleaseOrder{Instance: c.ID, AtBoundary: true})
+		}
+		return sim.Decision{Releases: rel}
+	default:
+		return sim.Decision{}
+	}
+}

@@ -1,0 +1,115 @@
+package workloads
+
+// Extra workflow families beyond the paper's Table I. These follow the
+// published shapes of the Pegasus workflow gallery characterized by Juve et
+// al. (the paper's reference [17]): Montage, CyberShake, LIGO Inspiral and
+// SIPHT. They exercise DAG structures the Table I set does not — paired
+// fan-ins, double-diamond pipelines, and very wide gathers — and are used
+// by tests and available to library users; they carry no PaperRow because
+// the paper does not evaluate them.
+
+import "fmt"
+
+// Montage returns an astronomy-mosaic workflow with the Montage shape:
+// projection fan → difference fit → a serial modelling spine → background
+// correction fan → a serial assembly tail. width is the number of input
+// images (mProjectPP tasks).
+func Montage(width int, dataGB float64) Spec {
+	if width < 2 {
+		width = 2
+	}
+	imgMB := dataGB * 1024 / float64(width)
+	return Spec{
+		Name:   fmt.Sprintf("montage-%d", width),
+		DataGB: dataGB,
+		Stages: []StageSpec{
+			{Name: "mProjectPP", Count: width, Link: Roots, MeanExec: 12, SkewSigma: 0.06, InputMB: imgMB, InputGroups: 3, TransferMean: 1},
+			{Name: "mDiffFit", Count: width, Link: OneToOne, MeanExec: 6, SkewSigma: 0.06, InputMB: imgMB / 2, InputGroups: 3, TransferMean: 0.5},
+			{Name: "mConcatFit", Count: 1, Link: Gather, MeanExec: 25, SkewSigma: 0.05, InputMB: imgMB * float64(width) / 8, TransferMean: 1},
+			{Name: "mBgModel", Count: 1, Link: OneToOne, MeanExec: 40, SkewSigma: 0.05, InputMB: 2, TransferMean: 0.5},
+			{Name: "mBackground", Count: width, Link: OneToOne, MeanExec: 4, SkewSigma: 0.06, InputMB: imgMB, InputGroups: 3, TransferMean: 0.5},
+			{Name: "mImgtbl", Count: 1, Link: Gather, MeanExec: 10, SkewSigma: 0.05, InputMB: 1, TransferMean: 0.5},
+			{Name: "mAdd", Count: 1, Link: OneToOne, MeanExec: 60, SkewSigma: 0.05, InputMB: imgMB * float64(width) / 4, TransferMean: 2},
+			{Name: "mShrink", Count: 1, Link: OneToOne, MeanExec: 8, SkewSigma: 0.05, InputMB: 20, TransferMean: 0.5},
+			{Name: "mJPEG", Count: 1, Link: OneToOne, MeanExec: 3, SkewSigma: 0.05, InputMB: 5, TransferMean: 0.5},
+		},
+	}
+}
+
+// CyberShake returns a seismic-hazard workflow: SGT extraction fans into
+// per-rupture seismogram synthesis and peak-value calculation, gathered by
+// two zip tasks. width is the number of extraction tasks; each drives two
+// synthesis tasks.
+func CyberShake(width int, dataGB float64) Spec {
+	if width < 2 {
+		width = 2
+	}
+	sgtMB := dataGB * 1024 / float64(width)
+	return Spec{
+		Name:   fmt.Sprintf("cybershake-%d", width),
+		DataGB: dataGB,
+		Stages: []StageSpec{
+			{Name: "ExtractSGT", Count: width, Link: Roots, MeanExec: 45, SkewSigma: 0.06, InputMB: sgtMB, InputGroups: 4, TransferMean: 2},
+			{Name: "SeismogramSynthesis", Count: 2 * width, Link: OneToOne, MeanExec: 30, SkewSigma: 0.06, InputMB: sgtMB / 4, InputGroups: 4, TransferMean: 1},
+			{Name: "PeakValCalc", Count: 2 * width, Link: OneToOne, MeanExec: 1.5, SkewSigma: 0.06, InputMB: 0.2, TransferMean: 0.2},
+			{Name: "ZipSeis", Count: 1, Link: Gather, MeanExec: 20, SkewSigma: 0.05, InputMB: sgtMB, TransferMean: 1},
+			{Name: "ZipPSA", Count: 1, Link: OneToOne, MeanExec: 15, SkewSigma: 0.05, InputMB: 5, TransferMean: 1},
+		},
+	}
+}
+
+// LIGOInspiral returns a gravitational-wave analysis workflow: the classic
+// double diamond — template bank fan, inspiral fan, coincidence gather,
+// trigger bank fan, second inspiral fan, final coincidence.
+func LIGOInspiral(width int, dataGB float64) Spec {
+	if width < 2 {
+		width = 2
+	}
+	segMB := dataGB * 1024 / float64(width)
+	gathers := width / 8
+	if gathers < 1 {
+		gathers = 1
+	}
+	return Spec{
+		Name:   fmt.Sprintf("inspiral-%d", width),
+		DataGB: dataGB,
+		Stages: []StageSpec{
+			{Name: "TmpltBank", Count: width, Link: Roots, MeanExec: 18, SkewSigma: 0.06, InputMB: segMB, InputGroups: 4, TransferMean: 1},
+			{Name: "Inspiral", Count: width, Link: OneToOne, MeanExec: 70, SkewSigma: 0.06, InputMB: segMB, InputGroups: 4, TransferMean: 1},
+			{Name: "Thinca", Count: gathers, Link: Gather, MeanExec: 6, SkewSigma: 0.05, InputMB: 2, TransferMean: 0.5},
+			{Name: "TrigBank", Count: width, Link: OneToOne, MeanExec: 5, SkewSigma: 0.06, InputMB: 1, TransferMean: 0.5},
+			{Name: "Inspiral2", Count: width, Link: OneToOne, MeanExec: 55, SkewSigma: 0.06, InputMB: segMB, InputGroups: 4, TransferMean: 1},
+			{Name: "Thinca2", Count: gathers, Link: Gather, MeanExec: 6, SkewSigma: 0.05, InputMB: 2, TransferMean: 0.5},
+		},
+	}
+}
+
+// SIPHT returns a bioinformatics sRNA-search workflow: many independent
+// wide search stages feeding one concatenation and an annotation tail.
+func SIPHT(width int) Spec {
+	if width < 2 {
+		width = 2
+	}
+	return Spec{
+		Name:   fmt.Sprintf("sipht-%d", width),
+		DataGB: 0.1,
+		Stages: []StageSpec{
+			{Name: "Patser", Count: width, Link: Roots, MeanExec: 2, SkewSigma: 0.06, InputMB: 1, InputGroups: 2, TransferMean: 0.2},
+			{Name: "PatserConcat", Count: 1, Link: Gather, MeanExec: 1, SkewSigma: 0.05, InputMB: 1, TransferMean: 0.2},
+			{Name: "Blast", Count: width, Link: OneToOne, MeanExec: 35, SkewSigma: 0.06, InputMB: 4, InputGroups: 3, TransferMean: 0.5},
+			{Name: "FindTerm", Count: width, Link: OneToOne, MeanExec: 12, SkewSigma: 0.06, InputMB: 2, InputGroups: 2, TransferMean: 0.5},
+			{Name: "SRNA", Count: 1, Link: Gather, MeanExec: 25, SkewSigma: 0.05, InputMB: 8, TransferMean: 0.5},
+			{Name: "Annotate", Count: 1, Link: OneToOne, MeanExec: 10, SkewSigma: 0.05, InputMB: 2, TransferMean: 0.2},
+		},
+	}
+}
+
+// Extras returns a default-sized instance of each extra workflow family.
+func Extras() []Spec {
+	return []Spec{
+		Montage(50, 2),
+		CyberShake(25, 10),
+		LIGOInspiral(24, 4),
+		SIPHT(30),
+	}
+}

@@ -1,0 +1,114 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestExtrasValidate(t *testing.T) {
+	for _, spec := range Extras() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			wf, err := spec.Generate(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wf.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if wf.NumTasks() != spec.TotalTasks() {
+				t.Fatalf("tasks = %d, want %d", wf.NumTasks(), spec.TotalTasks())
+			}
+			if wf.AggregateExecTime() <= 0 {
+				t.Fatal("no work generated")
+			}
+		})
+	}
+}
+
+func TestMontageShape(t *testing.T) {
+	wf := Montage(40, 2).MustGenerate(1)
+	if wf.NumStages() != 9 {
+		t.Fatalf("stages = %d", wf.NumStages())
+	}
+	// mConcatFit gathers all mDiffFit outputs.
+	concat := wf.Stage(2)
+	if len(concat.Tasks) != 1 {
+		t.Fatal("mConcatFit not a single task")
+	}
+	if got := len(wf.Task(concat.Tasks[0]).Deps); got != 40 {
+		t.Fatalf("mConcatFit fan-in = %d, want 40", got)
+	}
+	// mBackground fans back out to full width from the single mBgModel.
+	if got := len(wf.Stage(4).Tasks); got != 40 {
+		t.Fatalf("mBackground width = %d", got)
+	}
+	// Width profile: wide, narrow spine, wide again (the double bulge).
+	profile := wf.WidthProfile()
+	if profile[0] != 40 || profile[4] != 40 {
+		t.Fatalf("profile = %v", profile)
+	}
+}
+
+func TestCyberShakeFanOut(t *testing.T) {
+	wf := CyberShake(10, 5).MustGenerate(2)
+	// Each ExtractSGT drives two synthesis tasks.
+	for _, tid := range wf.Stage(0).Tasks {
+		if got := len(wf.Task(tid).Succs); got != 2 {
+			t.Fatalf("extract fan-out = %d, want 2", got)
+		}
+	}
+	if got := len(wf.Stage(1).Tasks); got != 20 {
+		t.Fatalf("synthesis width = %d", got)
+	}
+}
+
+func TestLIGODoubleDiamond(t *testing.T) {
+	wf := LIGOInspiral(16, 4).MustGenerate(3)
+	profile := wf.WidthProfile()
+	// wide, wide, narrow, wide, wide, narrow.
+	want := []int{16, 16, 2, 16, 16, 2}
+	if len(profile) != len(want) {
+		t.Fatalf("profile = %v", profile)
+	}
+	for i := range want {
+		if profile[i] != want[i] {
+			t.Fatalf("profile = %v, want %v", profile, want)
+		}
+	}
+}
+
+func TestSIPHTGather(t *testing.T) {
+	wf := SIPHT(12).MustGenerate(4)
+	// SRNA gathers all FindTerm tasks.
+	srna := wf.Stage(4)
+	if got := len(wf.Task(srna.Tasks[0]).Deps); got != 12 {
+		t.Fatalf("SRNA fan-in = %d", got)
+	}
+}
+
+func TestExtrasMinimumWidths(t *testing.T) {
+	// Degenerate widths are clamped rather than producing broken DAGs.
+	for _, spec := range []Spec{Montage(1, 1), CyberShake(0, 1), LIGOInspiral(1, 1), SIPHT(1)} {
+		wf, err := spec.Generate(1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := wf.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestExtrasRunnable(t *testing.T) {
+	// The extras must execute end to end on the simulator substrate; use
+	// the critical path as a sanity floor.
+	for _, spec := range Extras() {
+		wf := spec.MustGenerate(7)
+		if wf.CriticalPathExec() <= 0 {
+			t.Fatalf("%s: empty critical path", spec.Name)
+		}
+		_ = dag.TaskID(0)
+	}
+}

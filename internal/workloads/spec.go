@@ -1,0 +1,223 @@
+// Package workloads generates the workflows of the paper's evaluation
+// (Table I): Epigenomics (Pegasus/Condor), TPC-H Q1 and Q6, and HiBench
+// PageRank (Hadoop, replayed through the task-emulator path), each on a
+// small (S) and large (L) dataset — plus the parametric linear workflows of
+// §III-E / §IV-A.
+//
+// The paper ran recorded real executions; this package substitutes seeded
+// synthetic traces whose structure (stage graph, task counts, width
+// ranges), per-stage mean execution times, intra-stage skew, and input-size
+// profiles match the published characterization. Where Table I's aggregate
+// execution time is inconsistent with its own per-stage mean ranges (the
+// TPC-H rows cannot satisfy both), the stage-mean ranges win; see
+// catalog.go and EXPERIMENTS.md.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/dist"
+)
+
+// Link describes how a stage's tasks depend on the previous stage's.
+type Link int
+
+// Link kinds.
+const (
+	// Roots: no dependencies (first stage).
+	Roots Link = iota
+	// AllToAll: every task depends on every task of the predecessor
+	// stage (a Hadoop-style stage barrier).
+	AllToAll
+	// OneToOne: task i depends on predecessor task i mod widthPrev
+	// (a Pegasus-style pipeline fan).
+	OneToOne
+	// Gather: tasks partition the predecessor stage — task i depends on
+	// the i-th contiguous chunk of predecessor tasks.
+	Gather
+)
+
+// StageSpec declares one stage of a synthetic workflow.
+type StageSpec struct {
+	Name  string
+	Count int
+	// Link connects this stage to the immediately preceding one.
+	Link Link
+
+	// MeanExec is the stage's mean task execution time in seconds
+	// (Table I's per-stage average).
+	MeanExec float64
+	// SkewSigma is the lognormal log-space sigma of the intra-stage
+	// multiplicative skew (§II-A load skew); 0 disables skew.
+	SkewSigma float64
+
+	// InputMB is the mean per-task input size; InputGroups splits the
+	// stage into that many distinct size classes (task execution time
+	// scales with size, which is what Policies 4/5 exploit). Zero or one
+	// group gives every task the same size.
+	InputMB     float64
+	InputGroups int
+
+	// TransferMean is the mean data-transfer seconds per task, drawn
+	// exponentially (the memoryless model of §III-B1); 0 disables.
+	TransferMean float64
+}
+
+// Spec declares a whole synthetic workflow.
+type Spec struct {
+	Name string
+	// DataGB is the dataset size reported in Table I (metadata only).
+	DataGB float64
+	// PaperAggregateHours is Table I's aggregate task execution time,
+	// recorded for paper-vs-generated reporting.
+	PaperAggregateHours float64
+	Stages              []StageSpec
+}
+
+// Generate builds the workflow deterministically from the seed.
+func (s Spec) Generate(seed int64) (*dag.Workflow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder(s.Name)
+
+	var prev []dag.TaskID
+	for si, ss := range s.Stages {
+		if ss.Count <= 0 {
+			return nil, fmt.Errorf("workloads: %s stage %d has count %d", s.Name, si, ss.Count)
+		}
+		if si == 0 && ss.Link != Roots {
+			return nil, fmt.Errorf("workloads: %s first stage must be Roots", s.Name)
+		}
+		if si > 0 && ss.Link == Roots {
+			return nil, fmt.Errorf("workloads: %s stage %d cannot be Roots", s.Name, si)
+		}
+		stID := b.AddStage(ss.Name)
+
+		groups := ss.InputGroups
+		if groups <= 0 {
+			groups = 1
+		}
+		// Distinct size classes spread around the mean: class g gets
+		// factor in [0.5, 1.5].
+		sizeFactor := func(g int) float64 {
+			if groups == 1 {
+				return 1
+			}
+			return 0.5 + float64(g)/float64(groups-1)
+		}
+		var skew dist.Dist = dist.Constant{V: 1}
+		if ss.SkewSigma > 0 {
+			skew = dist.NewLognormalFromMean(1, ss.SkewSigma)
+		}
+		transfer := func() float64 { return 0 }
+		if ss.TransferMean > 0 {
+			td := dist.Exponential{MeanV: ss.TransferMean}
+			transfer = func() float64 { return td.Sample(rng) }
+		}
+
+		cur := make([]dag.TaskID, 0, ss.Count)
+		for i := 0; i < ss.Count; i++ {
+			g := i % groups
+			sf := sizeFactor(g)
+			size := ss.InputMB * sf
+			// Execution time scales with input size and carries the
+			// stage's skew; the mean over the stage stays MeanExec
+			// because both factors have mean one.
+			exec := ss.MeanExec * sf * skew.Sample(rng)
+			if exec < 0.1 {
+				exec = 0.1
+			}
+			deps := linkDeps(ss.Link, i, ss.Count, prev)
+			id := b.AddTask(stID, fmt.Sprintf("%s-%d", ss.Name, i), exec, transfer(), size, deps...)
+			b.SetOutputSize(id, size*0.8)
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+// MustGenerate is Generate for the fixed catalog, where a failure is a
+// programming bug.
+func (s Spec) MustGenerate(seed int64) *dag.Workflow {
+	w, err := s.Generate(seed)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// TotalTasks returns the declared task count.
+func (s Spec) TotalTasks() int {
+	n := 0
+	for _, ss := range s.Stages {
+		n += ss.Count
+	}
+	return n
+}
+
+func linkDeps(link Link, i, count int, prev []dag.TaskID) []dag.TaskID {
+	switch link {
+	case Roots:
+		return nil
+	case AllToAll:
+		return append([]dag.TaskID(nil), prev...)
+	case OneToOne:
+		if len(prev) == 0 {
+			return nil
+		}
+		if count >= len(prev) {
+			// Fan-out (or 1:1): distribute successors over
+			// predecessors round-robin.
+			return []dag.TaskID{prev[i%len(prev)]}
+		}
+		// Fan-in handled by Gather; OneToOne with narrower successor
+		// behaves like a strided pick.
+		return []dag.TaskID{prev[i*len(prev)/count]}
+	case Gather:
+		if len(prev) == 0 {
+			return nil
+		}
+		lo := i * len(prev) / count
+		hi := (i + 1) * len(prev) / count
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(prev) {
+			hi = len(prev)
+		}
+		return append([]dag.TaskID(nil), prev[lo:hi]...)
+	default:
+		panic(fmt.Sprintf("workloads: unknown link %d", link))
+	}
+}
+
+// Linear returns the single-stage workflow of §III-E/§IV-A: n identical
+// tasks of execution time r seconds, no transfers, no skew, all mutually
+// independent.
+func Linear(n int, r float64) *dag.Workflow {
+	b := dag.NewBuilder(fmt.Sprintf("linear-n%d", n))
+	st := b.AddStage("stage")
+	for i := 0; i < n; i++ {
+		b.AddTask(st, fmt.Sprintf("t%d", i), r, 0, 1)
+	}
+	return b.MustBuild()
+}
+
+// LinearStages returns the multi-stage linear workflow of §III-E: stages
+// stages of n identical r-second tasks, every task a predecessor of all
+// tasks in the next stage.
+func LinearStages(stages, n int, r float64) *dag.Workflow {
+	b := dag.NewBuilder(fmt.Sprintf("linear-%dx%d", stages, n))
+	var prev []dag.TaskID
+	for s := 0; s < stages; s++ {
+		st := b.AddStage(fmt.Sprintf("stage%d", s))
+		cur := make([]dag.TaskID, 0, n)
+		for i := 0; i < n; i++ {
+			cur = append(cur, b.AddTask(st, fmt.Sprintf("s%dt%d", s, i), r, 0, 1, prev...))
+		}
+		prev = cur
+	}
+	return b.MustBuild()
+}

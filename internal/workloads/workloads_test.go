@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/simtime"
+)
+
+func TestCatalogMatchesTableI(t *testing.T) {
+	for _, r := range Catalog() {
+		r := r
+		t.Run(r.Key, func(t *testing.T) {
+			wf := r.Generate(1)
+			if err := wf.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := wf.NumTasks(); got != r.Paper.Tasks {
+				t.Errorf("tasks = %d, want %d", got, r.Paper.Tasks)
+			}
+			if got := wf.NumStages(); got != r.Paper.Stages {
+				t.Errorf("stages = %d, want %d", got, r.Paper.Stages)
+			}
+			for _, w := range wf.StageWidths() {
+				if w < r.Paper.WidthLo || w > r.Paper.WidthHi {
+					t.Errorf("stage width %d outside [%d,%d]", w, r.Paper.WidthLo, r.Paper.WidthHi)
+				}
+			}
+			// Stage means should land within (a small sampling slack
+			// of) the published per-stage range.
+			for sid := range wf.Stages {
+				m := wf.StageMeanExecTime(dag.StageID(sid))
+				lo := r.Paper.MeanLo * 0.5
+				hi := r.Paper.MeanHi * 1.5
+				if m < lo || m > hi {
+					t.Errorf("stage %d mean %.2f outside [%.2f,%.2f]", sid, m, lo, hi)
+				}
+			}
+		})
+	}
+}
+
+func TestEpigenomicsAggregatesMatchPaper(t *testing.T) {
+	// The Epigenomics rows are internally consistent in Table I, so the
+	// generated aggregate should match the paper within sampling noise.
+	for _, key := range []string{"genome-s", "genome-l"} {
+		r, ok := ByKey(key)
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		wf := r.Generate(2)
+		gotHours := wf.AggregateExecTime() / simtime.Hour
+		if math.Abs(gotHours-r.Paper.AggHours)/r.Paper.AggHours > 0.15 {
+			t.Errorf("%s aggregate %.3fh, paper %.3fh", key, gotHours, r.Paper.AggHours)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	r, _ := ByKey("tpch1-s")
+	a := r.Generate(7)
+	b := r.Generate(7)
+	for i := range a.Tasks {
+		if a.Tasks[i].ExecTime != b.Tasks[i].ExecTime || a.Tasks[i].InputSize != b.Tasks[i].InputSize {
+			t.Fatalf("task %d differs across same-seed generations", i)
+		}
+	}
+	c := r.Generate(8)
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i].ExecTime != c.Tasks[i].ExecTime {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestInputGroupsCreateDistinctSizes(t *testing.T) {
+	r, _ := ByKey("tpch1-s")
+	wf := r.Generate(3)
+	sizes := map[float64]int{}
+	for _, tid := range wf.Stage(0).Tasks {
+		sizes[wf.Task(tid).InputSize]++
+	}
+	if len(sizes) != 4 {
+		t.Fatalf("map stage has %d distinct sizes, want 4 groups", len(sizes))
+	}
+}
+
+func TestExecCorrelatesWithInputSize(t *testing.T) {
+	// Bigger inputs must take longer on average (what Policy 5 learns).
+	r, _ := ByKey("tpch6-l")
+	wf := r.Generate(4)
+	bySize := map[float64][]float64{}
+	for _, tid := range wf.Stage(0).Tasks {
+		task := wf.Task(tid)
+		bySize[task.InputSize] = append(bySize[task.InputSize], task.ExecTime)
+	}
+	var minSize, maxSize float64 = math.Inf(1), 0
+	for s := range bySize {
+		if s < minSize {
+			minSize = s
+		}
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	meanOf := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x
+		}
+		return s / float64(len(v))
+	}
+	if meanOf(bySize[maxSize]) <= meanOf(bySize[minSize]) {
+		t.Fatalf("exec not correlated with size: small=%.2f large=%.2f",
+			meanOf(bySize[minSize]), meanOf(bySize[maxSize]))
+	}
+}
+
+func TestEpigenomicsShape(t *testing.T) {
+	r, _ := ByKey("genome-s")
+	wf := r.Generate(5)
+	// The split task fans out to all filterContams tasks.
+	split := wf.Task(0)
+	if len(split.Succs) != 100 {
+		t.Fatalf("split fan-out = %d, want 100", len(split.Succs))
+	}
+	// Pipeline stages are 1:1 — every filter task has exactly one
+	// successor in sol2sanger.
+	for _, tid := range wf.Stage(1).Tasks {
+		if n := len(wf.Task(tid).Succs); n != 1 {
+			t.Fatalf("filter task %d has %d succs, want 1", tid, n)
+		}
+	}
+	// The pipelines expose width-100 parallelism in the profile.
+	profile := wf.WidthProfile()
+	max := 0
+	for _, w := range profile {
+		if w > max {
+			max = w
+		}
+	}
+	if max != 100 {
+		t.Fatalf("max profile width = %d, want 100", max)
+	}
+}
+
+func TestHadoopBarriers(t *testing.T) {
+	r, _ := ByKey("tpch1-s")
+	wf := r.Generate(6)
+	// Every reduce1 task depends on all 32 map1 tasks.
+	for _, tid := range wf.Stage(1).Tasks {
+		if n := len(wf.Task(tid).Deps); n != 32 {
+			t.Fatalf("reduce task has %d deps, want 32", n)
+		}
+	}
+}
+
+func TestLinear(t *testing.T) {
+	wf := Linear(10, 30)
+	if wf.NumTasks() != 10 || wf.NumStages() != 1 {
+		t.Fatalf("shape = %d/%d", wf.NumTasks(), wf.NumStages())
+	}
+	for _, task := range wf.Tasks {
+		if task.ExecTime != 30 || task.TransferTime != 0 || len(task.Deps) != 0 {
+			t.Fatalf("task = %+v", task)
+		}
+	}
+}
+
+func TestLinearStages(t *testing.T) {
+	wf := LinearStages(3, 4, 10)
+	if wf.NumTasks() != 12 || wf.NumStages() != 3 {
+		t.Fatalf("shape = %d/%d", wf.NumTasks(), wf.NumStages())
+	}
+	for _, tid := range wf.Stage(1).Tasks {
+		if len(wf.Task(tid).Deps) != 4 {
+			t.Fatal("stage barrier missing")
+		}
+	}
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := Spec{Name: "bad", Stages: []StageSpec{{Name: "x", Count: 0, Link: Roots}}}
+	if _, err := bad.Generate(1); err == nil {
+		t.Fatal("zero-count stage accepted")
+	}
+	bad2 := Spec{Name: "bad2", Stages: []StageSpec{{Name: "x", Count: 1, Link: AllToAll}}}
+	if _, err := bad2.Generate(1); err == nil {
+		t.Fatal("non-root first stage accepted")
+	}
+	bad3 := Spec{Name: "bad3", Stages: []StageSpec{
+		{Name: "a", Count: 1, Link: Roots},
+		{Name: "b", Count: 1, Link: Roots},
+	}}
+	if _, err := bad3.Generate(1); err == nil {
+		t.Fatal("root mid-stage accepted")
+	}
+}
+
+func TestKeysAndByKey(t *testing.T) {
+	keys := Keys()
+	if len(keys) != 8 {
+		t.Fatalf("catalogue has %d runs, want 8", len(keys))
+	}
+	for _, k := range keys {
+		if _, ok := ByKey(k); !ok {
+			t.Fatalf("ByKey(%q) failed", k)
+		}
+	}
+	if _, ok := ByKey("nope"); ok {
+		t.Fatal("unknown key found")
+	}
+}
+
+func TestTotalTasks(t *testing.T) {
+	r, _ := ByKey("genome-s")
+	if r.Spec.TotalTasks() != 405 {
+		t.Fatalf("TotalTasks = %d", r.Spec.TotalTasks())
+	}
+}
