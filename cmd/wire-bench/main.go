@@ -5,7 +5,12 @@
 //
 //	wire-bench                 # everything, paper-scale settings
 //	wire-bench -quick          # reduced grid for a fast look
-//	wire-bench -only fig5,fig6 # subset: table1, fig2, fig3, fig4, fig5, fig6, overhead
+//	wire-bench -workers 8      # size the shared experiment worker pool
+//	wire-bench -only fig5,fig6 # subset; sectionKeys below (and the -only
+//	                           # flag help) list the valid keys
+//
+// Result tables go to stdout and are byte-identical at any -workers
+// setting; progress and per-section timing lines go to stderr.
 package main
 
 import (
@@ -19,10 +24,15 @@ import (
 	"repro/internal/report"
 )
 
+// sectionKeys is the single source of truth for -only: the flag help, the
+// key validation, and the package documentation all refer to it.
+var sectionKeys = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "overhead", "ablation", "history"}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced grid (fewer reps/units/workloads)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4,fig5,fig6,overhead,ablation,history")
+	only := flag.String("only", "", "comma-separated subset: "+strings.Join(sectionKeys, ","))
 	seed := flag.Int64("seed", 1, "base seed")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
 	svgDir := flag.String("svg", "", "also write every figure as SVG into this directory")
 	flag.Parse()
 
@@ -31,40 +41,88 @@ func main() {
 		cfg = experiments.Quick()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	want := map[string]bool{}
 	if *only != "" {
+		known := map[string]bool{}
+		for _, k := range sectionKeys {
+			known[k] = true
+		}
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if !known[k] {
+				fmt.Fprintf(os.Stderr, "wire-bench: unknown -only key %q (valid: %s)\n",
+					k, strings.Join(sectionKeys, ", "))
+				os.Exit(2)
+			}
+			want[k] = true
 		}
 	}
 	selected := func(k string) bool { return len(want) == 0 || want[k] }
 
 	start := time.Now()
 
+	// timed runs one section's computation on the shared pool, streaming
+	// cell progress to stderr and closing with a per-section timing line.
+	// Only stderr carries timing, so stdout stays reproducible. Live
+	// progress needs \r rewriting, so it is limited to terminals.
+	liveProgress := false
+	if st, err := os.Stderr.Stat(); err == nil {
+		liveProgress = st.Mode()&os.ModeCharDevice != 0
+	}
+	timed := func(name string, f func() error) {
+		t0 := time.Now()
+		if liveProgress {
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rwire-bench: %-8s %d/%d", name, done, total)
+			}
+		}
+		err := f()
+		cfg.Progress = nil
+		exitIf(err)
+		cr := ""
+		if liveProgress {
+			cr = "\r"
+		}
+		fmt.Fprintf(os.Stderr, "%swire-bench: %-8s done in %v\n", cr, name, time.Since(t0).Round(time.Millisecond))
+	}
+
 	if selected("table1") {
-		section(experiments.Table1Report(experiments.Table1(cfg)))
+		var rows []experiments.Table1Row
+		timed("table1", func() error { rows = experiments.Table1(cfg); return nil })
+		section(experiments.Table1Report(rows))
 	}
 	if selected("fig2") {
-		points, err := experiments.LinearSweep(cfg, experiments.RGreaterU)
-		exitIf(err)
+		var points []experiments.LinearPoint
+		timed("fig2", func() (err error) {
+			points, err = experiments.LinearSweep(cfg, experiments.RGreaterU)
+			return err
+		})
 		section(experiments.LinearReport(points))
 	}
 	if selected("fig3") {
-		points, err := experiments.LinearSweep(cfg, experiments.RLessEqualU)
-		exitIf(err)
+		var points []experiments.LinearPoint
+		timed("fig3", func() (err error) {
+			points, err = experiments.LinearSweep(cfg, experiments.RLessEqualU)
+			return err
+		})
 		section(experiments.LinearReport(points))
 	}
 	if selected("fig4") {
-		runs, err := experiments.PredictionExperiment(cfg)
-		exitIf(err)
+		var runs []experiments.PredictionRun
+		timed("fig4", func() (err error) {
+			runs, err = experiments.PredictionExperiment(cfg)
+			return err
+		})
 		section(experiments.PredictionReport(runs))
 	}
 	var cost *experiments.CostResult
 	if selected("fig5") || selected("fig6") {
-		var err error
-		cost, err = experiments.CostExperiment(cfg)
-		exitIf(err)
+		timed("fig5/6", func() (err error) {
+			cost, err = experiments.CostExperiment(cfg)
+			return err
+		})
 	}
 	if selected("fig5") {
 		section(cost.Figure5Report())
@@ -80,28 +138,40 @@ func main() {
 			h.WireWithin2x*100, h.WireCheapestShare*100)
 	}
 	if selected("overhead") {
-		rows, err := experiments.OverheadExperiment(cfg)
-		exitIf(err)
+		var rows []experiments.OverheadRow
+		timed("overhead", func() (err error) {
+			rows, err = experiments.OverheadExperiment(cfg)
+			return err
+		})
 		section(experiments.OverheadReport(rows))
 	}
 	if selected("ablation") {
-		rows, err := experiments.AblationExperiment(cfg)
-		exitIf(err)
+		var rows []experiments.AblationRow
+		timed("ablation", func() (err error) {
+			rows, err = experiments.AblationExperiment(cfg)
+			return err
+		})
 		section(experiments.AblationReport(rows))
 	}
 	if selected("history") {
-		rows, err := experiments.HistoryExperiment(cfg)
-		exitIf(err)
+		var rows []experiments.HistoryRow
+		timed("history", func() (err error) {
+			rows, err = experiments.HistoryExperiment(cfg)
+			return err
+		})
 		section(experiments.HistoryReport(rows))
 	}
 
 	if *svgDir != "" {
-		files, err := experiments.WriteFigureSVGs(cfg, *svgDir)
-		exitIf(err)
-		fmt.Printf("wrote %d SVG figures to %s\n", len(files), *svgDir)
+		var files []string
+		timed("svg", func() (err error) {
+			files, err = experiments.WriteFigureSVGs(cfg, *svgDir)
+			return err
+		})
+		fmt.Fprintf(os.Stderr, "wire-bench: wrote %d SVG figures to %s\n", len(files), *svgDir)
 	}
 
-	fmt.Printf("wire-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "wire-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func section(t *report.Table) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/parallel"
 	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -49,23 +50,25 @@ type AblationRow struct {
 //   - charge-origin: billing from activation (default) vs from the launch
 //     request.
 func AblationExperiment(cfg Config) ([]AblationRow, error) {
-	var rows []AblationRow
-
-	addRun := func(study, variant, runKey string, unit simtime.Duration, mutate func(*sim.Config), ctrl sim.Controller) error {
+	// runVariant executes one knob setting. The controller is built
+	// inside the job (stateful controllers must not be shared across
+	// cells); seeds are fixed per (run, unit) so variants of one study
+	// differ only in the knob under test.
+	runVariant := func(study, variant, runKey string, unit simtime.Duration, mutate func(*sim.Config), mkCtrl func() sim.Controller) (AblationRow, error) {
 		run, ok := workloads.ByKey(runKey)
 		if !ok {
-			return fmt.Errorf("experiments: unknown run %q", runKey)
+			return AblationRow{}, fmt.Errorf("experiments: unknown run %q", runKey)
 		}
-		wf := run.Generate(cfg.Seed)
-		simCfg := cfg.simConfig(unit, cfg.Seed)
+		wf := run.Generate(workloadSeed(cfg.Seed, runKey, 0))
+		simCfg := cfg.simConfig(unit, simSeed(cfg.Seed, runKey, "wire", unit, 0))
 		if mutate != nil {
 			mutate(&simCfg)
 		}
-		res, err := sim.Run(wf, ctrl, simCfg)
+		res, err := sim.Run(wf, mkCtrl(), simCfg)
 		if err != nil {
-			return fmt.Errorf("experiments: ablation %s/%s: %w", study, variant, err)
+			return AblationRow{}, fmt.Errorf("experiments: ablation %s/%s: %w", study, variant, err)
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Study:       study,
 			Variant:     variant,
 			RunKey:      runKey,
@@ -74,73 +77,79 @@ func AblationExperiment(cfg Config) ([]AblationRow, error) {
 			Makespan:    res.Makespan,
 			Utilization: res.Utilization,
 			Restarts:    res.Restarts,
+		}, nil
+	}
+
+	// Each job yields the rows of one independent cell; jobs run on the
+	// shared pool and concatenate in declaration order, preserving the
+	// study grouping of the sequential version.
+	var jobs []func() ([]AblationRow, error)
+	oneRow := func(study, variant, runKey string, unit simtime.Duration, mutate func(*sim.Config), mkCtrl func() sim.Controller) {
+		jobs = append(jobs, func() ([]AblationRow, error) {
+			row, err := runVariant(study, variant, runKey, unit, mutate, mkCtrl)
+			if err != nil {
+				return nil, err
+			}
+			return []AblationRow{row}, nil
 		})
-		return nil
 	}
 
 	// Utilization target: Genome L at 30 min, the economy-mode cell.
 	for _, theta := range []float64{1.0, 0.8, 0.6, 0.4} {
-		ctrl := core.New(core.Config{UtilizationTarget: theta})
-		if err := addRun("util-target", fmt.Sprintf("theta=%.1f", theta),
-			"genome-l", 30*simtime.Minute, nil, ctrl); err != nil {
-			return nil, err
-		}
+		theta := theta
+		oneRow("util-target", fmt.Sprintf("theta=%.1f", theta),
+			"genome-l", 30*simtime.Minute, nil,
+			func() sim.Controller { return core.New(core.Config{UtilizationTarget: theta}) })
 	}
 
 	// First-five priority on/off.
 	for _, off := range []bool{false, true} {
-		variant := "on"
-		mutate := func(*sim.Config) {}
+		variant, mutate := "on", func(*sim.Config) {}
 		if off {
 			variant = "off"
 			mutate = func(sc *sim.Config) { sc.DisableFirstFive = true }
 		}
-		if err := addRun("first-five", variant, "genome-s", 1*simtime.Minute,
-			mutate, core.New(core.Config{})); err != nil {
-			return nil, err
-		}
+		oneRow("first-five", variant, "genome-s", 1*simtime.Minute,
+			mutate, func() sim.Controller { return core.New(core.Config{}) })
 	}
 
 	// Restart-cost release threshold.
 	for _, frac := range []float64{0.1, 0.2, 0.4} {
-		ctrl := core.New(core.Config{RestartFrac: frac})
-		if err := addRun("restart-frac", fmt.Sprintf("c<=%.1fu", frac),
-			"pagerank-l", 15*simtime.Minute, nil, ctrl); err != nil {
-			return nil, err
-		}
+		frac := frac
+		oneRow("restart-frac", fmt.Sprintf("c<=%.1fu", frac),
+			"pagerank-l", 15*simtime.Minute, nil,
+			func() sim.Controller { return core.New(core.Config{RestartFrac: frac}) })
 	}
 
 	// Billing origin.
 	for _, fromReq := range []bool{false, true} {
-		variant := "from-activation"
-		mutate := func(*sim.Config) {}
+		variant, mutate := "from-activation", func(*sim.Config) {}
 		if fromReq {
 			variant = "from-request"
 			mutate = func(sc *sim.Config) { sc.Cloud.ChargeFromRequest = true }
 		}
-		if err := addRun("charge-origin", variant, "genome-s", 1*simtime.Minute,
-			mutate, core.New(core.Config{})); err != nil {
-			return nil, err
-		}
+		oneRow("charge-origin", variant, "genome-s", 1*simtime.Minute,
+			mutate, func() sim.Controller { return core.New(core.Config{}) })
 	}
 
 	// Site capacity: how wire's cost/speed scales with the instance cap
 	// (§IV-B: ExoGENI sites provided 1-12 instances).
 	for _, cap := range []int{2, 6, 12} {
-		mutate := func(sc *sim.Config) { sc.Cloud.MaxInstances = cap }
-		if err := addRun("site-cap", fmt.Sprintf("max=%d", cap),
-			"pagerank-l", 1*simtime.Minute, mutate, core.New(core.Config{})); err != nil {
-			return nil, err
-		}
+		cap := cap
+		oneRow("site-cap", fmt.Sprintf("max=%d", cap),
+			"pagerank-l", 1*simtime.Minute,
+			func(sc *sim.Config) { sc.Cloud.MaxInstances = cap },
+			func() sim.Controller { return core.New(core.Config{}) })
 	}
 
 	// Warm-start priors (extension): seed the predictor with the
 	// previous run's per-stage medians; the early MAPE iterations then
-	// see real demand instead of Policy 1's zero estimates.
-	{
+	// see real demand instead of Policy 1's zero estimates. One job:
+	// both variants need the same profile run.
+	jobs = append(jobs, func() ([]AblationRow, error) {
 		run, _ := workloads.ByKey("genome-s")
-		profWF := run.Generate(cfg.Seed)
-		profCfg := cfg.simConfig(1*simtime.Minute, cfg.Seed)
+		profWF := run.Generate(workloadSeed(cfg.Seed, "genome-s", 0))
+		profCfg := cfg.simConfig(1*simtime.Minute, simSeed(cfg.Seed, "genome-s", "full-site", 1*simtime.Minute, 0))
 		profCfg.InitialInstances = cfg.MaxInstances
 		profRes, err := sim.Run(profWF, staticProfiler{}, profCfg)
 		if err != nil {
@@ -154,35 +163,44 @@ func AblationExperiment(cfg Config) ([]AblationRow, error) {
 		for sid, execs := range byStage {
 			priors[sid], _ = stats.Median(execs)
 		}
+		var out []AblationRow
 		for _, variant := range []string{"cold", "warm"} {
 			pcfg := predict.Config{}
 			if variant == "warm" {
 				pcfg.Priors = priors
 			}
-			ctrl := core.New(core.Config{Predictor: pcfg})
-			if err := addRun("warm-start", variant, "genome-s", 1*simtime.Minute, nil, ctrl); err != nil {
+			row, err := runVariant("warm-start", variant, "genome-s", 1*simtime.Minute, nil,
+				func() sim.Controller { return core.New(core.Config{Predictor: pcfg}) })
+			if err != nil {
 				return nil, err
 			}
+			out = append(out, row)
 		}
-	}
+		return out, nil
+	})
 
 	// OGD epochs per interval: measured through the Figure 4 replay on
 	// the run whose stages lean hardest on Policy 5.
 	for _, epochs := range []int{1, 4, 16} {
-		meanAbs, within, err := predictionAccuracy(cfg, "pagerank-s",
-			predict.Config{EpochsPerUpdate: epochs})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Study:   "ogd-epochs",
-			Variant: fmt.Sprintf("epochs=%d", epochs),
-			RunKey:  "pagerank-s",
-			Extra:   fmt.Sprintf("medium mean|err|=%.2fs, %.1f%% <=1s", meanAbs, within*100),
+		epochs := epochs
+		jobs = append(jobs, func() ([]AblationRow, error) {
+			meanAbs, within, err := predictionAccuracy(cfg, "pagerank-s",
+				predict.Config{EpochsPerUpdate: epochs})
+			if err != nil {
+				return nil, err
+			}
+			return []AblationRow{{
+				Study:   "ogd-epochs",
+				Variant: fmt.Sprintf("epochs=%d", epochs),
+				RunKey:  "pagerank-s",
+				Extra:   fmt.Sprintf("medium mean|err|=%.2fs, %.1f%% <=1s", meanAbs, within*100),
+			}}, nil
 		})
 	}
 
-	return rows, nil
+	return parallel.FlatMap(len(jobs), cfg.pool(), func(i int) ([]AblationRow, error) {
+		return jobs[i]()
+	})
 }
 
 // predictionAccuracy reruns the Figure 4 replay for one run with a custom
@@ -192,14 +210,14 @@ func predictionAccuracy(cfg Config, runKey string, pcfg predict.Config) (meanAbs
 	if !ok {
 		return 0, 0, fmt.Errorf("experiments: unknown run %q", runKey)
 	}
-	wf := run.Generate(cfg.Seed)
-	observed, err := observeRun(cfg, wf, 0)
+	wf := run.Generate(workloadSeed(cfg.Seed, runKey, 0))
+	observed, err := observeRun(cfg, wf, runKey, 0)
 	if err != nil {
 		return 0, 0, err
 	}
 	var samples []metrics.ErrorSample
 	for ord := 0; ord < maxInt(cfg.Orders, 1); ord++ {
-		rng := newOrderRNG(cfg.Seed, 0, int64(ord))
+		rng := newOrderRNG(cfg.Seed, runKey, 0, int64(ord))
 		for _, st := range wf.Stages {
 			if len(st.Tasks) < 2 {
 				continue

@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -51,9 +50,9 @@ type CostResult struct {
 
 // CostExperiment runs the grid: every catalogued run × the four policies ×
 // the configured charging units × Reps repetitions (experiments E5/E6).
-// Cells are executed concurrently on up to GOMAXPROCS workers — each cell
-// is an independent, seeded simulation, so the result is deterministic and
-// ordered regardless of scheduling.
+// Cells execute on the shared worker pool — each is an independent, seeded
+// simulation, so the result is deterministic and ordered regardless of
+// scheduling and worker count.
 func CostExperiment(cfg Config) (*CostResult, error) {
 	type cellSpec struct {
 		run    workloads.Run
@@ -69,66 +68,40 @@ func CostExperiment(cfg Config) (*CostResult, error) {
 		}
 	}
 
-	cells := make([]CostCell, len(specs))
-	errs := make([]error, len(specs))
-	idx := make(chan int)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				s := specs[i]
-				var results []*sim.Result
-				for rep := 0; rep < cfg.Reps; rep++ {
-					res, err := runOnce(cfg, s.run, s.policy, s.unit, int64(rep))
-					if err != nil {
-						errs[i] = fmt.Errorf("experiments: %s/%s/u=%v rep %d: %w", s.run.Key, s.policy, s.unit, rep, err)
-						break
-					}
-					results = append(results, res)
-				}
-				if errs[i] != nil {
-					continue
-				}
-				cells[i] = CostCell{
-					RunKey:  s.run.Key,
-					Display: s.run.Display,
-					Policy:  s.policy,
-					Unit:    s.unit,
-					Summary: metrics.SummarizeRuns(results, s.unit),
-				}
+	cells, err := parallel.Map(len(specs), cfg.pool(), func(i int) (CostCell, error) {
+		s := specs[i]
+		var results []*sim.Result
+		for rep := 0; rep < cfg.Reps; rep++ {
+			res, err := runOnce(cfg, s.run, s.policy, s.unit, int64(rep))
+			if err != nil {
+				return CostCell{}, fmt.Errorf("experiments: %s/%s/u=%v rep %d: %w", s.run.Key, s.policy, s.unit, rep, err)
 			}
-		}()
-	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			results = append(results, res)
 		}
+		return CostCell{
+			RunKey:  s.run.Key,
+			Display: s.run.Display,
+			Policy:  s.policy,
+			Unit:    s.unit,
+			Summary: metrics.SummarizeRuns(results, s.unit),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &CostResult{Cells: cells}, nil
 }
 
-// runOnce executes one repetition of one setting.
+// runOnce executes one repetition of one setting. The workload seed is
+// shared across policies and units (paired comparison on one dataset
+// instance); the simulator seed is fully per-cell.
 func runOnce(cfg Config, run workloads.Run, policy string, unit simtime.Duration, rep int64) (*sim.Result, error) {
-	wf := run.Generate(cfg.Seed + 1000*rep)
+	wf := run.Generate(workloadSeed(cfg.Seed, run.Key, rep))
 	ctrl, err := newController(policy)
 	if err != nil {
 		return nil, err
 	}
-	simCfg := cfg.simConfig(unit, cfg.Seed+7919*rep)
+	simCfg := cfg.simConfig(unit, simSeed(cfg.Seed, run.Key, policy, unit, rep))
 	if policy == "full-site" {
 		simCfg.InitialInstances = cfg.MaxInstances
 	}

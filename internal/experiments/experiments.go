@@ -6,15 +6,20 @@
 //	Figure 4   — prediction-error CDFs (prediction.go)
 //	Figure 5/6 — resource cost and relative execution time (cost.go)
 //	§IV-F      — controller overhead (overhead.go)
+//	Ablations  — design-choice sensitivity studies (ablation.go)
+//	Obs. 2     — online vs history-based steering under drift (history.go)
 //
 // Each driver returns structured results and can render them as text
 // tables, so cmd/wire-bench, the Go benchmarks, and the tests all share one
-// implementation.
+// implementation. Grids execute on the shared internal/parallel pool
+// (Config.Workers); per-cell seeds are derived in seed.go so results are
+// byte-identical at any worker count.
 package experiments
 
 import (
 	"repro/internal/cloud"
 	"repro/internal/dist"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 )
@@ -50,6 +55,14 @@ type Config struct {
 	// LinearRatios are the R/U (Figure 2) and U/R (Figure 3) sweep
 	// points.
 	LinearRatios []float64
+	// Workers bounds the experiment worker pool shared by every driver
+	// (0 or negative = GOMAXPROCS). Identical seeds yield identical
+	// results at any worker count.
+	Workers int
+	// Progress, when non-nil, is called after each completed grid cell
+	// with the running done count and the grid total. It may be invoked
+	// concurrently from several workers.
+	Progress func(done, total int)
 }
 
 // Defaults returns the paper-faithful configuration.
@@ -80,6 +93,11 @@ func Quick() Config {
 	cfg.LinearNs = []int{10, 100}
 	cfg.LinearRatios = []float64{1, 2, 5, 10, 50, 100}
 	return cfg
+}
+
+// pool returns the shared grid-executor configuration.
+func (c Config) pool() parallel.Config {
+	return parallel.Config{Workers: c.Workers, OnProgress: c.Progress}
 }
 
 // site returns the cloud configuration for one charging unit.

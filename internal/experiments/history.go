@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/dag"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -47,49 +48,69 @@ func HistoryExperiment(cfg Config) ([]HistoryRow, error) {
 	// translate directly into wrong pool sizes.
 	unit := 1 * simtime.Minute
 	drifts := []float64{1.0, 1.5, 2.5}
-	var rows []HistoryRow
-	for _, run := range catalogueRuns(cfg) {
-		// Profile run: the recurrent job's previous execution.
-		profWF := run.Generate(cfg.Seed)
-		profCfg := cfg.simConfig(unit, cfg.Seed)
+	runs := catalogueRuns(cfg)
+
+	// Phase 1 — profile runs (the recurrent job's previous execution),
+	// one pool cell per workload.
+	profiles, err := parallel.Map(len(runs), cfg.pool(), func(i int) (baseline.StageProfile, error) {
+		run := runs[i]
+		profWF := run.Generate(workloadSeed(cfg.Seed, run.Key, 0))
+		profCfg := cfg.simConfig(unit, simSeed(cfg.Seed, run.Key, "full-site", unit, 0))
 		profCfg.InitialInstances = cfg.MaxInstances
 		profRes, err := sim.Run(profWF, baseline.Static{}, profCfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: history profile %s: %w", run.Key, err)
+			return baseline.StageProfile{}, fmt.Errorf("experiments: history profile %s: %w", run.Key, err)
 		}
-		profile := baseline.ProfileFromResult(profRes)
+		return baseline.ProfileFromResult(profRes), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
+	// Phase 2 — the drift × policy grid. Within one (run, drift) pair
+	// both policies see the identical new dataset instance (rep 1) and
+	// interference stream, so the comparison isolates the steering.
+	type cellSpec struct {
+		runIdx int
+		drift  float64
+		policy string
+	}
+	var specs []cellSpec
+	for i := range runs {
 		for _, drift := range drifts {
 			for _, policy := range []string{"history-based", "wire"} {
-				wf := run.Generate(cfg.Seed + 77) // a different dataset instance
-				scaleExecTimes(wf, drift)
-
-				var ctrl sim.Controller
-				hist := baseline.NewHistoryBased(profile)
-				wired := core.New(core.Config{})
-				if policy == "wire" {
-					ctrl = wired
-				} else {
-					ctrl = hist
-				}
-				res, err := sim.Run(wf, ctrl, cfg.simConfig(unit, cfg.Seed+77))
-				if err != nil {
-					return nil, fmt.Errorf("experiments: history %s/%s drift=%v: %w", run.Key, policy, drift, err)
-				}
-
-				rows = append(rows, HistoryRow{
-					RunKey:      run.Key,
-					Drift:       drift,
-					Policy:      policy,
-					Cost:        res.UnitsCharged,
-					Makespan:    res.Makespan,
-					Utilization: res.Utilization,
-					MeanAbsErr:  estimateError(policy, wf, res, hist, wired),
-				})
+				specs = append(specs, cellSpec{runIdx: i, drift: drift, policy: policy})
 			}
 		}
 	}
-	return rows, nil
+	return parallel.Map(len(specs), cfg.pool(), func(i int) (HistoryRow, error) {
+		s := specs[i]
+		run := runs[s.runIdx]
+		wf := run.Generate(workloadSeed(cfg.Seed, run.Key, 1)) // a different dataset instance
+		scaleExecTimes(wf, s.drift)
+
+		var ctrl sim.Controller
+		hist := baseline.NewHistoryBased(profiles[s.runIdx])
+		wired := core.New(core.Config{})
+		if s.policy == "wire" {
+			ctrl = wired
+		} else {
+			ctrl = hist
+		}
+		res, err := sim.Run(wf, ctrl, cfg.simConfig(unit, simSeed(cfg.Seed, run.Key, "drifted", unit, 1)))
+		if err != nil {
+			return HistoryRow{}, fmt.Errorf("experiments: history %s/%s drift=%v: %w", run.Key, s.policy, s.drift, err)
+		}
+		return HistoryRow{
+			RunKey:      run.Key,
+			Drift:       s.drift,
+			Policy:      s.policy,
+			Cost:        res.UnitsCharged,
+			Makespan:    res.Makespan,
+			Utilization: res.Utilization,
+			MeanAbsErr:  estimateError(s.policy, wf, res, hist, wired),
+		}, nil
+	})
 }
 
 // scaleExecTimes applies the across-run drift to the ground truth.

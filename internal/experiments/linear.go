@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -49,18 +50,28 @@ type LinearPoint struct {
 // LinearSweep runs the scaling algorithm on single-stage linear workflows
 // under idealized conditions (§III-E: one slot per instance, continuous-ish
 // monitoring, instantaneous control) across the configured Ns and ratios.
+// Points execute on the shared worker pool; each point is a deterministic
+// closed-form simulation, so ordering and values are worker-count
+// independent.
 func LinearSweep(cfg Config, c LinearCase) ([]LinearPoint, error) {
-	var out []LinearPoint
+	type pointSpec struct {
+		n     int
+		ratio float64
+	}
+	var specs []pointSpec
 	for _, n := range cfg.LinearNs {
 		for _, ratio := range cfg.LinearRatios {
-			pt, err := LinearPointRun(n, ratio, c)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: linear n=%d ratio=%g: %w", n, ratio, err)
-			}
-			out = append(out, pt)
+			specs = append(specs, pointSpec{n: n, ratio: ratio})
 		}
 	}
-	return out, nil
+	return parallel.Map(len(specs), cfg.pool(), func(i int) (LinearPoint, error) {
+		s := specs[i]
+		pt, err := LinearPointRun(s.n, s.ratio, c)
+		if err != nil {
+			return LinearPoint{}, fmt.Errorf("experiments: linear n=%d ratio=%g: %w", s.n, s.ratio, err)
+		}
+		return pt, nil
+	})
 }
 
 // LinearPointRun executes one (N, ratio) point of the study.

@@ -8,11 +8,13 @@ import (
 	"repro/internal/dag"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/parallel"
 	"repro/internal/predict"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/stats"
+	"repro/internal/workloads"
 )
 
 // PredictionRun is the Figure 4 result for one catalogued run: prediction
@@ -33,19 +35,45 @@ type PredictionRun struct {
 // as Policies 3/4/5 would at runtime, and the error against the observed
 // execution time is recorded.
 func PredictionExperiment(cfg Config) ([]PredictionRun, error) {
+	runs := catalogueRuns(cfg)
+	type repSpec struct {
+		run workloads.Run
+		rep int64
+	}
+	var specs []repSpec
+	for _, run := range runs {
+		for rep := 0; rep < cfg.Reps; rep++ {
+			specs = append(specs, repSpec{run: run, rep: int64(rep)})
+		}
+	}
+
+	// One grid cell per (run, rep): the observation sim dominates, the
+	// Orders replays of its output are cheap and stay with their cell.
+	samples, err := parallel.Map(len(specs), cfg.pool(), func(i int) ([]metrics.ErrorSample, error) {
+		s := specs[i]
+		wf := s.run.Generate(workloadSeed(cfg.Seed, s.run.Key, s.rep))
+		observed, err := observeRun(cfg, wf, s.run.Key, s.rep)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4 %s rep=%d: %w", s.run.Key, s.rep, err)
+		}
+		var out []metrics.ErrorSample
+		for ord := 0; ord < cfg.Orders; ord++ {
+			rng := newOrderRNG(cfg.Seed, s.run.Key, s.rep, int64(ord))
+			out = append(out, replayStages(wf, observed, rng)...)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []PredictionRun
-	for _, run := range catalogueRuns(cfg) {
+	i := 0
+	for _, run := range runs {
 		pr := PredictionRun{RunKey: run.Key, Display: run.Display}
 		for rep := 0; rep < cfg.Reps; rep++ {
-			wf := run.Generate(cfg.Seed + 1000*int64(rep))
-			observed, err := observeRun(cfg, wf, int64(rep))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 %s rep=%d: %w", run.Key, rep, err)
-			}
-			for ord := 0; ord < cfg.Orders; ord++ {
-				rng := newOrderRNG(cfg.Seed, int64(rep), int64(ord))
-				pr.Samples = append(pr.Samples, replayStages(wf, observed, rng)...)
-			}
+			pr.Samples = append(pr.Samples, samples[i]...)
+			i++
 		}
 		pr.Summaries = metrics.Summarize(pr.Samples)
 		out = append(out, pr)
@@ -55,10 +83,10 @@ func PredictionExperiment(cfg Config) ([]PredictionRun, error) {
 
 // observeRun executes the workflow under WIRE once and returns the observed
 // execution time per task.
-func observeRun(cfg Config, wf *dag.Workflow, rep int64) (map[dag.TaskID]float64, error) {
+func observeRun(cfg Config, wf *dag.Workflow, runKey string, rep int64) (map[dag.TaskID]float64, error) {
 	// A 15 min charging unit; prediction inputs are the observed task
 	// times, which billing does not affect.
-	simCfg := cfg.simConfig(15*simtime.Minute, cfg.Seed+7919*rep)
+	simCfg := cfg.simConfig(15*simtime.Minute, simSeed(cfg.Seed, runKey, "wire", 15*simtime.Minute, rep))
 	res, err := sim.Run(wf, core.New(core.Config{}), simCfg)
 	if err != nil {
 		return nil, err
@@ -70,9 +98,9 @@ func observeRun(cfg Config, wf *dag.Workflow, rep int64) (map[dag.TaskID]float64
 	return obs, nil
 }
 
-// newOrderRNG seeds the task-order shuffler for one (rep, order) pair.
-func newOrderRNG(seed, rep, ord int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed + 7907*rep + 31*ord))
+// newOrderRNG seeds the task-order shuffler for one (run, rep, order) cell.
+func newOrderRNG(seed int64, runKey string, rep, ord int64) *rand.Rand {
+	return rand.New(rand.NewSource(orderSeed(seed, runKey, rep, ord)))
 }
 
 // shuffledStage returns a random permutation of a stage's tasks.

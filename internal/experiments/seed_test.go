@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDeriveSeedNoCollisionsOverQuickGrid(t *testing.T) {
+	// Every seed drawn anywhere in the quick grid — workload, sim, and
+	// order streams, across several base seeds including ones the old
+	// additive scheme collided on — must be unique.
+	cfg := Quick()
+	seen := map[int64]string{}
+	add := func(seed int64, desc string) {
+		t.Helper()
+		if prev, ok := seen[seed]; ok {
+			t.Fatalf("seed collision: %s and %s both map to %d", prev, desc, seed)
+		}
+		seen[seed] = desc
+	}
+	for _, base := range []int64{1, 2, 1001, 2001} {
+		for _, runKey := range cfg.RunKeys {
+			for rep := int64(0); rep < int64(cfg.Reps); rep++ {
+				add(workloadSeed(base, runKey, rep), fmt.Sprintf("workload(%d,%s,%d)", base, runKey, rep))
+				for _, unit := range cfg.Units {
+					for _, policy := range PolicyNames {
+						add(simSeed(base, runKey, policy, unit, rep),
+							fmt.Sprintf("sim(%d,%s,%s,%v,%d)", base, runKey, policy, unit, rep))
+					}
+				}
+				for ord := int64(0); ord < int64(cfg.Orders); ord++ {
+					add(orderSeed(base, runKey, rep, ord), fmt.Sprintf("order(%d,%s,%d,%d)", base, runKey, rep, ord))
+				}
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no seeds generated")
+	}
+}
+
+func TestDeriveSeedFixesAdditiveCollision(t *testing.T) {
+	// The old scheme (base + 1000*rep) made base 1 at rep 2 collide with
+	// base 2001 at rep 0; the hash must keep them apart.
+	if workloadSeed(1, "genome-s", 2) == workloadSeed(2001, "genome-s", 0) {
+		t.Fatal("base-seed collision survived the hash")
+	}
+	// Streams must not alias each other on identical coordinates.
+	if workloadSeed(1, "genome-s", 0) == orderSeed(1, "genome-s", 0, 0) {
+		t.Fatal("workload and order streams alias")
+	}
+}
+
+func TestWorkloadSeedPairedAcrossPolicies(t *testing.T) {
+	// The paired design: the workload seed depends only on (base, run,
+	// rep), never on policy or unit, while sim seeds are fully per-cell.
+	a := workloadSeed(1, "tpch1-s", 1)
+	if b := workloadSeed(1, "tpch1-s", 1); a != b {
+		t.Fatal("workload seed not stable")
+	}
+	s1 := simSeed(1, "tpch1-s", "wire", 60, 1)
+	s2 := simSeed(1, "tpch1-s", "full-site", 60, 1)
+	if s1 == s2 {
+		t.Fatal("sim seeds identical across policies")
+	}
+	if s1 < 0 || s2 < 0 || a < 0 {
+		t.Fatal("derived seed negative")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/dag"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/stats"
@@ -24,11 +25,13 @@ type Table1Row struct {
 	PaperTask int
 }
 
-// Table1 generates the catalogue and characterizes each run (experiment E1).
+// Table1 generates the catalogue and characterizes each run (experiment
+// E1), one pool cell per run.
 func Table1(cfg Config) []Table1Row {
-	var rows []Table1Row
-	for _, run := range catalogueRuns(cfg) {
-		wf := run.Generate(cfg.Seed)
+	runs := catalogueRuns(cfg)
+	return parallel.Collect(len(runs), cfg.pool(), func(i int) Table1Row {
+		run := runs[i]
+		wf := run.Generate(workloadSeed(cfg.Seed, run.Key, 0))
 		widths := wf.StageWidths()
 		wLo, wHi := widths[0], widths[0]
 		for _, w := range widths {
@@ -45,7 +48,7 @@ func Table1(cfg Config) []Table1Row {
 		}
 		mLo, _ := stats.Min(means)
 		mHi, _ := stats.Max(means)
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Run:       run,
 			Tasks:     wf.NumTasks(),
 			Stages:    wf.NumStages(),
@@ -58,9 +61,8 @@ func Table1(cfg Config) []Table1Row {
 			PaperLo:   run.Paper.MeanLo,
 			PaperHi:   run.Paper.MeanHi,
 			PaperTask: run.Paper.Tasks,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // Table1Report renders the paper-vs-generated comparison.

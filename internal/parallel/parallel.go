@@ -1,0 +1,126 @@
+// Package parallel is the shared work-grid executor behind the experiment
+// drivers: a fixed index grid dispatched to a bounded worker pool.
+//
+// Every cell of a grid is an independent, seeded computation, so the
+// executor guarantees three properties the drivers rely on:
+//
+//   - deterministic output ordering — results land in their input slot, so
+//     the outcome is identical at any worker count;
+//   - first-error-by-index propagation — when cells fail, the error of the
+//     lowest-indexed failing cell is returned, again independent of
+//     scheduling;
+//   - early stop — after the first failure no new cells are dispatched
+//     (cells already running drain normally).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterizes one grid execution.
+type Config struct {
+	// Workers bounds the pool; 0 or negative means GOMAXPROCS. The pool
+	// never exceeds the number of cells.
+	Workers int
+	// OnProgress, when non-nil, is invoked after every successfully
+	// completed cell with the running done count and the grid total. It
+	// may be called concurrently from several workers and must be
+	// safe for concurrent use.
+	OnProgress func(done, total int)
+}
+
+// workers resolves the effective pool size for an n-cell grid.
+func (c Config) workers(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the configured pool. fn must
+// write any output into per-index storage; ForEach itself only schedules.
+// The first error by index is returned; after any failure, dispatch of new
+// indices stops.
+func ForEach(n int, cfg Config, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var failed atomic.Bool
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				if cfg.OnProgress != nil {
+					cfg.OnProgress(int(done.Add(1)), n)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn across [0, n) and collects the results in index order.
+func Map[T any](n int, cfg Config, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, cfg, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FlatMap is Map for grids whose cells each yield a slice; the per-cell
+// slices are concatenated in index order.
+func FlatMap[T any](n int, cfg Config, fn func(i int) ([]T, error)) ([]T, error) {
+	parts, err := Map(n, cfg, fn)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Collect is Map for infallible cells.
+func Collect[T any](n int, cfg Config, fn func(i int) T) []T {
+	out, _ := Map(n, cfg, func(i int) (T, error) { return fn(i), nil })
+	return out
+}

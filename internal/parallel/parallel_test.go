@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		out, err := Map(100, Config{Workers: workers}, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestFirstErrorByIndex(t *testing.T) {
+	// Every cell fails; index 0 is always dispatched, so its error must
+	// be the one propagated regardless of scheduling.
+	errAt := func(i int) error { return fmt.Errorf("cell %d", i) }
+	for _, workers := range []int{1, 8} {
+		err := ForEach(50, Config{Workers: workers}, errAt)
+		if err == nil || err.Error() != "cell 0" {
+			t.Fatalf("workers=%d: err = %v, want cell 0", workers, err)
+		}
+	}
+}
+
+func TestStopsDispatchAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := ForEach(1000, Config{Workers: 1}, func(i int) error {
+		calls.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// With one worker, at most the failing cell plus the one already
+	// queued behind it run; the remaining ~997 must never start.
+	if n := calls.Load(); n > 10 {
+		t.Fatalf("calls = %d, dispatch did not stop", n)
+	}
+}
+
+func TestFailedCellLeavesNoPartialResult(t *testing.T) {
+	out, err := Map(10, Config{Workers: 4}, func(i int) (int, error) {
+		if i == 5 {
+			return 99, errors.New("bad cell")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}
+
+func TestProgressCoversEveryCell(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	last := 0
+	err := ForEach(40, Config{Workers: 8, OnProgress: func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != 40 {
+			t.Errorf("total = %d", total)
+		}
+		seen[done] = true
+		if done > last {
+			last = done
+		}
+	}}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 40 || len(seen) != 40 {
+		t.Fatalf("last = %d, distinct = %d", last, len(seen))
+	}
+}
+
+func TestFlatMapConcatenatesInOrder(t *testing.T) {
+	out, err := FlatMap(5, Config{Workers: 5}, func(i int) ([]int, error) {
+		return []int{i, i}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3, 4, 4}
+	if len(out) != len(want) {
+		t.Fatalf("out = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+}
+
+func TestCollectAndEmptyGrid(t *testing.T) {
+	if out := Collect(3, Config{}, func(i int) string { return fmt.Sprint(i) }); len(out) != 3 || out[2] != "2" {
+		t.Fatalf("out = %v", out)
+	}
+	if err := ForEach(0, Config{}, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	if out := Collect(0, Config{}, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestWorkersClamped(t *testing.T) {
+	for _, tc := range []struct{ cfgW, n, want int }{
+		{5, 3, 3},
+		{-1, 3, 3}, // GOMAXPROCS-derived, then clamped to n on small grids
+		{1, 100, 1},
+	} {
+		got := Config{Workers: tc.cfgW}.workers(tc.n)
+		if tc.cfgW == -1 {
+			if got < 1 || got > tc.n {
+				t.Fatalf("workers(%d, n=%d) = %d", tc.cfgW, tc.n, got)
+			}
+			continue
+		}
+		if got != tc.want {
+			t.Fatalf("workers(%d, n=%d) = %d, want %d", tc.cfgW, tc.n, got, tc.want)
+		}
+	}
+}
