@@ -1,0 +1,176 @@
+// Command wire-serve hosts WIRE controllers as a long-running HTTP daemon
+// and ships the matching load-test client.
+//
+// Serve mode (the default) runs the controller-as-a-service daemon:
+//
+//	wire-serve -addr 127.0.0.1:8080 -max-sessions 1024 -ttl 30m
+//	wire-serve serve -addr 127.0.0.1:0     # ephemeral port, printed on stdout
+//
+// Loadgen mode drives N concurrent simulated workflows against a running
+// daemon, planning every MAPE iteration over HTTP, and reports throughput,
+// latency quantiles, and remote-vs-local verification:
+//
+//	wire-serve loadgen -server http://127.0.0.1:8080 -sessions 100 -workflow genome-s
+//
+// The daemon exits cleanly on SIGINT/SIGTERM after draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+func main() {
+	args := os.Args[1:]
+	mode := "serve"
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen") {
+		mode, args = args[0], args[1:]
+	}
+	var err error
+	switch mode {
+	case "serve":
+		err = runServe(args)
+	case "loadgen":
+		err = runLoadgen(args)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wire-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("wire-serve serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+	maxSessions := fs.Int("max-sessions", 1024, "concurrent session cap (-1 = unbounded)")
+	ttl := fs.Duration("ttl", 30*time.Minute, "idle session TTL (-1 = never evict)")
+	janitor := fs.Duration("janitor", time.Minute, "eviction sweep interval")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain bound")
+	quiet := fs.Bool("quiet", false, "suppress operational log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logf := func(format string, fargs ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", fargs...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := service.New(service.Config{
+		MaxSessions:     *maxSessions,
+		IdleTTL:         *ttl,
+		JanitorInterval: *janitor,
+		ShutdownGrace:   *grace,
+		Logf:            logf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout so scripts (and the CI smoke test)
+	// can start on port 0 and discover the URL.
+	fmt.Printf("wire-serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	logf("wire-serve: shutdown complete")
+	return nil
+}
+
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("wire-serve loadgen", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "daemon base URL")
+	sessions := fs.Int("sessions", 100, "number of workflows to run")
+	concurrency := fs.Int("concurrency", 0, "simultaneously running sessions (0 = all)")
+	workflow := fs.String("workflow", "genome-s", "catalogued run key (see wire-workflows)")
+	policy := fs.String("policy", "wire", "wire | deadline | full-site | pure-reactive | reactive-conserving")
+	deadline := fs.Duration("deadline", 0, "completion target for -policy deadline")
+	unit := fs.Duration("unit", 15*time.Minute, "charging unit")
+	lag := fs.Duration("lag", 3*time.Minute, "instantiation lag = MAPE interval")
+	slots := fs.Int("slots", 4, "task slots per worker instance")
+	maxInst := fs.Int("max-instances", 12, "site instance cap")
+	noise := fs.Float64("noise", 0.08, "lognormal sigma of per-attempt occupancy noise (0 = none)")
+	seed := fs.Int64("seed", 1, "seed base; session i uses seed+i")
+	verify := fs.Bool("verify", true, "re-run each session in-process and require identical results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spec *service.ControllerSpec
+	if *deadline > 0 {
+		spec = &service.ControllerSpec{Deadline: deadline.Seconds()}
+	}
+	cfg := service.LoadgenConfig{
+		Client:      service.NewClient(*server),
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		Policy:      *policy,
+		Controller:  spec,
+		WorkflowKey: *workflow,
+		Cloud: cloud.Config{
+			SlotsPerInstance: *slots,
+			LagTime:          lag.Seconds(),
+			ChargingUnit:     unit.Seconds(),
+			MaxInstances:     *maxInst,
+		},
+		Noise:    *noise,
+		SeedBase: *seed,
+		Verify:   *verify,
+		Progress: func(done, total int) {
+			if done%10 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rwire-serve loadgen: %d/%d sessions", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		},
+	}
+
+	res, err := service.Loadgen(cfg)
+	if err != nil {
+		return err
+	}
+
+	t := &report.Table{
+		Title:   fmt.Sprintf("Loadgen — %d×%s under %s via %s", res.Sessions, *workflow, *policy, *server),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("sessions completed", fmt.Sprintf("%d/%d", res.Completed, res.Sessions))
+	t.AddRow("sessions failed", res.Failed)
+	if *verify {
+		t.AddRow("remote/local mismatches", res.Mismatched)
+	}
+	t.AddRow("plan requests", res.Plans)
+	t.AddRow("wall time", res.Wall.Round(time.Millisecond))
+	t.AddRow("plan throughput", report.F(res.PlansPerSec, 1)+" req/s")
+	t.AddRow("plan latency p50", report.F(res.Latency.P50, 2)+" ms")
+	t.AddRow("plan latency p90", report.F(res.Latency.P90, 2)+" ms")
+	t.AddRow("plan latency p99", report.F(res.Latency.P99, 2)+" ms")
+	t.AddRow("plan latency max", report.F(res.Latency.Max, 2)+" ms")
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, e := range res.Errors {
+		fmt.Fprintln(os.Stderr, "wire-serve loadgen:", e)
+	}
+	if res.Failed > 0 || res.Mismatched > 0 {
+		return fmt.Errorf("%d failed, %d mismatched of %d sessions", res.Failed, res.Mismatched, res.Sessions)
+	}
+	return nil
+}

@@ -5,9 +5,14 @@
 //
 //	wire-sim -workflow genome-s -policy wire -unit 15m
 //	wire-sim -dag flow.json -policy pure-reactive -unit 1m -seed 7
+//	wire-sim -workflow genome-s -server http://127.0.0.1:8080
 //
 // The workflow comes either from the Table I catalogue (-workflow) or from
 // a JSON file produced by wire-workflows -export / dagio (-dag).
+//
+// With -server, planning is delegated to a running wire-serve daemon: the
+// simulator executes locally but every MAPE iteration becomes a POST to
+// /v1/sessions/{id}/plan, exercising the same client code as the loadgen.
 package main
 
 import (
@@ -16,14 +21,13 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/baseline"
 	"repro/internal/cloud"
-	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dagio"
 	"repro/internal/dax"
 	"repro/internal/dist"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/workloads"
@@ -33,7 +37,9 @@ func main() {
 	workflow := flag.String("workflow", "genome-s", "catalogued run key (see wire-workflows)")
 	dagFile := flag.String("dag", "", "JSON workflow file (overrides -workflow)")
 	daxFile := flag.String("dax", "", "Pegasus DAX XML file (overrides -workflow)")
-	policy := flag.String("policy", "wire", "wire | full-site | pure-reactive | reactive-conserving")
+	policy := flag.String("policy", "wire", "wire | deadline | full-site | pure-reactive | reactive-conserving")
+	deadline := flag.Duration("deadline", 0, "completion target for -policy deadline")
+	server := flag.String("server", "", "wire-serve base URL; delegates planning to the daemon")
 	unit := flag.Duration("unit", 15*time.Minute, "charging unit")
 	lag := flag.Duration("lag", 3*time.Minute, "instantiation lag = MAPE interval")
 	slots := flag.Int("slots", 4, "task slots per worker instance")
@@ -46,9 +52,32 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	ctrl, err := controller(*policy)
-	if err != nil {
-		fail(err)
+	var spec *service.ControllerSpec
+	if *deadline > 0 {
+		spec = &service.ControllerSpec{Deadline: deadline.Seconds()}
+	}
+	var ctrl sim.Controller
+	if *server != "" {
+		rc, err := service.NewRemoteController(service.NewClient(*server), service.CreateSessionRequest{
+			Workflow:   dagio.Encode(wf),
+			Policy:     *policy,
+			Controller: spec,
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer rc.Close()
+		ctrl = rc
+		defer func() {
+			if err := rc.Err(); err != nil {
+				fail(fmt.Errorf("remote planning: %w", err))
+			}
+		}()
+	} else {
+		ctrl, err = service.NewPolicyController(*policy, spec)
+		if err != nil {
+			fail(err)
+		}
 	}
 	cfg := sim.Config{
 		Cloud: cloud.Config{
@@ -95,21 +124,6 @@ func loadWorkflow(dagFile, daxFile, key string, seed int64) (*dag.Workflow, erro
 		return nil, fmt.Errorf("unknown workflow %q; known keys: %v", key, workloads.Keys())
 	}
 	return run.Generate(seed), nil
-}
-
-func controller(policy string) (sim.Controller, error) {
-	switch policy {
-	case "wire":
-		return core.New(core.Config{}), nil
-	case "full-site":
-		return baseline.Static{}, nil
-	case "pure-reactive":
-		return baseline.PureReactive{}, nil
-	case "reactive-conserving":
-		return &baseline.ReactiveConserving{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", policy)
-	}
 }
 
 func printResult(wf *dag.Workflow, res *sim.Result) {

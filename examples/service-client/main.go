@@ -1,0 +1,101 @@
+// Service client: start a wire-serve daemon in-process, replay an
+// Epigenomics run against it over HTTP, and print the cost/performance
+// summary alongside the daemon's own view of the session.
+//
+// The simulator executes locally; every MAPE iteration becomes a POST to
+// /v1/sessions/{id}/plan, so the run proves a decision stream served over
+// the network steers the workflow exactly like an in-process controller.
+//
+//	go run ./examples/service-client
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/wire"
+)
+
+func main() {
+	// Start the daemon on an ephemeral port, exactly as `wire-serve serve
+	// -addr 127.0.0.1:0` would.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := wire.NewServiceServer(wire.ServiceConfig{Logf: func(string, ...any) {}})
+	ctx, stop := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("wire-serve daemon up at %s\n", base)
+	client := wire.NewServiceClient(base)
+
+	// Epigenomics "Genome S" from the Table I catalogue, planned remotely.
+	run, ok := wire.CatalogByKey("genome-s")
+	if !ok {
+		log.Fatal("genome-s missing from catalogue")
+	}
+	wf := run.Generate(1)
+	rc, err := wire.NewRemoteController(client, wire.CreateSessionRequest{
+		Workflow: wire.EncodeWorkflow(wf),
+		Policy:   "wire",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rc.Close()
+	fmt.Printf("session %s: %q, %d tasks over %d stages\n",
+		rc.Session().ID, wf.Name, wf.NumTasks(), wf.NumStages())
+
+	res, err := wire.Run(wf, rc, wire.RunConfig{
+		Cloud: wire.CloudConfig{
+			SlotsPerInstance: 4,
+			LagTime:          180, // 3 min instantiation lag = MAPE interval
+			ChargingUnit:     900, // billed per 15 min
+			MaxInstances:     12,
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rc.Err(); err != nil {
+		log.Fatal("remote planning: ", err)
+	}
+
+	fmt.Printf("\nmakespan:        %.0f s\n", res.Makespan)
+	fmt.Printf("charging units:  %d (%.0f s paid)\n", res.UnitsCharged, res.ChargedSeconds)
+	fmt.Printf("utilization:     %.1f%%\n", res.Utilization*100)
+	fmt.Printf("peak pool:       %d instances\n", res.PeakPool)
+	fmt.Printf("MAPE iterations: %d, all over HTTP\n", res.Decisions)
+
+	// The daemon's own view of the session and its traffic.
+	state, err := client.State(rc.Session().ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver session state: %d plans served under policy %q\n",
+		state.Plans, state.Policy)
+	md, err := client.MetricsDump()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ep, ok := md.Endpoints["plan"]; ok && ep.LatencyMs != nil {
+		fmt.Printf("server plan endpoint: %d requests, p99 %.2f ms\n",
+			ep.Count, ep.LatencyMs.P99)
+	}
+
+	// Graceful shutdown: delete the session, then drain the daemon.
+	if err := rc.Close(); err != nil {
+		log.Fatal(err)
+	}
+	stop()
+	if err := <-served; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndaemon drained and stopped cleanly")
+}

@@ -50,6 +50,32 @@ func (s State) String() string {
 	}
 }
 
+// MarshalJSON encodes the state by name so the monitoring wire format does
+// not depend on the ordering of the state constants.
+func (s State) MarshalJSON() ([]byte, error) {
+	switch s {
+	case Pending, Active, Terminated:
+		return []byte(`"` + s.String() + `"`), nil
+	default:
+		return nil, fmt.Errorf("cloud: cannot marshal unknown state %d", int(s))
+	}
+}
+
+// UnmarshalJSON decodes a state name (or a legacy integer).
+func (s *State) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"pending"`, "0":
+		*s = Pending
+	case `"active"`, "1":
+		*s = Active
+	case `"terminated"`, "2":
+		*s = Terminated
+	default:
+		return fmt.Errorf("cloud: unknown state %s", b)
+	}
+	return nil
+}
+
 // Config describes a cloud site.
 type Config struct {
 	// SlotsPerInstance is l, the number of concurrent tasks per worker

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/sim"
+)
+
+// TestStateDumpJSONRoundTrip runs the WIRE controller mid-workflow and
+// requires its state dump — the body of wire-serve's state endpoint — to
+// survive JSON unchanged.
+func TestStateDumpJSONRoundTrip(t *testing.T) {
+	wf := wideWF(12)
+	ctrl := New(Config{})
+	if _, err := sim.Run(wf, ctrl, sim.Config{
+		Cloud: cloud.Config{SlotsPerInstance: 2, LagTime: 30, ChargingUnit: 300, MaxInstances: 8},
+		Seed:  3,
+	}); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	dump := ctrl.State()
+	if dump.Iterations == 0 || len(dump.Predictions) == 0 {
+		t.Fatalf("dump not populated: %+v", dump)
+	}
+
+	b, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got StateDump
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, dump) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, dump)
+	}
+}
+
+// TestDeadlineStateDelegates checks the deadline controller exposes the
+// shared WIRE run state for the service's state endpoint.
+func TestDeadlineStateDelegates(t *testing.T) {
+	wf := wideWF(8)
+	ctrl := NewDeadline(DeadlineConfig{Deadline: 4000})
+	if _, err := sim.Run(wf, ctrl, sim.Config{
+		Cloud: cloud.Config{SlotsPerInstance: 2, LagTime: 30, ChargingUnit: 300, MaxInstances: 8},
+		Seed:  3,
+	}); err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	dump := ctrl.State()
+	if dump.Iterations == 0 {
+		t.Fatalf("deadline state not populated: %+v", dump)
+	}
+	b, err := json.Marshal(dump)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got StateDump
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, dump) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, dump)
+	}
+}

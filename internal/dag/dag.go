@@ -22,30 +22,32 @@ type TaskID int
 // Workflow.Stages.
 type StageID int
 
-// Task is one schedulable unit of a workflow.
+// Task is one schedulable unit of a workflow. The json tags define the
+// stable wire format used when workflows travel inside monitoring
+// snapshots (the names match internal/dagio's document fields).
 type Task struct {
-	ID    TaskID
-	Stage StageID
-	Name  string
+	ID    TaskID  `json:"id"`
+	Stage StageID `json:"stage"`
+	Name  string  `json:"name,omitempty"`
 
 	// Deps lists predecessor tasks; the task becomes ready only when all
 	// of them have completed. Succs is the derived inverse relation.
-	Deps  []TaskID
-	Succs []TaskID
+	Deps  []TaskID `json:"deps,omitempty"`
+	Succs []TaskID `json:"succs,omitempty"`
 
 	// InputSize is the task's input data volume in MB. It is visible to
 	// the monitor (frameworks record it for every task, §II-C) and is the
 	// feature of the online-gradient-descent model (Algorithm 1).
-	InputSize float64
+	InputSize float64 `json:"input_size_mb,omitempty"`
 	// OutputSize is the produced data volume in MB (informational).
-	OutputSize float64
+	OutputSize float64 `json:"output_size_mb,omitempty"`
 
 	// ExecTime is the ground-truth execution time in seconds on a
 	// reference slot. TransferTime is the ground-truth data-transfer
 	// portion of the slot occupancy. The simulator may perturb both with
 	// an interference model at assignment time.
-	ExecTime     float64
-	TransferTime float64
+	ExecTime     float64 `json:"exec_time_s"`
+	TransferTime float64 `json:"transfer_time_s,omitempty"`
 }
 
 // Occupancy returns the task's nominal slot occupancy: execution plus data
@@ -54,18 +56,18 @@ func (t *Task) Occupancy() float64 { return t.ExecTime + t.TransferTime }
 
 // Stage groups peer tasks that share an executable and dependencies.
 type Stage struct {
-	ID    StageID
-	Name  string
-	Tasks []TaskID
+	ID    StageID  `json:"id"`
+	Name  string   `json:"name,omitempty"`
+	Tasks []TaskID `json:"tasks,omitempty"`
 }
 
 // Workflow is an immutable task DAG. Build one with a Builder and treat it
 // as read-only afterwards; simulators keep their mutable run state in
 // parallel structures indexed by TaskID.
 type Workflow struct {
-	Name   string
-	Tasks  []*Task
-	Stages []*Stage
+	Name   string   `json:"name"`
+	Tasks  []*Task  `json:"tasks"`
+	Stages []*Stage `json:"stages"`
 }
 
 // Task returns the task with the given ID.

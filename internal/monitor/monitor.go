@@ -13,6 +13,8 @@
 package monitor
 
 import (
+	"fmt"
+
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/simtime"
@@ -49,37 +51,67 @@ func (s TaskState) String() string {
 	}
 }
 
-// TaskRecord is the monitoring view of one task.
+// MarshalJSON encodes the state by name so the snapshot wire format does not
+// depend on the ordering of the lifecycle constants.
+func (s TaskState) MarshalJSON() ([]byte, error) {
+	switch s {
+	case Blocked, Ready, Running, Completed:
+		return []byte(`"` + s.String() + `"`), nil
+	default:
+		return nil, fmt.Errorf("monitor: cannot marshal unknown task state %d", int(s))
+	}
+}
+
+// UnmarshalJSON decodes a state name (or a legacy integer).
+func (s *TaskState) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"blocked"`, "0":
+		*s = Blocked
+	case `"ready"`, "1":
+		*s = Ready
+	case `"running"`, "2":
+		*s = Running
+	case `"completed"`, "3":
+		*s = Completed
+	default:
+		return fmt.Errorf("monitor: unknown task state %s", b)
+	}
+	return nil
+}
+
+// TaskRecord is the monitoring view of one task. The json tags define the
+// stable wire format served by wire-serve; zero-valued lifecycle fields are
+// omitted (absent == zero, so the encoding round-trips losslessly).
 type TaskRecord struct {
-	ID    dag.TaskID
-	Stage dag.StageID
-	State TaskState
+	ID    dag.TaskID  `json:"id"`
+	Stage dag.StageID `json:"stage"`
+	State TaskState   `json:"state"`
 
 	// InputSize is recorded for every task (§II-C property 1) and feeds
 	// Policies 4 and 5.
-	InputSize float64
+	InputSize float64 `json:"input_size_mb,omitempty"`
 
 	// ReadyAt is when the task became ready (valid for Ready and later).
-	ReadyAt simtime.Time
+	ReadyAt simtime.Time `json:"ready_at_s,omitempty"`
 
 	// StartedAt / Instance / Slot are valid while Running and after.
-	StartedAt simtime.Time
-	Instance  cloud.InstanceID
-	Slot      int
+	StartedAt simtime.Time     `json:"started_at_s,omitempty"`
+	Instance  cloud.InstanceID `json:"instance,omitempty"`
+	Slot      int              `json:"slot,omitempty"`
 
 	// Elapsed is the run time so far for Running tasks (slot occupancy
 	// consumed — the restart/sunk cost of §III-B2).
-	Elapsed simtime.Duration
+	Elapsed simtime.Duration `json:"elapsed_s,omitempty"`
 
 	// TransferObserved is true once the task's input transfer finished;
 	// TransferTime then holds the observed transfer duration.
-	TransferObserved bool
-	TransferTime     simtime.Duration
+	TransferObserved bool             `json:"transfer_observed,omitempty"`
+	TransferTime     simtime.Duration `json:"transfer_time_s,omitempty"`
 
 	// CompletedAt / ExecTime are valid once Completed. ExecTime is the
 	// observed execution portion (occupancy minus transfer).
-	CompletedAt simtime.Time
-	ExecTime    simtime.Duration
+	CompletedAt simtime.Time     `json:"completed_at_s,omitempty"`
+	ExecTime    simtime.Duration `json:"exec_time_s,omitempty"`
 }
 
 // Occupancy returns the observed total slot occupancy of a completed task.
@@ -87,51 +119,53 @@ func (r *TaskRecord) Occupancy() simtime.Duration { return r.ExecTime + r.Transf
 
 // InstanceRecord is the monitoring view of one held worker instance.
 type InstanceRecord struct {
-	ID          cloud.InstanceID
-	State       cloud.State
-	Slots       int
-	RequestedAt simtime.Time
-	ActiveAt    simtime.Time
+	ID          cloud.InstanceID `json:"id"`
+	State       cloud.State      `json:"state"`
+	Slots       int              `json:"slots"`
+	RequestedAt simtime.Time     `json:"requested_at_s,omitempty"`
+	ActiveAt    simtime.Time     `json:"active_at_s,omitempty"`
 
 	// TimeToNextCharge is r_j, measured from Snapshot.Now (§III-D).
-	TimeToNextCharge simtime.Duration
+	TimeToNextCharge simtime.Duration `json:"time_to_next_charge_s,omitempty"`
 
 	// Running lists the tasks currently occupying slots.
-	Running []dag.TaskID
+	Running []dag.TaskID `json:"running,omitempty"`
 
 	// Draining marks instances already ordered released; the scheduler
 	// stops assigning work to them and the controller must not count
 	// them toward future capacity.
-	Draining bool
+	Draining bool `json:"draining,omitempty"`
 }
 
-// Snapshot is everything the controller sees at one MAPE iteration.
+// Snapshot is everything the controller sees at one MAPE iteration. It is
+// also the request body of wire-serve's plan endpoint; clients of a session
+// may omit Workflow (the service injects the session's DAG).
 type Snapshot struct {
 	// Now is the iteration start time; Interval is the MAPE period
 	// (equal to the cloud lag time, §III-A).
-	Now      simtime.Time
-	Interval simtime.Duration
+	Now      simtime.Time     `json:"now_s"`
+	Interval simtime.Duration `json:"interval_s"`
 
 	// Billing and site parameters the steering policy needs.
-	ChargingUnit     simtime.Duration
-	LagTime          simtime.Duration
-	SlotsPerInstance int
-	MaxInstances     int
+	ChargingUnit     simtime.Duration `json:"charging_unit_s"`
+	LagTime          simtime.Duration `json:"lag_time_s"`
+	SlotsPerInstance int              `json:"slots_per_instance"`
+	MaxInstances     int              `json:"max_instances,omitempty"`
 
 	// Workflow is the static DAG (structure, stages, input sizes). See
 	// the package comment for what controllers may read from it.
-	Workflow *dag.Workflow
+	Workflow *dag.Workflow `json:"workflow,omitempty"`
 
 	// Tasks is indexed by dag.TaskID.
-	Tasks []TaskRecord
+	Tasks []TaskRecord `json:"tasks"`
 
 	// Instances lists held (pending or active) instances.
-	Instances []InstanceRecord
+	Instances []InstanceRecord `json:"instances,omitempty"`
 
 	// RecentTransfers are the data-transfer durations observed since the
 	// previous snapshot — the basis for the memoryless transfer estimate
 	// (§III-B1).
-	RecentTransfers []float64
+	RecentTransfers []float64 `json:"recent_transfers_s,omitempty"`
 }
 
 // Task returns the record for the given task.

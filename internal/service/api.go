@@ -1,0 +1,380 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dagio"
+	"repro/internal/monitor"
+	"repro/internal/predict"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// maxBodyBytes caps request bodies; a 4005-task snapshot is well under 2 MB,
+// so 16 MB leaves generous head-room without letting a client exhaust RAM.
+const maxBodyBytes = 16 << 20
+
+// ControllerSpec is the JSON-facing controller configuration. The zero value
+// reproduces the paper's settings for every policy.
+type ControllerSpec struct {
+	// RestartFrac, MinPool, UtilizationTarget mirror core.Config.
+	RestartFrac       float64 `json:"restart_frac,omitempty"`
+	MinPool           int     `json:"min_pool,omitempty"`
+	UtilizationTarget float64 `json:"utilization_target,omitempty"`
+
+	// LearningRate, EpochsPerUpdate, SizeTolerance, TransferWindow mirror
+	// predict.Config.
+	LearningRate    float64 `json:"learning_rate,omitempty"`
+	EpochsPerUpdate int     `json:"epochs_per_update,omitempty"`
+	SizeTolerance   float64 `json:"size_tolerance,omitempty"`
+	TransferWindow  int     `json:"transfer_window,omitempty"`
+
+	// Deadline and Slack configure the "deadline" policy only.
+	Deadline float64 `json:"deadline_s,omitempty"`
+	Slack    float64 `json:"slack,omitempty"`
+}
+
+func (cs *ControllerSpec) coreConfig() core.Config {
+	if cs == nil {
+		return core.Config{}
+	}
+	return core.Config{
+		Predictor: predict.Config{
+			LearningRate:    cs.LearningRate,
+			EpochsPerUpdate: cs.EpochsPerUpdate,
+			SizeTolerance:   cs.SizeTolerance,
+			TransferWindow:  cs.TransferWindow,
+		},
+		RestartFrac:       cs.RestartFrac,
+		MinPool:           cs.MinPool,
+		UtilizationTarget: cs.UtilizationTarget,
+	}
+}
+
+// Policies accepted by NewPolicyController, in documentation order.
+func PolicyNames() []string {
+	return []string{"wire", "deadline", "full-site", "pure-reactive", "reactive-conserving"}
+}
+
+// NewPolicyController builds a fresh controller for a policy name. It is the
+// single policy registry shared by the daemon, wire-sim, and loadgen.
+func NewPolicyController(policy string, spec *ControllerSpec) (sim.Controller, error) {
+	switch policy {
+	case "", "wire":
+		return core.New(spec.coreConfig()), nil
+	case "deadline":
+		if spec == nil || spec.Deadline <= 0 {
+			return nil, fmt.Errorf("policy deadline requires controller.deadline_s > 0")
+		}
+		return core.NewDeadline(core.DeadlineConfig{
+			Deadline: spec.Deadline,
+			Config:   spec.coreConfig(),
+			Slack:    spec.Slack,
+		}), nil
+	case "full-site":
+		return baseline.Static{}, nil
+	case "pure-reactive":
+		return baseline.PureReactive{}, nil
+	case "reactive-conserving":
+		return &baseline.ReactiveConserving{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (known: %v)", policy, PolicyNames())
+	}
+}
+
+// CreateSessionRequest is the POST /v1/sessions body. Exactly one workflow
+// source must be set: an inline dagio document or a catalogue key.
+type CreateSessionRequest struct {
+	// Workflow is an inline workflow document (the wire-workflows -export
+	// / dagio format).
+	Workflow *dagio.Document `json:"workflow,omitempty"`
+	// WorkflowKey names a Table I catalogue run ("genome-s", ...);
+	// WorkflowSeed drives its generator (default 1).
+	WorkflowKey  string `json:"workflow_key,omitempty"`
+	WorkflowSeed int64  `json:"workflow_seed,omitempty"`
+
+	// Policy selects the controller (default "wire").
+	Policy string `json:"policy,omitempty"`
+	// Controller tunes it; nil reproduces the paper's settings.
+	Controller *ControllerSpec `json:"controller,omitempty"`
+}
+
+// SessionInfo describes one session in API responses.
+type SessionInfo struct {
+	ID        string    `json:"id"`
+	Policy    string    `json:"policy"`
+	Workflow  string    `json:"workflow"`
+	Tasks     int       `json:"tasks"`
+	Stages    int       `json:"stages"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// PlanResponse is the POST /v1/sessions/{id}/plan response: the decision for
+// the next interval plus the controller's current pre-start predictions for
+// the tasks that have not started yet (the Figure 1 wavefront). Predictions
+// are only present for policies with online prediction (wire, deadline).
+type PlanResponse struct {
+	SessionID   string                 `json:"session_id"`
+	Iteration   int64                  `json:"iteration"`
+	Decision    sim.Decision           `json:"decision"`
+	Predictions []core.PredictionState `json:"predictions,omitempty"`
+}
+
+// SessionStateResponse is the GET /v1/sessions/{id}/state response.
+type SessionStateResponse struct {
+	SessionInfo
+	Plans int64 `json:"plans"`
+	// IdleS is seconds since the last API touch.
+	IdleS float64 `json:"idle_s"`
+	// Controller is the WIRE run state (nil for baselines without one).
+	Controller *core.StateDump `json:"controller,omitempty"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	Sessions int     `json:"sessions"`
+	UptimeS  float64 `json:"uptime_s"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// stateDumper is satisfied by controllers exposing WIRE run state.
+type stateDumper interface{ State() core.StateDump }
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.writeJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) sessionInfo(sess *Session) SessionInfo {
+	return SessionInfo{
+		ID:        sess.ID,
+		Policy:    sess.Policy,
+		Workflow:  sess.Workflow.Name,
+		Tasks:     sess.Workflow.NumTasks(),
+		Stages:    sess.Workflow.NumStages(),
+		CreatedAt: sess.CreatedAt(),
+	}
+}
+
+// resolveWorkflow materializes the request's workflow source.
+func resolveWorkflow(req *CreateSessionRequest) (*dag.Workflow, error) {
+	switch {
+	case req.Workflow != nil && req.WorkflowKey != "":
+		return nil, fmt.Errorf("workflow and workflow_key are mutually exclusive")
+	case req.Workflow != nil:
+		return dagio.Decode(req.Workflow)
+	case req.WorkflowKey != "":
+		run, ok := workloads.ByKey(req.WorkflowKey)
+		if !ok {
+			return nil, fmt.Errorf("unknown workflow_key %q (known: %v)", req.WorkflowKey, workloads.Keys())
+		}
+		seed := req.WorkflowSeed
+		if seed == 0 {
+			seed = 1
+		}
+		return run.Generate(seed), nil
+	default:
+		return nil, fmt.Errorf("one of workflow or workflow_key is required")
+	}
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	wf, err := resolveWorkflow(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "workflow: %v", err)
+		return
+	}
+	policy := req.Policy
+	if policy == "" {
+		policy = "wire"
+	}
+	ctrl, err := NewPolicyController(policy, req.Controller)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	sess, err := s.store.Create(policy, wf, ctrl)
+	if errors.Is(err, ErrMaxSessions) {
+		s.metrics.SessionRejected()
+		s.writeError(w, http.StatusTooManyRequests, "max_sessions",
+			"session limit %d reached; delete a session or retry later", s.cfg.MaxSessions)
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	s.metrics.SessionCreated()
+	s.writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
+}
+
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) *Session {
+	id := r.PathValue("id")
+	sess, err := s.store.Get(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "not_found", "session %q not found", id)
+		return nil
+	}
+	return sess
+}
+
+// validateSnapshot checks the parts of a posted snapshot the controllers
+// index into; everything else is the client's modelling choice.
+func validateSnapshot(snap *monitor.Snapshot, wf *dag.Workflow) error {
+	if len(snap.Tasks) != wf.NumTasks() {
+		return fmt.Errorf("snapshot has %d task records, workflow has %d tasks", len(snap.Tasks), wf.NumTasks())
+	}
+	for i := range snap.Tasks {
+		if int(snap.Tasks[i].ID) != i {
+			return fmt.Errorf("task record %d has id %d; records must be indexed by task id", i, snap.Tasks[i].ID)
+		}
+		if st := int(snap.Tasks[i].Stage); st < 0 || st >= wf.NumStages() {
+			return fmt.Errorf("task record %d references missing stage %d", i, st)
+		}
+	}
+	if snap.Interval <= 0 {
+		return fmt.Errorf("interval_s must be positive")
+	}
+	if snap.ChargingUnit <= 0 {
+		return fmt.Errorf("charging_unit_s must be positive")
+	}
+	if snap.SlotsPerInstance <= 0 {
+		return fmt.Errorf("slots_per_instance must be positive")
+	}
+	return nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	var snap monitor.Snapshot
+	if !s.readJSON(w, r, &snap) {
+		return
+	}
+	if snap.Workflow != nil && snap.Workflow.NumTasks() != sess.Workflow.NumTasks() {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			"snapshot workflow has %d tasks, session workflow has %d",
+			snap.Workflow.NumTasks(), sess.Workflow.NumTasks())
+		return
+	}
+	// The session's DAG is authoritative; clients normally omit theirs.
+	snap.Workflow = sess.Workflow
+	if err := validateSnapshot(&snap, sess.Workflow); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "snapshot: %v", err)
+		return
+	}
+
+	resp := PlanResponse{SessionID: sess.ID}
+	err := sess.Controller(func(ctrl sim.Controller) (err error) {
+		// A controller fed an inconsistent snapshot may panic deep in the
+		// predictor; that is the client's bug, not grounds to kill every
+		// other session on the daemon.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("controller rejected snapshot: %v", p)
+			}
+		}()
+		resp.Decision = ctrl.Plan(&snap)
+		resp.Iteration = sess.plans.Add(1)
+		if sd, ok := ctrl.(stateDumper); ok {
+			resp.Predictions = pendingPredictions(sd.State(), &snap)
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "plan_failed", "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// pendingPredictions filters the full prediction log down to the wavefront:
+// tasks that had not started as of the posted snapshot.
+func pendingPredictions(dump core.StateDump, snap *monitor.Snapshot) []core.PredictionState {
+	var out []core.PredictionState
+	for _, p := range dump.Predictions {
+		if int(p.Task) >= len(snap.Tasks) {
+			continue
+		}
+		if st := snap.Tasks[p.Task].State; st == monitor.Blocked || st == monitor.Ready {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSessionState(w http.ResponseWriter, r *http.Request) {
+	sess := s.getSession(w, r)
+	if sess == nil {
+		return
+	}
+	resp := SessionStateResponse{
+		SessionInfo: s.sessionInfo(sess),
+		Plans:       sess.Plans(),
+		IdleS:       s.now().Sub(sess.LastUsed()).Seconds(),
+	}
+	_ = sess.Controller(func(ctrl sim.Controller) error {
+		if sd, ok := ctrl.(stateDumper); ok {
+			dump := sd.State()
+			resp.Controller = &dump
+		}
+		return nil
+	})
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.store.Delete(id); err != nil {
+		s.writeError(w, http.StatusNotFound, "not_found", "session %q not found", id)
+		return
+	}
+	s.metrics.SessionDeleted()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Sessions: s.store.Len(),
+		UptimeS:  s.now().Sub(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Dump(s.now(), s.store.Len()))
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// APIError is a non-2xx response decoded from the daemon's error body.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("wire-serve: HTTP %d (%s): %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Client talks to a wire-serve daemon. It is safe for concurrent use; the
+// load generator shares one client across every session.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a daemon base URL such as
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// do sends one JSON request. A nil in sends no body; a nil out discards the
+// response body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("wire-serve client: encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("wire-serve client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("wire-serve client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Code: "unknown"}
+		var eb ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil {
+			apiErr.Code, apiErr.Message = eb.Code, eb.Error
+		}
+		return apiErr
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("wire-serve client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// CreateSession creates a controller session.
+func (c *Client) CreateSession(req CreateSessionRequest) (*SessionInfo, error) {
+	var info SessionInfo
+	if err := c.do(http.MethodPost, "/v1/sessions", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Plan posts one monitoring snapshot and returns the decision. The
+// snapshot's Workflow is stripped before sending — the session's DAG is
+// authoritative on the server.
+func (c *Client) Plan(id string, snap *monitor.Snapshot) (*PlanResponse, error) {
+	lean := *snap
+	lean.Workflow = nil
+	var resp PlanResponse
+	if err := c.do(http.MethodPost, "/v1/sessions/"+id+"/plan", &lean, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// State fetches the session's run state.
+func (c *Client) State(id string) (*SessionStateResponse, error) {
+	var resp SessionStateResponse
+	if err := c.do(http.MethodGet, "/v1/sessions/"+id+"/state", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteSession drops the session.
+func (c *Client) DeleteSession(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Health fetches the liveness document.
+func (c *Client) Health() (*HealthResponse, error) {
+	var resp HealthResponse
+	if err := c.do(http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// MetricsDump fetches the daemon's metrics document.
+func (c *Client) MetricsDump() (*MetricsDump, error) {
+	var resp MetricsDump
+	if err := c.do(http.MethodGet, "/metrics", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RemoteController adapts one daemon session to sim.Controller, so the
+// in-process simulator can execute a workflow while the planning happens
+// over HTTP. Plan cannot return an error by contract; a transport or API
+// failure freezes the pool (empty decision) and is reported by Err after
+// the run.
+type RemoteController struct {
+	client *Client
+	info   *SessionInfo
+
+	// observe, when set, receives each plan round-trip latency.
+	observe func(time.Duration)
+
+	mu  sync.Mutex
+	err error
+}
+
+var _ sim.Controller = (*RemoteController)(nil)
+
+// NewRemoteController creates a session on the daemon and wraps it.
+func NewRemoteController(c *Client, req CreateSessionRequest) (*RemoteController, error) {
+	info, err := c.CreateSession(req)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteController{client: c, info: info}, nil
+}
+
+// SetLatencyObserver registers a per-plan latency callback (loadgen). Call
+// it before the run starts.
+func (rc *RemoteController) SetLatencyObserver(fn func(time.Duration)) { rc.observe = fn }
+
+// Session returns the wrapped session's info.
+func (rc *RemoteController) Session() SessionInfo { return *rc.info }
+
+// Name implements sim.Controller; it reports the server-side policy so a
+// remote run is labelled identically to its in-process twin.
+func (rc *RemoteController) Name() string { return rc.info.Policy }
+
+// Plan implements sim.Controller by delegating to the daemon.
+func (rc *RemoteController) Plan(snap *monitor.Snapshot) sim.Decision {
+	rc.mu.Lock()
+	failed := rc.err != nil
+	rc.mu.Unlock()
+	if failed {
+		return sim.Decision{}
+	}
+	t0 := time.Now()
+	resp, err := rc.client.Plan(rc.info.ID, snap)
+	if rc.observe != nil {
+		rc.observe(time.Since(t0))
+	}
+	if err != nil {
+		rc.mu.Lock()
+		if rc.err == nil {
+			rc.err = err
+		}
+		rc.mu.Unlock()
+		return sim.Decision{}
+	}
+	return resp.Decision
+}
+
+// Err returns the first plan failure, if any.
+func (rc *RemoteController) Err() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.err
+}
+
+// Close deletes the remote session.
+func (rc *RemoteController) Close() error {
+	return rc.client.DeleteSession(rc.info.ID)
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dagio"
+	"repro/internal/dist"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// LoadgenConfig drives N concurrent simulated workflows against a daemon:
+// each session runs internal/sim as the client-side substrate with a
+// RemoteController, proving the simulator can execute against the service
+// instead of in-process.
+type LoadgenConfig struct {
+	// Client addresses the daemon under test. Required.
+	Client *Client
+	// Sessions is the number of workflows to run (default 100).
+	Sessions int
+	// Concurrency bounds simultaneously running sessions (default:
+	// Sessions, i.e. all concurrent).
+	Concurrency int
+
+	// Policy and Controller configure every session (default "wire").
+	Policy     string
+	Controller *ControllerSpec
+
+	// WorkflowKey picks a Table I catalogue run; Workflow overrides it
+	// with an arbitrary per-seed generator. One of the two is required.
+	WorkflowKey string
+	Workflow    func(seed int64) *dag.Workflow
+
+	// Cloud is the simulated site every session runs on. Required.
+	Cloud cloud.Config
+	// Noise, when positive, applies lognormal interference with this
+	// sigma to each task attempt.
+	Noise float64
+	// SeedBase offsets per-session seeds: session i uses SeedBase+i, so
+	// every session drives a distinct workflow instance and decision
+	// stream — cross-session contamination cannot cancel out.
+	SeedBase int64
+
+	// Verify re-runs every session in-process with an identical fresh
+	// controller and requires identical results: any dropped or
+	// mis-routed decision changes the event stream and is caught here.
+	Verify bool
+
+	// Progress, when set, is called after each finished session.
+	Progress func(done, total int)
+}
+
+// LoadgenResult summarizes a load-generation run.
+type LoadgenResult struct {
+	Sessions   int
+	Completed  int
+	Failed     int
+	Mismatched int
+
+	Plans     int64
+	Decisions int64
+	Wall      time.Duration
+	// PlansPerSec is the sustained plan-request throughput.
+	PlansPerSec float64
+	// Latency summarizes client-observed plan round trips.
+	Latency LatencySummary
+
+	// Errors holds the first few failure messages.
+	Errors []string
+}
+
+// Loadgen runs the load generation and returns the aggregate report. It
+// returns an error only for invalid configuration; per-session failures are
+// counted in the result.
+func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("loadgen: Client is required")
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 100
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = cfg.Sessions
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "wire"
+	}
+	gen := cfg.Workflow
+	if gen == nil {
+		if cfg.WorkflowKey == "" {
+			return nil, fmt.Errorf("loadgen: one of WorkflowKey or Workflow is required")
+		}
+		run, ok := workloads.ByKey(cfg.WorkflowKey)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown workflow key %q (known: %v)", cfg.WorkflowKey, workloads.Keys())
+		}
+		gen = run.Generate
+	}
+	if err := cfg.Cloud.Validate(); err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	// Validate the policy spec once up front, not N times concurrently.
+	if _, err := NewPolicyController(cfg.Policy, cfg.Controller); err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+
+	res := &LoadgenResult{Sessions: cfg.Sessions}
+	var mu sync.Mutex // guards res and latencies
+	var latencies []float64
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Failed++
+		if len(res.Errors) < 5 {
+			res.Errors = append(res.Errors, fmt.Sprintf("session %d: %v", i, err))
+		}
+	}
+
+	start := time.Now()
+	parallel.ForEach(cfg.Sessions, parallel.Config{
+		Workers:    cfg.Concurrency,
+		OnProgress: cfg.Progress,
+	}, func(i int) error {
+		seed := cfg.SeedBase + int64(i)
+		wf := gen(seed)
+		simCfg := sim.Config{Cloud: cfg.Cloud, Seed: seed}
+		if cfg.Noise > 0 {
+			simCfg.Interference = dist.NewLognormalFromMean(1, cfg.Noise)
+		}
+		if cfg.Policy == "full-site" {
+			simCfg.InitialInstances = cfg.Cloud.MaxInstances
+		}
+
+		rc, err := NewRemoteController(cfg.Client, CreateSessionRequest{
+			Workflow:   dagio.Encode(wf),
+			Policy:     cfg.Policy,
+			Controller: cfg.Controller,
+		})
+		if err != nil {
+			fail(i, fmt.Errorf("create session: %w", err))
+			return nil
+		}
+		defer rc.Close()
+		rc.SetLatencyObserver(func(d time.Duration) {
+			mu.Lock()
+			latencies = append(latencies, float64(d)/float64(time.Millisecond))
+			mu.Unlock()
+		})
+
+		remote, err := sim.Run(wf, rc, simCfg)
+		if err != nil {
+			fail(i, fmt.Errorf("remote-planned run: %w", err))
+			return nil
+		}
+		if err := rc.Err(); err != nil {
+			fail(i, fmt.Errorf("plan transport: %w", err))
+			return nil
+		}
+
+		mismatch := false
+		if cfg.Verify {
+			ctrl, err := NewPolicyController(cfg.Policy, cfg.Controller)
+			if err != nil {
+				fail(i, err)
+				return nil
+			}
+			local, err := sim.Run(gen(seed), ctrl, simCfg)
+			if err != nil {
+				fail(i, fmt.Errorf("in-process twin run: %w", err))
+				return nil
+			}
+			if d := diffResults(remote, local); d != "" {
+				mismatch = true
+				mu.Lock()
+				if len(res.Errors) < 5 {
+					res.Errors = append(res.Errors, fmt.Sprintf("session %d: remote/local mismatch: %s", i, d))
+				}
+				mu.Unlock()
+			}
+		}
+
+		mu.Lock()
+		res.Completed++
+		if mismatch {
+			res.Mismatched++
+		}
+		res.Plans += int64(remote.Decisions)
+		res.Decisions += int64(remote.Decisions)
+		mu.Unlock()
+		return nil
+	})
+
+	res.Wall = time.Since(start)
+	if s := res.Wall.Seconds(); s > 0 {
+		res.PlansPerSec = float64(res.Plans) / s
+	}
+	res.Latency = SummarizeLatencies(latencies)
+	return res, nil
+}
+
+// diffResults compares the deterministic outcome of a remote-planned run
+// with its in-process twin. Identical decision streams yield identical
+// event sequences, so every field must match exactly.
+func diffResults(remote, local *sim.Result) string {
+	switch {
+	case remote.Makespan != local.Makespan:
+		return fmt.Sprintf("makespan %v != %v", remote.Makespan, local.Makespan)
+	case remote.UnitsCharged != local.UnitsCharged:
+		return fmt.Sprintf("units charged %d != %d", remote.UnitsCharged, local.UnitsCharged)
+	case remote.ChargedSeconds != local.ChargedSeconds:
+		return fmt.Sprintf("charged seconds %v != %v", remote.ChargedSeconds, local.ChargedSeconds)
+	case remote.Decisions != local.Decisions:
+		return fmt.Sprintf("decisions %d != %d", remote.Decisions, local.Decisions)
+	case remote.Launches != local.Launches:
+		return fmt.Sprintf("launches %d != %d", remote.Launches, local.Launches)
+	case remote.Restarts != local.Restarts:
+		return fmt.Sprintf("restarts %d != %d", remote.Restarts, local.Restarts)
+	case len(remote.TaskRuns) != len(local.TaskRuns):
+		return fmt.Sprintf("task runs %d != %d", len(remote.TaskRuns), len(local.TaskRuns))
+	}
+	return ""
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/workloads"
+)
+
+// TestLoadgenHundredConcurrentSessions is the acceptance run: 100 sessions
+// planned concurrently over HTTP, every one verified against an in-process
+// twin. Zero failures and zero mismatches means no decision was dropped or
+// routed to the wrong session; the -race run doubles as the race
+// certificate.
+func TestLoadgenHundredConcurrentSessions(t *testing.T) {
+	srv := New(Config{MaxSessions: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := Loadgen(LoadgenConfig{
+		Client:   NewClient(ts.URL),
+		Sessions: 100,
+		Policy:   "wire",
+		Workflow: func(seed int64) *dag.Workflow {
+			// Small but non-trivial: enough tasks for several MAPE
+			// iterations and pool growth, cheap enough for 200 runs
+			// under -race.
+			return workloads.Linear(24+int(seed%7), 45)
+		},
+		Cloud:    testCloud,
+		Noise:    0.08,
+		SeedBase: 100,
+		Verify:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 100 || res.Failed != 0 {
+		t.Fatalf("completed %d / failed %d of %d: %v", res.Completed, res.Failed, res.Sessions, res.Errors)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d remote runs diverged from in-process twins: %v", res.Mismatched, res.Errors)
+	}
+	if res.Plans == 0 || res.Latency.Samples == 0 {
+		t.Fatalf("no plan traffic recorded: %+v", res)
+	}
+	if srv.Store().Len() != 0 {
+		t.Errorf("%d sessions leaked after loadgen", srv.Store().Len())
+	}
+
+	// Every plan is accounted for on the server: nothing dropped.
+	md := srv.Metrics().Dump(srv.now(), srv.Store().Len())
+	if got := md.Endpoints["plan"].Count; got != res.Plans {
+		t.Errorf("server saw %d plans, clients sent %d", got, res.Plans)
+	}
+	if md.Endpoints["plan"].Errors != 0 {
+		t.Errorf("%d plan requests errored", md.Endpoints["plan"].Errors)
+	}
+	if md.Sessions.Created != 100 || md.Sessions.Deleted != 100 {
+		t.Errorf("sessions created/deleted = %d/%d, want 100/100", md.Sessions.Created, md.Sessions.Deleted)
+	}
+}
+
+// TestLoadgenConfigValidation pins loadgen's configuration errors.
+func TestLoadgenConfigValidation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	if _, err := Loadgen(LoadgenConfig{Client: client, Cloud: testCloud}); err == nil {
+		t.Error("missing workflow should fail")
+	}
+	if _, err := Loadgen(LoadgenConfig{Client: client, WorkflowKey: "nope", Cloud: testCloud}); err == nil {
+		t.Error("unknown workflow key should fail")
+	}
+	if _, err := Loadgen(LoadgenConfig{Client: client, WorkflowKey: "genome-s"}); err == nil {
+		t.Error("invalid cloud config should fail")
+	}
+	if _, err := Loadgen(LoadgenConfig{
+		Client: client, WorkflowKey: "genome-s", Cloud: testCloud, Policy: "apollo",
+	}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latWindow bounds the per-endpoint latency reservoir: quantiles reflect the
+// most recent samples so a long-lived daemon's report stays current.
+const latWindow = 4096
+
+// Metrics aggregates the daemon's operational counters. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu    sync.Mutex
+	start time.Time
+
+	sessionsCreated  int64
+	sessionsDeleted  int64
+	sessionsEvicted  int64
+	sessionsRejected int64
+
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	count  int64
+	errors int64
+	// lat is a ring of the last latWindow request durations in ms.
+	lat  []float64
+	next int
+	full bool
+}
+
+// NewMetrics returns zeroed metrics with the uptime clock started.
+func NewMetrics(now time.Time) *Metrics {
+	return &Metrics{start: now, endpoints: make(map[string]*endpointMetrics)}
+}
+
+// SessionCreated / SessionDeleted / SessionsEvicted / SessionRejected bump
+// the lifecycle counters.
+func (m *Metrics) SessionCreated() { m.mu.Lock(); m.sessionsCreated++; m.mu.Unlock() }
+
+// SessionDeleted counts an explicit DELETE.
+func (m *Metrics) SessionDeleted() { m.mu.Lock(); m.sessionsDeleted++; m.mu.Unlock() }
+
+// SessionsEvicted counts janitor TTL evictions.
+func (m *Metrics) SessionsEvicted(n int) {
+	if n == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.sessionsEvicted += int64(n)
+	m.mu.Unlock()
+}
+
+// SessionRejected counts creates refused at the capacity cap.
+func (m *Metrics) SessionRejected() { m.mu.Lock(); m.sessionsRejected++; m.mu.Unlock() }
+
+// Observe records one request against an endpoint label.
+func (m *Metrics) Observe(endpoint string, d time.Duration, isError bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &endpointMetrics{lat: make([]float64, 0, 64)}
+		m.endpoints[endpoint] = em
+	}
+	em.count++
+	if isError {
+		em.errors++
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	if len(em.lat) < latWindow && !em.full {
+		em.lat = append(em.lat, ms)
+		return
+	}
+	em.full = true
+	em.lat[em.next] = ms
+	em.next = (em.next + 1) % latWindow
+}
+
+// LatencySummary reports quantiles over a latency sample, in milliseconds.
+type LatencySummary struct {
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"`
+}
+
+// SummarizeLatencies computes the quantile summary of a millisecond sample.
+func SummarizeLatencies(ms []float64) LatencySummary {
+	s := LatencySummary{Samples: len(ms)}
+	s.P50, _ = stats.Quantile(ms, 0.50)
+	s.P90, _ = stats.Quantile(ms, 0.90)
+	s.P99, _ = stats.Quantile(ms, 0.99)
+	s.Max, _ = stats.Max(ms)
+	return s
+}
+
+// SessionCounters is the sessions block of the metrics document.
+type SessionCounters struct {
+	Active   int   `json:"active"`
+	Created  int64 `json:"created"`
+	Deleted  int64 `json:"deleted"`
+	Evicted  int64 `json:"evicted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// EndpointCounters is one endpoint's block of the metrics document.
+type EndpointCounters struct {
+	Count     int64           `json:"count"`
+	Errors    int64           `json:"errors,omitempty"`
+	LatencyMs *LatencySummary `json:"latency_ms,omitempty"`
+}
+
+// MetricsDump is the GET /metrics response body.
+type MetricsDump struct {
+	UptimeS   float64                     `json:"uptime_s"`
+	Sessions  SessionCounters             `json:"sessions"`
+	Endpoints map[string]EndpointCounters `json:"endpoints"`
+}
+
+// Dump snapshots the counters. activeSessions is supplied by the caller
+// (the store owns that gauge).
+func (m *Metrics) Dump(now time.Time, activeSessions int) MetricsDump {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := MetricsDump{
+		UptimeS: now.Sub(m.start).Seconds(),
+		Sessions: SessionCounters{
+			Active:   activeSessions,
+			Created:  m.sessionsCreated,
+			Deleted:  m.sessionsDeleted,
+			Evicted:  m.sessionsEvicted,
+			Rejected: m.sessionsRejected,
+		},
+		Endpoints: make(map[string]EndpointCounters, len(m.endpoints)),
+	}
+	for name, em := range m.endpoints {
+		ec := EndpointCounters{Count: em.count, Errors: em.errors}
+		if len(em.lat) > 0 {
+			sum := SummarizeLatencies(em.lat)
+			ec.LatencyMs = &sum
+		}
+		d.Endpoints[name] = ec
+	}
+	return d
+}

@@ -1,0 +1,193 @@
+// Package service hosts WIRE controllers behind a JSON HTTP API: the
+// controller-as-a-service daemon of cmd/wire-serve.
+//
+// The paper's MAPE loop is substrate-agnostic — it consumes monitoring
+// snapshots and emits scaling decisions (§III-B/§III-D) — so a controller
+// does not have to live inside the process that executes the workflow. This
+// package keeps many concurrent controller sessions in a capacity-capped,
+// TTL-evicted store and serves one pure request/response endpoint per MAPE
+// phase:
+//
+//	POST   /v1/sessions            create a session (workflow + policy)
+//	POST   /v1/sessions/{id}/plan  snapshot in, decision + predictions out
+//	GET    /v1/sessions/{id}/state WIRE run state (prediction wavefront)
+//	DELETE /v1/sessions/{id}       drop the session
+//	GET    /healthz                liveness
+//	GET    /metrics                counters and latency quantiles
+//
+// The same package ships the HTTP client, a RemoteController adapter that
+// lets internal/sim execute against a remote daemon, and the load generator
+// behind wire-serve's loadgen mode.
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// MaxSessions caps concurrently hosted sessions (default 1024;
+	// negative = unbounded).
+	MaxSessions int
+	// IdleTTL evicts sessions untouched for this long (default 30m;
+	// negative disables eviction).
+	IdleTTL time.Duration
+	// JanitorInterval is the eviction sweep period (default 1m).
+	JanitorInterval time.Duration
+	// ShutdownGrace bounds the drain of in-flight requests on shutdown
+	// (default 10s).
+	ShutdownGrace time.Duration
+	// Clock overrides the wall clock (tests).
+	Clock func() time.Time
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxSessions < 0 {
+		c.MaxSessions = 0 // unbounded store
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 30 * time.Minute
+	}
+	if c.IdleTTL < 0 {
+		c.IdleTTL = 0 // disables eviction
+	}
+	if c.JanitorInterval <= 0 {
+		c.JanitorInterval = time.Minute
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the controller-as-a-service daemon.
+type Server struct {
+	cfg     Config
+	store   *Store
+	metrics *Metrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New assembles a server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(cfg.MaxSessions, cfg.Clock),
+		metrics: NewMetrics(cfg.Clock()),
+		start:   cfg.Clock(),
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))
+	mux.Handle("POST /v1/sessions/{id}/plan", s.instrument("plan", s.handlePlan))
+	mux.Handle("GET /v1/sessions/{id}/state", s.instrument("session_state", s.handleSessionState))
+	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+func (s *Server) now() time.Time { return s.cfg.Clock() }
+
+// Store exposes the session store (tests and embedding callers).
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the daemon's HTTP handler; it is safe for concurrent use.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		s.metrics.Observe(name, time.Since(t0), sw.status >= 400)
+	})
+}
+
+// EvictIdleNow runs one eviction sweep and returns the number of sessions
+// dropped. The janitor calls it on every tick; tests call it directly.
+func (s *Server) EvictIdleNow() int {
+	n := s.store.EvictIdle(s.cfg.IdleTTL)
+	s.metrics.SessionsEvicted(n)
+	if n > 0 {
+		s.cfg.Logf("wire-serve: evicted %d idle session(s), %d live", n, s.store.Len())
+	}
+	return n
+}
+
+// janitor sweeps idle sessions until ctx is canceled.
+func (s *Server) janitor(ctx context.Context) {
+	if s.cfg.IdleTTL <= 0 {
+		return
+	}
+	t := time.NewTicker(s.cfg.JanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.EvictIdleNow()
+		}
+	}
+}
+
+// Serve runs the daemon on the listener until ctx is canceled, then drains
+// in-flight requests (bounded by ShutdownGrace) and returns. The janitor
+// goroutine runs for the lifetime of the call.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	janCtx, janCancel := context.WithCancel(ctx)
+	defer janCancel()
+	go s.janitor(janCtx)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.cfg.Logf("wire-serve: shutting down, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		return nil
+	}
+}

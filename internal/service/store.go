@@ -1,0 +1,167 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/sim"
+)
+
+// Store errors.
+var (
+	// ErrMaxSessions is returned by Create when the store is full; the API
+	// maps it to 429.
+	ErrMaxSessions = errors.New("service: session limit reached")
+	// ErrNotFound is returned for unknown session IDs; the API maps it
+	// to 404.
+	ErrNotFound = errors.New("service: session not found")
+)
+
+// Session is one hosted controller with its workflow. The session mutex
+// serializes Plan and State calls — controllers are single-threaded MAPE
+// loops — while different sessions plan fully in parallel.
+type Session struct {
+	ID       string
+	Policy   string
+	Workflow *dag.Workflow
+
+	// mu guards ctrl (controllers keep mutable run state).
+	mu   sync.Mutex
+	ctrl sim.Controller
+
+	createdAt time.Time
+	// lastUsed is unix nanoseconds, written on every API touch; atomic so
+	// the janitor can scan without taking every session's mutex.
+	lastUsed atomic.Int64
+	plans    atomic.Int64
+}
+
+// Controller runs fn with exclusive access to the session's controller and
+// returns fn's result. All controller access must go through it.
+func (s *Session) Controller(fn func(ctrl sim.Controller) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.ctrl)
+}
+
+// CreatedAt returns the session creation time.
+func (s *Session) CreatedAt() time.Time { return s.createdAt }
+
+// LastUsed returns the time of the last API touch.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// Plans returns the number of plan requests served.
+func (s *Session) Plans() int64 { return s.plans.Load() }
+
+// Store is a concurrency-safe session registry with a capacity cap and
+// idle-TTL eviction.
+type Store struct {
+	now func() time.Time
+	max int
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewStore returns a store holding at most max sessions (0 = unbounded).
+// now supplies the clock; tests substitute a fake one.
+func NewStore(max int, now func() time.Time) *Store {
+	if now == nil {
+		now = time.Now
+	}
+	return &Store{now: now, max: max, sessions: make(map[string]*Session)}
+}
+
+// newSessionID returns an opaque 128-bit hex ID.
+func newSessionID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("service: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Create registers a new session hosting ctrl for wf. It fails with
+// ErrMaxSessions when the store is at capacity.
+func (st *Store) Create(policy string, wf *dag.Workflow, ctrl sim.Controller) (*Session, error) {
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	now := st.now()
+	s := &Session{ID: id, Policy: policy, Workflow: wf, ctrl: ctrl, createdAt: now}
+	s.lastUsed.Store(now.UnixNano())
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.max > 0 && len(st.sessions) >= st.max {
+		return nil, ErrMaxSessions
+	}
+	for {
+		if _, taken := st.sessions[s.ID]; !taken {
+			break
+		}
+		// 128-bit collisions are cosmically unlikely; retry regardless.
+		if s.ID, err = newSessionID(); err != nil {
+			return nil, err
+		}
+	}
+	st.sessions[s.ID] = s
+	return s, nil
+}
+
+// Get returns the session and refreshes its idle timer.
+func (st *Store) Get(id string) (*Session, error) {
+	st.mu.Lock()
+	s, ok := st.sessions[id]
+	st.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	s.lastUsed.Store(st.now().UnixNano())
+	return s, nil
+}
+
+// Delete removes the session. An in-flight plan holding the session mutex
+// finishes normally; the session is simply no longer routable.
+func (st *Store) Delete(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sessions[id]; !ok {
+		return ErrNotFound
+	}
+	delete(st.sessions, id)
+	return nil
+}
+
+// Len returns the number of live sessions.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// EvictIdle removes every session idle for longer than ttl and returns how
+// many were evicted. A non-positive ttl disables eviction.
+func (st *Store) EvictIdle(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := st.now().Add(-ttl).UnixNano()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for id, s := range st.sessions {
+		if s.lastUsed.Load() < cutoff {
+			delete(st.sessions, id)
+			n++
+		}
+	}
+	return n
+}

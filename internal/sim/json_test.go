@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestDecisionJSONRoundTrip verifies the decision wire format loses nothing:
+// decisions travel back from wire-serve's plan endpoint as JSON and must
+// decode to the exact in-process value.
+func TestDecisionJSONRoundTrip(t *testing.T) {
+	cases := []Decision{
+		{},
+		{Launch: 3},
+		{Releases: []ReleaseOrder{{Instance: 4}}},
+		{Launch: 1, Releases: []ReleaseOrder{
+			{Instance: 0, AtBoundary: true},
+			{Instance: 7},
+			{Instance: 2, AtBoundary: true},
+		}},
+	}
+	for i, dec := range cases {
+		b, err := json.Marshal(dec)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var got Decision
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, dec) {
+			t.Errorf("case %d: round trip %s -> %+v, want %+v", i, b, got, dec)
+		}
+	}
+}
+
+// TestDecisionJSONStableNames pins the field names: they are part of the
+// public service API and must not drift with Go identifier renames.
+func TestDecisionJSONStableNames(t *testing.T) {
+	dec := Decision{Launch: 2, Releases: []ReleaseOrder{{Instance: 5, AtBoundary: true}}}
+	b, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	want := `{"launch":2,"releases":[{"instance":5,"at_boundary":true}]}`
+	if string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+}

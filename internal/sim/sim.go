@@ -33,20 +33,21 @@ type Controller interface {
 
 // ReleaseOrder asks for one instance to be released.
 type ReleaseOrder struct {
-	Instance cloud.InstanceID
+	Instance cloud.InstanceID `json:"instance"`
 	// AtBoundary delays the termination to the instance's next charging
 	// boundary (WIRE's no-recharge release, §III-D); otherwise the
 	// release is immediate.
-	AtBoundary bool
+	AtBoundary bool `json:"at_boundary,omitempty"`
 }
 
-// Decision is a controller's plan for the next interval.
+// Decision is a controller's plan for the next interval. The json tags
+// define the stable wire format wire-serve returns from its plan endpoint.
 type Decision struct {
 	// Launch is the number of new instances to request now; they become
 	// usable one lag later, i.e. at the start of the next interval.
-	Launch int
+	Launch int `json:"launch"`
 	// Releases lists instances to drain and terminate.
-	Releases []ReleaseOrder
+	Releases []ReleaseOrder `json:"releases,omitempty"`
 }
 
 // Config parameterizes a run.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dot"
 	"repro/internal/monitor"
 	"repro/internal/predict"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -182,6 +183,48 @@ var (
 	ReadDAX  = dax.Read
 	WriteDAX = dax.Write
 )
+
+// Controller-as-a-service: host controllers behind wire-serve's JSON API
+// and plan over HTTP.
+type (
+	// ServiceConfig tunes the wire-serve daemon.
+	ServiceConfig = service.Config
+	// ServiceServer hosts concurrent controller sessions over HTTP.
+	ServiceServer = service.Server
+	// ServiceClient is the typed client for a wire-serve daemon.
+	ServiceClient = service.Client
+	// RemoteController plans through a wire-serve session; it satisfies
+	// Controller so Run can execute against a daemon.
+	RemoteController = service.RemoteController
+	// CreateSessionRequest opens a controller session on a daemon.
+	CreateSessionRequest = service.CreateSessionRequest
+	// ControllerSpec carries per-session controller tuning over the API.
+	ControllerSpec = service.ControllerSpec
+)
+
+// NewServiceServer returns an unstarted wire-serve daemon; mount
+// Handler() on any listener or drive it with Serve.
+func NewServiceServer(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+
+// NewServiceClient returns a client for the daemon at baseURL.
+func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+
+// NewRemoteController opens a session on a daemon and returns a Controller
+// that plans through it.
+func NewRemoteController(c *ServiceClient, req CreateSessionRequest) (*RemoteController, error) {
+	return service.NewRemoteController(c, req)
+}
+
+// NewPolicyController builds a controller by policy name ("wire",
+// "deadline", "full-site", "pure-reactive", "reactive-conserving") — the
+// same registry wire-serve uses server-side.
+func NewPolicyController(policy string, spec *ControllerSpec) (Controller, error) {
+	return service.NewPolicyController(policy, spec)
+}
+
+// EncodeWorkflow converts a workflow to its JSON document form, as
+// CreateSessionRequest.Workflow expects.
+var EncodeWorkflow = dagio.Encode
 
 // Tracing and visualization.
 type (
