@@ -12,6 +12,14 @@
 //
 //	wire-serve loadgen -server http://127.0.0.1:8080 -sessions 100 -workflow genome-s
 //
+// Chaos mode runs the fault-tolerance certificate: it hosts a daemon
+// in-process, drives the sessions through deterministically injected network
+// and cloud faults, optionally kills and restarts the daemon mid-run
+// (recovering every session from its write-ahead journal), and requires each
+// decision stream byte-identical to a fault-free in-process twin:
+//
+//	wire-serve loadgen -chaos -sessions 12 -concurrency 2 -kill-after 150ms
+//
 // The daemon exits cleanly on SIGINT/SIGTERM after draining in-flight
 // requests.
 package main
@@ -26,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/report"
 	"repro/internal/service"
@@ -57,6 +66,7 @@ func runServe(args []string) error {
 	ttl := fs.Duration("ttl", 30*time.Minute, "idle session TTL (-1 = never evict)")
 	janitor := fs.Duration("janitor", time.Minute, "eviction sweep interval")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain bound")
+	journal := fs.String("journal", "", "crash-recovery journal directory (empty = journaling off)")
 	quiet := fs.Bool("quiet", false, "suppress operational log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +83,7 @@ func runServe(args []string) error {
 		IdleTTL:         *ttl,
 		JanitorInterval: *janitor,
 		ShutdownGrace:   *grace,
+		JournalDir:      *journal,
 		Logf:            logf,
 	})
 
@@ -108,6 +119,9 @@ func runLoadgen(args []string) error {
 	noise := fs.Float64("noise", 0.08, "lognormal sigma of per-attempt occupancy noise (0 = none)")
 	seed := fs.Int64("seed", 1, "seed base; session i uses seed+i")
 	verify := fs.Bool("verify", true, "re-run each session in-process and require identical results")
+	chaosMode := fs.Bool("chaos", false, "chaos certificate: in-process daemon + injected faults (ignores -server)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed (chaos mode)")
+	killAfter := fs.Duration("kill-after", 0, "kill and journal-restart the daemon this long into the run (chaos mode; 0 = no kill)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,7 +131,6 @@ func runLoadgen(args []string) error {
 		spec = &service.ControllerSpec{Deadline: deadline.Seconds()}
 	}
 	cfg := service.LoadgenConfig{
-		Client:      service.NewClient(*server),
 		Sessions:    *sessions,
 		Concurrency: *concurrency,
 		Policy:      *policy,
@@ -142,18 +155,43 @@ func runLoadgen(args []string) error {
 		},
 	}
 
-	res, err := service.Loadgen(cfg)
-	if err != nil {
-		return err
+	var (
+		res  *service.LoadgenResult
+		cert *service.ChaosCertResult
+		via  = *server
+		err  error
+	)
+	if *chaosMode {
+		// The certificate hosts its own daemon, injects the default fault
+		// plan into every session, and verifies against fault-free twins.
+		cfg.Chaos = defaultChaosPlan(*chaosSeed, *lag)
+		cfg.Verify = true
+		cert, err = service.ChaosCertify(context.Background(), service.ChaosCertConfig{
+			Loadgen: cfg,
+			Server: service.Config{Logf: func(format string, fargs ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", fargs...)
+			}},
+			KillAfter: *killAfter,
+		})
+		if err != nil {
+			return err
+		}
+		res, via = cert.LoadgenResult, "in-process chaos daemon"
+	} else {
+		cfg.Client = service.NewClient(*server)
+		res, err = service.Loadgen(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
 	}
 
 	t := &report.Table{
-		Title:   fmt.Sprintf("Loadgen — %d×%s under %s via %s", res.Sessions, *workflow, *policy, *server),
+		Title:   fmt.Sprintf("Loadgen — %d×%s under %s via %s", res.Sessions, *workflow, *policy, via),
 		Headers: []string{"metric", "value"},
 	}
 	t.AddRow("sessions completed", fmt.Sprintf("%d/%d", res.Completed, res.Sessions))
 	t.AddRow("sessions failed", res.Failed)
-	if *verify {
+	if cfg.Verify {
 		t.AddRow("remote/local mismatches", res.Mismatched)
 	}
 	t.AddRow("plan requests", res.Plans)
@@ -163,6 +201,22 @@ func runLoadgen(args []string) error {
 	t.AddRow("plan latency p90", report.F(res.Latency.P90, 2)+" ms")
 	t.AddRow("plan latency p99", report.F(res.Latency.P99, 2)+" ms")
 	t.AddRow("plan latency max", report.F(res.Latency.Max, 2)+" ms")
+	if res.Retries > 0 || *chaosMode {
+		t.AddRow("client retries", res.Retries)
+	}
+	if res.DegradedPlans > 0 {
+		t.AddRow("degraded plans", res.DegradedPlans)
+	}
+	if *chaosMode {
+		n := res.NetFaults
+		t.AddRow("net faults injected", fmt.Sprintf("%d of %d attempts (%d drops, %d 5xx, %d resets, %d delays)",
+			n.Total(), n.Attempts, n.DroppedRequests, n.Injected5xx, n.DroppedResponses, n.Delayed))
+		c := res.CloudFaults
+		t.AddRow("cloud faults injected", fmt.Sprintf("%d of %d orders (%d lost, %d dup, %d doa, %d stragglers)",
+			c.Lost+c.Duplicated+c.DOA, c.Orders, c.Lost, c.Duplicated, c.DOA, c.Stragglers))
+		t.AddRow("daemon killed mid-run", cert.Killed)
+		t.AddRow("journal replays", cert.JournalReplays)
+	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
@@ -172,5 +226,26 @@ func runLoadgen(args []string) error {
 	if res.Failed > 0 || res.Mismatched > 0 {
 		return fmt.Errorf("%d failed, %d mismatched of %d sessions", res.Failed, res.Mismatched, res.Sessions)
 	}
+	if *chaosMode {
+		fmt.Println("chaos certificate PASSED: decision streams byte-identical to fault-free twins")
+	}
 	return nil
+}
+
+// defaultChaosPlan is the fault mix `loadgen -chaos` injects: every fault
+// class active, aggressive enough that a typical run exercises each one.
+func defaultChaosPlan(seed int64, lag time.Duration) *chaos.Plan {
+	return &chaos.Plan{
+		Seed:              seed,
+		DropRequest:       0.05,
+		Err5xx:            0.05,
+		DropResponse:      0.05,
+		DelayProb:         0.20,
+		MaxDelay:          20 * time.Millisecond,
+		LostOrder:         0.05,
+		DuplicateOrder:    0.05,
+		DeadOnArrival:     0.05,
+		StragglerProb:     0.10,
+		MaxStragglerDelay: lag.Seconds(),
+	}
 }

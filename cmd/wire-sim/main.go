@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +47,7 @@ func main() {
 	maxInst := flag.Int("max-instances", 12, "site instance cap")
 	seed := flag.Int64("seed", 1, "generation/interference seed")
 	noise := flag.Float64("noise", 0.08, "lognormal sigma of per-attempt occupancy noise (0 = none)")
+	mtbf := flag.Duration("mtbf", 0, "mean time between instance failures (0 = no failures)")
 	flag.Parse()
 
 	wf, err := loadWorkflow(*dagFile, *daxFile, *workflow, *seed)
@@ -58,7 +60,7 @@ func main() {
 	}
 	var ctrl sim.Controller
 	if *server != "" {
-		rc, err := service.NewRemoteController(service.NewClient(*server), service.CreateSessionRequest{
+		rc, err := service.NewRemoteController(context.Background(), service.NewClient(*server), service.CreateSessionRequest{
 			Workflow:   dagio.Encode(wf),
 			Policy:     *policy,
 			Controller: spec,
@@ -87,6 +89,7 @@ func main() {
 			MaxInstances:     *maxInst,
 		},
 		Seed: *seed,
+		MTBF: mtbf.Seconds(),
 	}
 	if *noise > 0 {
 		cfg.Interference = dist.NewLognormalFromMean(1, *noise)
@@ -138,6 +141,12 @@ func printResult(wf *dag.Workflow, res *sim.Result) {
 	t.AddRow("peak pool", res.PeakPool)
 	t.AddRow("launches", res.Launches)
 	t.AddRow("task restarts", res.Restarts)
+	t.AddRow("instance failures", res.Failures)
+	if res.OrdersLost+res.OrdersDuplicated+res.DeadOnArrival > 0 {
+		t.AddRow("orders lost", res.OrdersLost)
+		t.AddRow("orders duplicated", res.OrdersDuplicated)
+		t.AddRow("dead on arrival", res.DeadOnArrival)
+	}
 	t.AddRow("MAPE iterations", res.Decisions)
 	t.AddRow("controller wall", res.ControllerWall.Round(time.Microsecond))
 	if err := t.Render(os.Stdout); err != nil {

@@ -40,7 +40,7 @@ func main() {
 		log.Fatal("genome-s missing from catalogue")
 	}
 	wf := run.Generate(1)
-	rc, err := wire.NewRemoteController(client, wire.CreateSessionRequest{
+	rc, err := wire.NewRemoteController(ctx, client, wire.CreateSessionRequest{
 		Workflow: wire.EncodeWorkflow(wf),
 		Policy:   "wire",
 	})
@@ -74,13 +74,13 @@ func main() {
 	fmt.Printf("MAPE iterations: %d, all over HTTP\n", res.Decisions)
 
 	// The daemon's own view of the session and its traffic.
-	state, err := client.State(rc.Session().ID)
+	state, err := client.State(ctx, rc.Session().ID)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nserver session state: %d plans served under policy %q\n",
 		state.Plans, state.Policy)
-	md, err := client.MetricsDump()
+	md, err := client.MetricsDump(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

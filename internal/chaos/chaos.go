@@ -1,0 +1,284 @@
+// Package chaos is the seeded, deterministic fault-injection harness.
+//
+// WIRE's premise is that clouds are unreliable (§II-B): orders take a lag to
+// act and do not always act faithfully, instances vary and die, and the
+// network between a controller and its clients drops, delays, and garbles
+// traffic. This package injects exactly those faults — reproducibly — so
+// every layer above it can be tested for fault tolerance:
+//
+//   - Transport wraps an http.RoundTripper and injects request drops,
+//     synthesized 5xx responses, post-delivery connection resets (the
+//     request WAS processed; the response is lost), and delays. It is what
+//     wire-serve's chaos loadgen puts between the retrying client and the
+//     daemon.
+//   - CloudFaults implements sim.FaultInjector: lost and duplicated launch
+//     orders, dead-on-arrival instances, and straggler activation delays,
+//     layered on internal/sim's existing MTBF crash path.
+//
+// Determinism: a Plan plus a stream id fully determines the fault schedule.
+// Every injector derives a private splitmix64-seeded generator from
+// (Plan.Seed, stream label, stream id) and consumes a fixed number of draws
+// per decision, so the k-th HTTP attempt (or k-th launch order) of a stream
+// always meets the same fate, independent of wall-clock timing or goroutine
+// interleaving. Schedule and ScheduleCloud expose the schedules directly so
+// tests can assert repeat-run equality.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Plan configures every fault class. The zero value injects nothing. All
+// probabilities are per decision point: per HTTP attempt for the network
+// faults, per controller launch order for the cloud faults.
+type Plan struct {
+	// Seed drives every fault schedule; the same seed and plan reproduce
+	// the same schedule exactly.
+	Seed int64 `json:"seed"`
+
+	// Network faults (Transport). At most one fires per attempt, so the
+	// three probabilities must sum to ≤ 1.
+	//
+	// DropRequest fails the attempt before the request is sent
+	// (connection refused): the server never sees it.
+	DropRequest float64 `json:"drop_request,omitempty"`
+	// Err5xx synthesizes a 503 without delivering the request (a dying
+	// proxy): the server never sees it.
+	Err5xx float64 `json:"err_5xx,omitempty"`
+	// DropResponse delivers the request, then discards the response and
+	// reports a connection reset: the server HAS processed it. This is
+	// the fault that exposes non-idempotent planning.
+	DropResponse float64 `json:"drop_response,omitempty"`
+	// DelayProb delays an attempt (orthogonal to the fates above) by a
+	// uniform draw from (0, MaxDelay].
+	DelayProb float64       `json:"delay_prob,omitempty"`
+	MaxDelay  time.Duration `json:"max_delay,omitempty"`
+
+	// Cloud faults (CloudFaults). At most one fires per launch order, so
+	// the three probabilities must sum to ≤ 1.
+	LostOrder      float64 `json:"lost_order,omitempty"`
+	DuplicateOrder float64 `json:"duplicate_order,omitempty"`
+	DeadOnArrival  float64 `json:"dead_on_arrival,omitempty"`
+	// StragglerProb delays one materialized launch's activation by a
+	// uniform draw from (0, MaxStragglerDelay] on top of the lag.
+	StragglerProb     float64          `json:"straggler_prob,omitempty"`
+	MaxStragglerDelay simtime.Duration `json:"max_straggler_delay_s,omitempty"`
+}
+
+// Validate reports configuration errors.
+func (p Plan) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"DropRequest", p.DropRequest}, {"Err5xx", p.Err5xx}, {"DropResponse", p.DropResponse},
+		{"DelayProb", p.DelayProb},
+		{"LostOrder", p.LostOrder}, {"DuplicateOrder", p.DuplicateOrder}, {"DeadOnArrival", p.DeadOnArrival},
+		{"StragglerProb", p.StragglerProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("chaos: %s = %v outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if s := p.DropRequest + p.Err5xx + p.DropResponse; s > 1 {
+		return fmt.Errorf("chaos: network fault probabilities sum to %v > 1", s)
+	}
+	if s := p.LostOrder + p.DuplicateOrder + p.DeadOnArrival; s > 1 {
+		return fmt.Errorf("chaos: cloud fault probabilities sum to %v > 1", s)
+	}
+	if p.DelayProb > 0 && p.MaxDelay <= 0 {
+		return fmt.Errorf("chaos: DelayProb set without a positive MaxDelay")
+	}
+	if p.StragglerProb > 0 && p.MaxStragglerDelay <= 0 {
+		return fmt.Errorf("chaos: StragglerProb set without a positive MaxStragglerDelay")
+	}
+	return nil
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool {
+	return p.DropRequest > 0 || p.Err5xx > 0 || p.DropResponse > 0 || p.DelayProb > 0 ||
+		p.LostOrder > 0 || p.DuplicateOrder > 0 || p.DeadOnArrival > 0 || p.StragglerProb > 0
+}
+
+// Stream labels keep the schedules of one stream id from ever coinciding.
+// Fate and straggler draws use separate sub-streams so the k-th launch
+// order's fate does not depend on how many straggler draws preceded it.
+const (
+	streamNetwork   = "chaos/network"
+	streamCloud     = "chaos/cloud"
+	streamStraggler = "chaos/cloud/straggler"
+)
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.): an invertible mix
+// whose outputs pass BigCrush, so nearby (seed, stream) inputs land far
+// apart. Same construction as internal/experiments' seed derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func strPart(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rng derives the private generator of one (plan, stream label, stream id).
+func (p Plan) rng(label string, stream int64) *rand.Rand {
+	h := splitmix64(uint64(p.Seed))
+	h = splitmix64(h ^ strPart(label))
+	h = splitmix64(h ^ uint64(stream))
+	return rand.New(rand.NewSource(int64(h &^ (1 << 63))))
+}
+
+// FaultKind labels one injected fault.
+type FaultKind int
+
+// Injected fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultDropRequest
+	FaultErr5xx
+	FaultDropResponse
+	FaultLostOrder
+	FaultDuplicateOrder
+	FaultDeadOnArrival
+	FaultStraggler
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropRequest:
+		return "drop-request"
+	case FaultErr5xx:
+		return "err-5xx"
+	case FaultDropResponse:
+		return "drop-response"
+	case FaultLostOrder:
+		return "lost-order"
+	case FaultDuplicateOrder:
+		return "duplicate-order"
+	case FaultDeadOnArrival:
+		return "dead-on-arrival"
+	case FaultStraggler:
+		return "straggler"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// NetFault is one attempt's entry in a network fault schedule.
+type NetFault struct {
+	Kind  FaultKind
+	Delay time.Duration // 0 = not delayed
+}
+
+// netDecider draws the network fault schedule of one stream. The draw
+// pattern per attempt is fixed (one fate draw, one delay-gate draw, one
+// delay-size draw when gated in), so attempt k's outcome depends only on
+// (plan, stream), never on timing.
+type netDecider struct {
+	plan Plan
+	rng  *rand.Rand
+}
+
+func (d *netDecider) next() NetFault {
+	var f NetFault
+	u := d.rng.Float64()
+	switch {
+	case u < d.plan.DropRequest:
+		f.Kind = FaultDropRequest
+	case u < d.plan.DropRequest+d.plan.Err5xx:
+		f.Kind = FaultErr5xx
+	case u < d.plan.DropRequest+d.plan.Err5xx+d.plan.DropResponse:
+		f.Kind = FaultDropResponse
+	}
+	if d.plan.DelayProb > 0 && d.rng.Float64() < d.plan.DelayProb {
+		f.Delay = time.Duration((1 - d.rng.Float64()) * float64(d.plan.MaxDelay))
+	}
+	return f
+}
+
+// Schedule returns the first n entries of stream's network fault schedule —
+// exactly what a Transport for the same (plan, stream) will inject.
+func (p Plan) Schedule(stream int64, n int) []NetFault {
+	d := &netDecider{plan: p, rng: p.rng(streamNetwork, stream)}
+	out := make([]NetFault, n)
+	for i := range out {
+		out[i] = d.next()
+	}
+	return out
+}
+
+// CloudFault is one launch order's entry in a cloud fault schedule.
+type CloudFault struct {
+	Fate sim.LaunchFate
+	// StragglerDelay is consulted separately, per materialized launch.
+	StragglerDelay simtime.Duration
+}
+
+// cloudDecider draws the cloud fault schedule of one stream.
+type cloudDecider struct {
+	plan     Plan
+	fateRng  *rand.Rand
+	stragRng *rand.Rand
+}
+
+func newCloudDecider(p Plan, stream int64) *cloudDecider {
+	return &cloudDecider{
+		plan:     p,
+		fateRng:  p.rng(streamCloud, stream),
+		stragRng: p.rng(streamStraggler, stream),
+	}
+}
+
+func (d *cloudDecider) fate() sim.LaunchFate {
+	u := d.fateRng.Float64()
+	switch {
+	case u < d.plan.LostOrder:
+		return sim.LaunchLost
+	case u < d.plan.LostOrder+d.plan.DuplicateOrder:
+		return sim.LaunchDuplicated
+	case u < d.plan.LostOrder+d.plan.DuplicateOrder+d.plan.DeadOnArrival:
+		return sim.LaunchDOA
+	default:
+		return sim.LaunchOK
+	}
+}
+
+func (d *cloudDecider) stragglerDelay() simtime.Duration {
+	if d.plan.StragglerProb <= 0 {
+		return 0
+	}
+	if d.stragRng.Float64() >= d.plan.StragglerProb {
+		return 0
+	}
+	return (1 - d.stragRng.Float64()) * d.plan.MaxStragglerDelay
+}
+
+// ScheduleCloud returns the first n launch-order fates of stream's cloud
+// schedule — exactly what a CloudFaults for the same (plan, stream) returns
+// from its first n LaunchFate calls.
+func (p Plan) ScheduleCloud(stream int64, n int) []sim.LaunchFate {
+	d := newCloudDecider(p, stream)
+	out := make([]sim.LaunchFate, n)
+	for i := range out {
+		out[i] = d.fate()
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testPlan() Plan {
+	return Plan{
+		Seed:              42,
+		DropRequest:       0.1,
+		Err5xx:            0.1,
+		DropResponse:      0.1,
+		DelayProb:         0.2,
+		MaxDelay:          time.Millisecond,
+		LostOrder:         0.1,
+		DuplicateOrder:    0.1,
+		DeadOnArrival:     0.1,
+		StragglerProb:     0.2,
+		MaxStragglerDelay: 60,
+	}
+}
+
+// TestScheduleRepeatRunEquality is the determinism acceptance test: the same
+// chaos seed and fault plan must reproduce the same fault schedule, run
+// after run, for both the network and the cloud schedules.
+func TestScheduleRepeatRunEquality(t *testing.T) {
+	p := testPlan()
+	for stream := int64(0); stream < 5; stream++ {
+		a, b := p.Schedule(stream, 500), p.Schedule(stream, 500)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("network schedule of stream %d differs between runs", stream)
+		}
+		ca, cb := p.ScheduleCloud(stream, 500), p.ScheduleCloud(stream, 500)
+		if !reflect.DeepEqual(ca, cb) {
+			t.Fatalf("cloud schedule of stream %d differs between runs", stream)
+		}
+	}
+
+	// Distinct streams and distinct seeds get distinct schedules.
+	if reflect.DeepEqual(p.Schedule(0, 500), p.Schedule(1, 500)) {
+		t.Error("streams 0 and 1 share a network schedule")
+	}
+	p2 := p
+	p2.Seed = 43
+	if reflect.DeepEqual(p.Schedule(0, 500), p2.Schedule(0, 500)) {
+		t.Error("seeds 42 and 43 share a network schedule")
+	}
+}
+
+// TestTransportFollowsSchedule drives a real Transport through a live
+// httptest server and checks every attempt meets exactly the fate the
+// published schedule predicts.
+func TestTransportFollowsSchedule(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	p := testPlan()
+	p.DelayProb, p.MaxDelay = 0, 0 // keep the test fast
+	const n = 200
+	sched := p.Schedule(7, n)
+	tr := p.Transport(7, http.DefaultTransport)
+	hc := &http.Client{Transport: tr}
+
+	wantServed := int64(0)
+	for i := 0; i < n; i++ {
+		resp, err := hc.Get(ts.URL)
+		switch sched[i].Kind {
+		case FaultDropRequest, FaultDropResponse:
+			if err == nil {
+				resp.Body.Close()
+				t.Fatalf("attempt %d: want injected error (%v), got success", i, sched[i].Kind)
+			}
+			if sched[i].Kind == FaultDropResponse {
+				wantServed++ // the server processed it before the reset
+			}
+		case FaultErr5xx:
+			if err != nil {
+				t.Fatalf("attempt %d: want synthesized 503, got error %v", i, err)
+			}
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("attempt %d: status %d, want 503", i, resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		default:
+			if err != nil {
+				t.Fatalf("attempt %d: want success, got %v", i, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("attempt %d: status %d, want 200", i, resp.StatusCode)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			wantServed++
+		}
+	}
+
+	if got := served.Load(); got != wantServed {
+		t.Errorf("server saw %d requests, schedule predicts %d", got, wantServed)
+	}
+	c := tr.Counts()
+	if c.Attempts != n {
+		t.Errorf("counted %d attempts, want %d", c.Attempts, n)
+	}
+	if c.Total() == 0 {
+		t.Error("no faults injected at 30% fault probability over 200 attempts")
+	}
+	if got := c.DroppedRequests + c.Injected5xx + c.DroppedResponses; got != c.Total() {
+		t.Errorf("Total() = %d, sum of parts = %d", c.Total(), got)
+	}
+}
+
+// TestCloudFaultsFollowSchedule checks the live injector replays the
+// published fate schedule and counts what it injects.
+func TestCloudFaultsFollowSchedule(t *testing.T) {
+	p := testPlan()
+	const n = 300
+	sched := p.ScheduleCloud(3, n)
+	cf := p.CloudFaults(3)
+	var want CloudCounts
+	for i := 0; i < n; i++ {
+		got := cf.LaunchFate()
+		if got != sched[i] {
+			t.Fatalf("order %d: fate %v, schedule says %v", i, got, sched[i])
+		}
+		want.Orders++
+		switch got {
+		case sim.LaunchLost:
+			want.Lost++
+		case sim.LaunchDuplicated:
+			want.Duplicated++
+		case sim.LaunchDOA:
+			want.DOA++
+		}
+	}
+	c := cf.Counts()
+	c.Stragglers = 0 // not exercised here
+	if c != want {
+		t.Errorf("counts %+v, want %+v", c, want)
+	}
+	if want.Lost == 0 || want.Duplicated == 0 || want.DOA == 0 {
+		t.Errorf("some fault class never fired over %d orders: %+v", n, want)
+	}
+
+	// Straggler draws: deterministic and bounded.
+	cf2, cf3 := p.CloudFaults(9), p.CloudFaults(9)
+	sawDelay := false
+	for i := 0; i < 200; i++ {
+		d2, d3 := cf2.ActivationDelay(), cf3.ActivationDelay()
+		if d2 != d3 {
+			t.Fatalf("straggler draw %d differs between identical streams: %v vs %v", i, d2, d3)
+		}
+		if d2 < 0 || d2 > p.MaxStragglerDelay {
+			t.Fatalf("straggler delay %v outside (0, %v]", d2, p.MaxStragglerDelay)
+		}
+		if d2 > 0 {
+			sawDelay = true
+		}
+	}
+	if !sawDelay {
+		t.Error("no straggler delay fired at 20% probability over 200 draws")
+	}
+}
+
+// TestPlanValidate pins the configuration errors.
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{}).Validate(); err != nil {
+		t.Errorf("zero plan should validate: %v", err)
+	}
+	if err := testPlan().Validate(); err != nil {
+		t.Errorf("test plan should validate: %v", err)
+	}
+	bad := []Plan{
+		{DropRequest: -0.1},
+		{Err5xx: 1.5},
+		{DropRequest: 0.5, Err5xx: 0.4, DropResponse: 0.2},
+		{LostOrder: 0.5, DuplicateOrder: 0.4, DeadOnArrival: 0.2},
+		{DelayProb: 0.1},
+		{StragglerProb: 0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p)
+		}
+	}
+	if (Plan{}).Active() {
+		t.Error("zero plan reports active")
+	}
+	if !testPlan().Active() {
+		t.Error("test plan reports inactive")
+	}
+}

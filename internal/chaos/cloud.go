@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// CloudCounts summarizes what a CloudFaults injected.
+type CloudCounts struct {
+	Orders     int64 `json:"orders"`
+	Lost       int64 `json:"lost"`
+	Duplicated int64 `json:"duplicated"`
+	DOA        int64 `json:"doa"`
+	Stragglers int64 `json:"stragglers"`
+}
+
+// CloudFaults implements sim.FaultInjector with the plan's cloud-side fault
+// schedule for one stream. The simulator consults it from a single
+// goroutine; like the simulator itself, it is not safe for concurrent use.
+type CloudFaults struct {
+	d      *cloudDecider
+	counts CloudCounts
+}
+
+var _ sim.FaultInjector = (*CloudFaults)(nil)
+
+// CloudFaults builds the injector for one stream (one sim run). Each run
+// needs its own injector: the schedule position is consumed as the run
+// progresses.
+func (p Plan) CloudFaults(stream int64) *CloudFaults {
+	return &CloudFaults{d: newCloudDecider(p, stream)}
+}
+
+// LaunchFate implements sim.FaultInjector.
+func (c *CloudFaults) LaunchFate() sim.LaunchFate {
+	c.counts.Orders++
+	f := c.d.fate()
+	switch f {
+	case sim.LaunchLost:
+		c.counts.Lost++
+	case sim.LaunchDuplicated:
+		c.counts.Duplicated++
+	case sim.LaunchDOA:
+		c.counts.DOA++
+	}
+	return f
+}
+
+// ActivationDelay implements sim.FaultInjector.
+func (c *CloudFaults) ActivationDelay() simtime.Duration {
+	d := c.d.stragglerDelay()
+	if d > 0 {
+		c.counts.Stragglers++
+	}
+	return d
+}
+
+// Counts returns the injected-fault counters so far.
+func (c *CloudFaults) Counts() CloudCounts { return c.counts }

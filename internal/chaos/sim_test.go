@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// growController launches one instance per tick until the cap.
+type growController struct{}
+
+func (growController) Name() string { return "grow" }
+func (growController) Plan(snap *monitor.Snapshot) sim.Decision {
+	if len(snap.Instances) < snap.MaxInstances {
+		return sim.Decision{Launch: 1}
+	}
+	return sim.Decision{}
+}
+
+func faultyRun(t *testing.T, p Plan, stream int64) *sim.Result {
+	t.Helper()
+	b := dag.NewBuilder("chaos-fan")
+	st := b.AddStage("s")
+	for i := 0; i < 40; i++ {
+		b.AddTask(st, "t", 120, 5, 1)
+	}
+	wf := b.MustBuild()
+	res, err := sim.Run(wf, growController{}, sim.Config{
+		Cloud:  cloud.Config{SlotsPerInstance: 2, LagTime: 30, ChargingUnit: 300, MaxInstances: 8},
+		Seed:   11,
+		MTBF:   4000,
+		Faults: p.CloudFaults(stream),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSimWithCloudFaultsDeterministic is the end-to-end determinism
+// certificate at the simulator level: the same chaos seed + plan reproduces
+// the whole run — every task run, pool sample, and fault counter — and the
+// faults actually bite.
+func TestSimWithCloudFaultsDeterministic(t *testing.T) {
+	p := testPlan()
+	a, b := faultyRun(t, p, 1), faultyRun(t, p, 1)
+	a.ControllerWall, b.ControllerWall = 0, 0 // wall time is real, not simulated
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical (seed, plan, stream) runs diverged")
+	}
+	if a.OrdersLost == 0 && a.OrdersDuplicated == 0 && a.DeadOnArrival == 0 {
+		t.Errorf("no cloud faults fired: %+v", a)
+	}
+
+	// A different stream perturbs the run.
+	c := faultyRun(t, p, 2)
+	c.ControllerWall = 0
+	if reflect.DeepEqual(a, c) {
+		t.Error("streams 1 and 2 produced identical faulty runs")
+	}
+
+	// The fault-free twin differs and pays no fault counters.
+	clean := faultyRun(t, Plan{}, 1)
+	if clean.OrdersLost != 0 || clean.OrdersDuplicated != 0 || clean.DeadOnArrival != 0 {
+		t.Errorf("fault-free run reports faults: %+v", clean)
+	}
+}

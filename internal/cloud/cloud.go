@@ -210,6 +210,23 @@ func (s *Site) Launch(now simtime.Time) (*Instance, error) {
 	return in, nil
 }
 
+// Postpone delays a pending instance's activation to a later instant — a
+// straggler launch (§II-B: instantiation lags vary). Billing follows the
+// activation unless the site charges from the request.
+func (s *Site) Postpone(in *Instance, to simtime.Time) error {
+	if in.State != Pending {
+		return fmt.Errorf("cloud: postpone instance %d in state %v", in.ID, in.State)
+	}
+	if simtime.Before(to, in.ActiveAt) {
+		return fmt.Errorf("cloud: postpone instance %d to %v before nominal activation %v", in.ID, to, in.ActiveAt)
+	}
+	in.ActiveAt = to
+	if !s.cfg.ChargeFromRequest {
+		in.chargeOrigin = to
+	}
+	return nil
+}
+
 // Activate marks a pending instance usable. The execution simulator calls it
 // from the activation event at in.ActiveAt.
 func (s *Site) Activate(in *Instance, now simtime.Time) error {

@@ -226,6 +226,55 @@ func TestWireSurvivesInstanceFailures(t *testing.T) {
 	checkInvariants(t, wf, res, 12)
 }
 
+// TestAllPoliciesSurviveInstanceFailures extends the MTBF chaos run to every
+// policy: failures must actually be injected and the workflow must still
+// complete with the cross-module invariants intact. Full-site never
+// relaunches, so it gets a gentler failure rate its static pool can outlive;
+// the elastic policies replenish and take the aggressive one.
+func TestAllPoliciesSurviveInstanceFailures(t *testing.T) {
+	mtbf := map[string]simtime.Duration{
+		"wire":                10 * simtime.Minute,
+		"pure-reactive":       10 * simtime.Minute,
+		"reactive-conserving": 10 * simtime.Minute,
+		"full-site":           90 * simtime.Minute,
+	}
+	for policy, mk := range controllers() {
+		policy, mk := policy, mk
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			run, _ := workloads.ByKey("pagerank-s")
+			wf := run.Generate(1)
+			cfg := sim.Config{
+				Cloud:      siteConfig(5 * simtime.Minute),
+				Seed:       13,
+				MTBF:       mtbf[policy],
+				MaxSimTime: 1e7,
+			}
+			if policy == "full-site" {
+				cfg.InitialInstances = cfg.Cloud.MaxInstances
+			}
+			res, err := sim.Run(wf, mk(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failures == 0 {
+				t.Fatal("no failures injected; lower the MTBF")
+			}
+			checkInvariants(t, wf, res, 12)
+
+			// Determinism holds on the failure path too.
+			twin, err := sim.Run(run.Generate(1), mk(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if twin.Makespan != res.Makespan || twin.Failures != res.Failures || twin.Restarts != res.Restarts {
+				t.Fatalf("failure path nondeterministic: %v/%d/%d vs %v/%d/%d",
+					res.Makespan, res.Failures, res.Restarts, twin.Makespan, twin.Failures, twin.Restarts)
+			}
+		})
+	}
+}
+
 func TestGrowthScheduleMatchesSection3E(t *testing.T) {
 	// §III-E: with one-slot instances and a single stage of N identical
 	// tasks, the pool at elapsed time tau (before any completion) should

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/baseline"
@@ -121,9 +122,15 @@ type SessionInfo struct {
 // the tasks that have not started yet (the Figure 1 wavefront). Predictions
 // are only present for policies with online prediction (wire, deadline).
 type PlanResponse struct {
-	SessionID   string                 `json:"session_id"`
-	Iteration   int64                  `json:"iteration"`
-	Decision    sim.Decision           `json:"decision"`
+	SessionID string `json:"session_id"`
+	Iteration int64  `json:"iteration"`
+	// Seq is the plan interval this decision answers (see PlanSeqHeader);
+	// a retried request with the same seq receives this response verbatim.
+	Seq      int64        `json:"seq"`
+	Decision sim.Decision `json:"decision"`
+	// Degraded marks a decision produced by the session's
+	// reactive-conserving fallback after the controller panicked.
+	Degraded    bool                   `json:"degraded,omitempty"`
 	Predictions []core.PredictionState `json:"predictions,omitempty"`
 }
 
@@ -237,6 +244,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.SessionCreated()
+	s.openSessionJournal(sess, &req)
 	s.writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
 }
 
@@ -281,6 +289,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	var seq int64
+	if h := r.Header.Get(PlanSeqHeader); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v <= 0 {
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				"invalid %s header %q: want a positive integer", PlanSeqHeader, h)
+			return
+		}
+		seq = v
+	}
 	var snap monitor.Snapshot
 	if !s.readJSON(w, r, &snap) {
 		return
@@ -298,28 +316,83 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := PlanResponse{SessionID: sess.ID}
-	err := sess.Controller(func(ctrl sim.Controller) (err error) {
-		// A controller fed an inconsistent snapshot may panic deep in the
-		// predictor; that is the client's bug, not grounds to kill every
-		// other session on the daemon.
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("controller rejected snapshot: %v", p)
-			}
-		}()
-		resp.Decision = ctrl.Plan(&snap)
-		resp.Iteration = sess.plans.Add(1)
-		if sd, ok := ctrl.(stateDumper); ok {
-			resp.Predictions = pendingPredictions(sd.State(), &snap)
+	sess.mu.Lock()
+	if seq > 0 {
+		// Exactly-once planning: a retry of the last interval is answered
+		// from the cache without advancing the controller; anything else
+		// out of order is a protocol violation the client must not paper
+		// over by replanning.
+		if seq == sess.lastSeq && sess.lastResp != nil {
+			resp := *sess.lastResp
+			sess.mu.Unlock()
+			s.metrics.PlanRetried()
+			s.writeJSON(w, http.StatusOK, resp)
+			return
 		}
-		return nil
-	})
+		if seq != sess.lastSeq+1 {
+			last := sess.lastSeq
+			sess.mu.Unlock()
+			s.writeError(w, http.StatusConflict, "seq_conflict",
+				"plan seq %d out of order (last served %d)", seq, last)
+			return
+		}
+	}
+	dec, degraded, preds, err := planStep(sess, &snap)
 	if err != nil {
+		sess.mu.Unlock()
 		s.writeError(w, http.StatusUnprocessableEntity, "plan_failed", "%v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	assigned := sess.lastSeq + 1
+	resp := &PlanResponse{
+		SessionID:   sess.ID,
+		Iteration:   sess.plans.Add(1),
+		Seq:         assigned,
+		Decision:    dec,
+		Degraded:    degraded,
+		Predictions: preds,
+	}
+	// Journal before releasing the response: any decision a client can
+	// have observed must be re-derivable after a crash.
+	lean := snap
+	lean.Workflow = nil
+	if jerr := sess.wal.append(walRecord{Type: "plan", Seq: assigned, Snapshot: &lean, Response: resp}); jerr != nil {
+		s.cfg.Logf("wire-serve: journal append failed for session %s: %v", sess.ID, jerr)
+	}
+	sess.lastSeq, sess.lastResp = assigned, resp
+	sess.mu.Unlock()
+	if degraded {
+		s.metrics.PlanDegraded()
+	}
+	s.writeJSON(w, http.StatusOK, *resp)
+}
+
+// planStep advances the session's controller by one interval, degrading to
+// the session's reactive-conserving fallback when the controller panics — a
+// client feeding inconsistent snapshots gets conservative decisions, not
+// failed intervals (and certainly not a crashed daemon). The caller must
+// hold sess.mu.
+func planStep(sess *Session, snap *monitor.Snapshot) (dec sim.Decision, degraded bool, preds []core.PredictionState, err error) {
+	plan := func(ctrl sim.Controller) (d sim.Decision, panicked any) {
+		defer func() { panicked = recover() }()
+		return ctrl.Plan(snap), nil
+	}
+	dec, panicked := plan(sess.ctrl)
+	if panicked == nil {
+		if sd, ok := sess.ctrl.(stateDumper); ok {
+			preds = pendingPredictions(sd.State(), snap)
+		}
+		return dec, false, preds, nil
+	}
+	if sess.fallback == nil {
+		sess.fallback = &baseline.ReactiveConserving{}
+	}
+	dec, fallbackPanic := plan(sess.fallback)
+	if fallbackPanic != nil {
+		return sim.Decision{}, true, nil,
+			fmt.Errorf("controller rejected snapshot: %v (fallback also failed: %v)", panicked, fallbackPanic)
+	}
+	return dec, true, nil, nil
 }
 
 // pendingPredictions filters the full prediction log down to the wavefront:

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -66,7 +67,7 @@ func (c *teeController) Name() string { return c.local.Name() }
 
 func (c *teeController) Plan(snap *monitor.Snapshot) sim.Decision {
 	c.iters++
-	resp, err := c.client.Plan(c.id, snap)
+	resp, err := c.client.Plan(context.Background(), c.id, 0, snap)
 	if err != nil {
 		c.t.Fatalf("iteration %d: remote plan: %v", c.iters, err)
 	}
@@ -92,7 +93,7 @@ func (c *teeController) Plan(snap *monitor.Snapshot) sim.Decision {
 func TestRemoteDecisionsByteIdentical(t *testing.T) {
 	_, client := newTestServer(t, Config{})
 	wf := fanWorkflow()
-	info, err := client.CreateSession(CreateSessionRequest{Workflow: dagio.Encode(wf)})
+	info, err := client.CreateSession(context.Background(), CreateSessionRequest{Workflow: dagio.Encode(wf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSessionLifecycleHTTP(t *testing.T) {
 	srv, client := newTestServer(t, Config{})
 	wf := fanWorkflow()
 
-	info, err := client.CreateSession(CreateSessionRequest{Workflow: dagio.Encode(wf)})
+	info, err := client.CreateSession(context.Background(), CreateSessionRequest{Workflow: dagio.Encode(wf)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSessionLifecycleHTTP(t *testing.T) {
 		t.Fatal("no decisions planned")
 	}
 
-	state, err := client.State(info.ID)
+	state, err := client.State(context.Background(), info.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSessionLifecycleHTTP(t *testing.T) {
 		t.Errorf("controller state missing or stale: %+v", state.Controller)
 	}
 
-	health, err := client.Health()
+	health, err := client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestSessionLifecycleHTTP(t *testing.T) {
 		t.Errorf("health = %+v", health)
 	}
 
-	md, err := client.MetricsDump()
+	md, err := client.MetricsDump(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,10 +174,10 @@ func TestSessionLifecycleHTTP(t *testing.T) {
 		t.Errorf("metrics sessions = %+v", md.Sessions)
 	}
 
-	if err := client.DeleteSession(info.ID); err != nil {
+	if err := client.DeleteSession(context.Background(), info.ID); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DeleteSession(info.ID); err == nil {
+	if err := client.DeleteSession(context.Background(), info.ID); err == nil {
 		t.Error("second delete should 404")
 	}
 	if srv.Store().Len() != 0 {
@@ -188,14 +189,14 @@ func TestSessionLifecycleHTTP(t *testing.T) {
 func TestPlanRejectsBadSnapshots(t *testing.T) {
 	_, client := newTestServer(t, Config{})
 	wf := smallWorkflow(3)
-	info, err := client.CreateSession(CreateSessionRequest{Workflow: dagio.Encode(wf)})
+	info, err := client.CreateSession(context.Background(), CreateSessionRequest{Workflow: dagio.Encode(wf)})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	check := func(name string, snap *monitor.Snapshot, wantStatus int) {
 		t.Helper()
-		_, err := client.Plan(info.ID, snap)
+		_, err := client.Plan(context.Background(), info.ID, 0, snap)
 		var apiErr *APIError
 		if err == nil || !asAPIError(err, &apiErr) {
 			t.Fatalf("%s: err = %v, want APIError", name, err)
@@ -221,7 +222,7 @@ func TestPlanRejectsBadSnapshots(t *testing.T) {
 	noUnit.ChargingUnit = 0
 	check("zero charging unit", noUnit, http.StatusBadRequest)
 
-	if _, err := client.Plan("deadbeef", readySnapshot(wf)); err == nil {
+	if _, err := client.Plan(context.Background(), "deadbeef", 0, readySnapshot(wf)); err == nil {
 		t.Error("unknown session should 404")
 	}
 }
@@ -241,7 +242,7 @@ func TestCreateSessionValidation(t *testing.T) {
 			Workflow: dagio.Encode(smallWorkflow(1)), WorkflowKey: "genome-s"}},
 	}
 	for _, tc := range cases {
-		_, err := client.CreateSession(tc.req)
+		_, err := client.CreateSession(context.Background(), tc.req)
 		var apiErr *APIError
 		if err == nil || !asAPIError(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: err = %v, want 400", tc.name, err)
@@ -249,10 +250,10 @@ func TestCreateSessionValidation(t *testing.T) {
 	}
 
 	// Catalogue key and the deadline policy both work when well-formed.
-	if _, err := client.CreateSession(CreateSessionRequest{WorkflowKey: "genome-s", WorkflowSeed: 5}); err != nil {
+	if _, err := client.CreateSession(context.Background(), CreateSessionRequest{WorkflowKey: "genome-s", WorkflowSeed: 5}); err != nil {
 		t.Errorf("catalogue create: %v", err)
 	}
-	if _, err := client.CreateSession(CreateSessionRequest{
+	if _, err := client.CreateSession(context.Background(), CreateSessionRequest{
 		WorkflowKey: "genome-s",
 		Policy:      "deadline",
 		Controller:  &ControllerSpec{Deadline: 7200},
@@ -275,14 +276,14 @@ func TestConcurrentSessionsHTTP(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			wf := smallWorkflow(4 + g%3)
-			info, err := client.CreateSession(CreateSessionRequest{Workflow: dagio.Encode(wf)})
+			info, err := client.CreateSession(context.Background(), CreateSessionRequest{Workflow: dagio.Encode(wf)})
 			if err != nil {
 				errs <- err
 				return
 			}
 			snap := readySnapshot(wf)
 			for i := 0; i < 10; i++ {
-				resp, err := client.Plan(info.ID, snap)
+				resp, err := client.Plan(context.Background(), info.ID, 0, snap)
 				if err != nil {
 					errs <- fmt.Errorf("goroutine %d plan %d: %w", g, i, err)
 					return
@@ -296,11 +297,11 @@ func TestConcurrentSessionsHTTP(t *testing.T) {
 					return
 				}
 			}
-			if _, err := client.State(info.ID); err != nil {
+			if _, err := client.State(context.Background(), info.ID); err != nil {
 				errs <- err
 				return
 			}
-			if err := client.DeleteSession(info.ID); err != nil {
+			if err := client.DeleteSession(context.Background(), info.ID); err != nil {
 				errs <- err
 				return
 			}
@@ -337,10 +338,11 @@ func (p *panicController) Plan(*monitor.Snapshot) sim.Decision {
 	return sim.Decision{}
 }
 
-// TestPlanPanicsBecome422 installs a controller that panics on its first
-// snapshot and requires the daemon to answer 422 and stay healthy: one
-// client's inconsistent snapshot must never take down other sessions.
-func TestPlanPanicsBecome422(t *testing.T) {
+// TestPlanPanicsDegrade installs a controller that panics on its first
+// snapshot and requires the daemon to degrade to the reactive-conserving
+// fallback — a flagged 200, not a 422 — and stay healthy: one predictor
+// crash must cost at most one interval of optimality, never the session.
+func TestPlanPanicsDegrade(t *testing.T) {
 	srv, client := newTestServer(t, Config{})
 	wf := smallWorkflow(3)
 	sess, err := srv.Store().Create("wire", wf, &panicController{})
@@ -348,19 +350,27 @@ func TestPlanPanicsBecome422(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, err = client.Plan(sess.ID, readySnapshot(wf))
-	var apiErr *APIError
-	if err == nil || !asAPIError(err, &apiErr) {
-		t.Fatalf("err = %v, want APIError", err)
+	resp, err := client.Plan(context.Background(), sess.ID, 0, readySnapshot(wf))
+	if err != nil {
+		t.Fatalf("plan during controller panic: %v", err)
 	}
-	if apiErr.StatusCode != http.StatusUnprocessableEntity || apiErr.Code != "plan_failed" {
-		t.Fatalf("got %d/%s, want 422/plan_failed", apiErr.StatusCode, apiErr.Code)
+	if !resp.Degraded {
+		t.Fatal("response not flagged degraded after controller panic")
 	}
-	// The daemon survives and the session still plans valid snapshots.
-	if _, err := client.Plan(sess.ID, readySnapshot(wf)); err != nil {
-		t.Fatalf("session unusable after rejected snapshot: %v", err)
+	// The controller recovers on its second call, so the session resumes
+	// undegraded planning.
+	resp, err = client.Plan(context.Background(), sess.ID, 0, readySnapshot(wf))
+	if err != nil {
+		t.Fatalf("session unusable after degraded plan: %v", err)
 	}
-	if _, err := client.Health(); err != nil {
-		t.Fatalf("daemon unhealthy after rejected snapshot: %v", err)
+	if resp.Degraded {
+		t.Error("recovered controller still flagged degraded")
+	}
+	if _, err := client.Health(context.Background()); err != nil {
+		t.Fatalf("daemon unhealthy after degraded plan: %v", err)
+	}
+	md := srv.Metrics().Dump(srv.now(), srv.Store().Len())
+	if md.FaultTolerance.DegradedPlansTotal != 1 {
+		t.Errorf("degraded_plans_total = %d, want 1", md.FaultTolerance.DegradedPlansTotal)
 	}
 }

@@ -2,17 +2,28 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/monitor"
 	"repro/internal/sim"
 )
+
+// PlanSeqHeader carries the per-session plan interval sequence number. A
+// retried plan request resends the same value and is answered from the
+// session's decision cache, so planning is exactly-once per interval even
+// when the network loses responses. Requests without the header fall back to
+// server-assigned sequencing (one fresh interval per request).
+const PlanSeqHeader = "Wire-Plan-Seq"
 
 // APIError is a non-2xx response decoded from the daemon's error body.
 type APIError struct {
@@ -26,43 +37,195 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("wire-serve: HTTP %d (%s): %s", e.StatusCode, e.Code, e.Message)
 }
 
+// RetryPolicy bounds the client's retry loop: exponential backoff with full
+// jitter, retrying transport errors, 5xx, and 429 responses. The zero value
+// of each field takes the documented default when the policy is enabled via
+// WithRetry.
+type RetryPolicy struct {
+	// MaxAttempts caps total tries per request (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms): the backoff
+	// cap before attempt k is BaseDelay·2^(k-1), and the actual sleep is a
+	// uniform draw from [0, cap) — "full jitter".
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+	// PerAttemptTimeout bounds each individual attempt (default: the
+	// client timeout). The caller's context still bounds the whole call.
+	PerAttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the full-jitter sleep before attempt (attempt ≥ 2).
+func (p RetryPolicy) backoff(attempt int, u float64) time.Duration {
+	ceil := p.BaseDelay
+	for i := 2; i < attempt && ceil < p.MaxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil > p.MaxDelay {
+		ceil = p.MaxDelay
+	}
+	return time.Duration(u * float64(ceil))
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithTimeout replaces the default 60s whole-request timeout. It is ignored
+// when WithHTTPClient supplies a fully built client.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithTransport wraps the HTTP transport — how the chaos harness injects
+// network faults between client and daemon.
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.transport = rt }
+}
+
+// WithHTTPClient substitutes the entire http.Client (connection pools,
+// redirect policy). Overrides WithTimeout and WithTransport.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry enables retries under the policy (zero fields take defaults).
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
 // Client talks to a wire-serve daemon. It is safe for concurrent use; the
-// load generator shares one client across every session.
+// load generator shares one client across every session. By default it does
+// not retry; see WithRetry.
 type Client struct {
-	base string
-	hc   *http.Client
+	base      string
+	hc        *http.Client
+	timeout   time.Duration
+	transport http.RoundTripper
+	retry     RetryPolicy
+
+	retries atomic.Int64
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
 }
 
 // NewClient returns a client for a daemon base URL such as
 // "http://127.0.0.1:8080".
-func NewClient(base string) *Client {
-	return &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 60 * time.Second},
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		timeout: 60 * time.Second,
+		retry:   RetryPolicy{MaxAttempts: 1},
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Timeout: c.timeout, Transport: c.transport}
+	}
+	if c.jitter == nil {
+		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c
 }
 
-// do sends one JSON request. A nil in sends no body; a nil out discards the
-// response body.
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+// BaseURL returns the daemon base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// Retries returns how many retry attempts (beyond each request's first try)
+// the client has issued so far.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+func (c *Client) jitterU() float64 {
+	c.jmu.Lock()
+	defer c.jmu.Unlock()
+	return c.jitter.Float64()
+}
+
+// retryable reports whether a response status is worth retrying: transient
+// server trouble and throttling, never client errors.
+func retryable(status int) bool {
+	return status >= 500 || status == http.StatusTooManyRequests
+}
+
+// do sends one JSON request with the client's retry policy. A nil in sends
+// no body; a nil out discards the response body. A zero seq omits the
+// sequence header.
+func (c *Client) do(ctx context.Context, method, path string, seq int64, in, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("wire-serve client: encode %s %s: %w", method, path, err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			select {
+			case <-time.After(c.retry.backoff(attempt, c.jitterU())):
+			case <-ctx.Done():
+				return fmt.Errorf("wire-serve client: %s %s: %w (last attempt: %v)", method, path, ctx.Err(), lastErr)
+			}
+		}
+		retry, err := c.attempt(ctx, method, path, seq, body, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt performs one try and reports whether its failure is retryable.
+func (c *Client) attempt(ctx context.Context, method, path string, seq int64, body []byte, hasBody bool, out any) (retry bool, err error) {
+	actx := ctx
+	if c.retry.PerAttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.retry.PerAttemptTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return fmt.Errorf("wire-serve client: %w", err)
+		return false, fmt.Errorf("wire-serve client: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if seq > 0 {
+		req.Header.Set(PlanSeqHeader, strconv.FormatInt(seq, 10))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("wire-serve client: %s %s: %w", method, path, err)
+		// Transport errors (drops, resets, per-attempt timeouts) are
+		// retryable; the parent context expiring is not.
+		return ctx.Err() == nil, fmt.Errorf("wire-serve client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -71,67 +234,71 @@ func (c *Client) do(method, path string, in, out any) error {
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil {
 			apiErr.Code, apiErr.Message = eb.Code, eb.Error
 		}
-		return apiErr
+		return retryable(resp.StatusCode), apiErr
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("wire-serve client: decode %s %s: %w", method, path, err)
+		// A response truncated mid-body is a lost response; retry.
+		return true, fmt.Errorf("wire-serve client: decode %s %s: %w", method, path, err)
 	}
-	return nil
+	return false, nil
 }
 
 // CreateSession creates a controller session.
-func (c *Client) CreateSession(req CreateSessionRequest) (*SessionInfo, error) {
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (*SessionInfo, error) {
 	var info SessionInfo
-	if err := c.do(http.MethodPost, "/v1/sessions", req, &info); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", 0, req, &info); err != nil {
 		return nil, err
 	}
 	return &info, nil
 }
 
-// Plan posts one monitoring snapshot and returns the decision. The
-// snapshot's Workflow is stripped before sending — the session's DAG is
-// authoritative on the server.
-func (c *Client) Plan(id string, snap *monitor.Snapshot) (*PlanResponse, error) {
+// Plan posts one monitoring snapshot and returns the decision. seq is the
+// 1-based plan interval number; retried requests resend the same seq and are
+// answered from the session's cache (exactly-once planning). A zero seq uses
+// legacy server-side sequencing, under which a retry after a lost response
+// would plan a fresh interval. The snapshot's Workflow is stripped before
+// sending — the session's DAG is authoritative on the server.
+func (c *Client) Plan(ctx context.Context, id string, seq int64, snap *monitor.Snapshot) (*PlanResponse, error) {
 	lean := *snap
 	lean.Workflow = nil
 	var resp PlanResponse
-	if err := c.do(http.MethodPost, "/v1/sessions/"+id+"/plan", &lean, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/plan", seq, &lean, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // State fetches the session's run state.
-func (c *Client) State(id string) (*SessionStateResponse, error) {
+func (c *Client) State(ctx context.Context, id string) (*SessionStateResponse, error) {
 	var resp SessionStateResponse
-	if err := c.do(http.MethodGet, "/v1/sessions/"+id+"/state", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/state", 0, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // DeleteSession drops the session.
-func (c *Client) DeleteSession(id string) error {
-	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, 0, nil, nil)
 }
 
 // Health fetches the liveness document.
-func (c *Client) Health() (*HealthResponse, error) {
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	var resp HealthResponse
-	if err := c.do(http.MethodGet, "/healthz", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", 0, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
 // MetricsDump fetches the daemon's metrics document.
-func (c *Client) MetricsDump() (*MetricsDump, error) {
+func (c *Client) MetricsDump(ctx context.Context) (*MetricsDump, error) {
 	var resp MetricsDump
-	if err := c.do(http.MethodGet, "/metrics", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics", 0, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -139,15 +306,20 @@ func (c *Client) MetricsDump() (*MetricsDump, error) {
 
 // RemoteController adapts one daemon session to sim.Controller, so the
 // in-process simulator can execute a workflow while the planning happens
-// over HTTP. Plan cannot return an error by contract; a transport or API
+// over HTTP. It numbers plan intervals so client-level retries stay
+// exactly-once. Plan cannot return an error by contract; a transport or API
 // failure freezes the pool (empty decision) and is reported by Err after
 // the run.
 type RemoteController struct {
 	client *Client
 	info   *SessionInfo
+	ctx    context.Context
 
 	// observe, when set, receives each plan round-trip latency.
 	observe func(time.Duration)
+
+	seq      atomic.Int64
+	degraded atomic.Int64
 
 	mu  sync.Mutex
 	err error
@@ -155,13 +327,17 @@ type RemoteController struct {
 
 var _ sim.Controller = (*RemoteController)(nil)
 
-// NewRemoteController creates a session on the daemon and wraps it.
-func NewRemoteController(c *Client, req CreateSessionRequest) (*RemoteController, error) {
-	info, err := c.CreateSession(req)
+// NewRemoteController creates a session on the daemon and wraps it. ctx
+// bounds the session's whole lifetime: every plan round trip inherits it.
+func NewRemoteController(ctx context.Context, c *Client, req CreateSessionRequest) (*RemoteController, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	info, err := c.CreateSession(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteController{client: c, info: info}, nil
+	return &RemoteController{client: c, info: info, ctx: ctx}, nil
 }
 
 // SetLatencyObserver registers a per-plan latency callback (loadgen). Call
@@ -170,6 +346,10 @@ func (rc *RemoteController) SetLatencyObserver(fn func(time.Duration)) { rc.obse
 
 // Session returns the wrapped session's info.
 func (rc *RemoteController) Session() SessionInfo { return *rc.info }
+
+// Degraded returns how many plan responses were served by the daemon's
+// fallback policy after a controller panic.
+func (rc *RemoteController) Degraded() int64 { return rc.degraded.Load() }
 
 // Name implements sim.Controller; it reports the server-side policy so a
 // remote run is labelled identically to its in-process twin.
@@ -183,8 +363,12 @@ func (rc *RemoteController) Plan(snap *monitor.Snapshot) sim.Decision {
 	if failed {
 		return sim.Decision{}
 	}
+	ctx := rc.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t0 := time.Now()
-	resp, err := rc.client.Plan(rc.info.ID, snap)
+	resp, err := rc.client.Plan(ctx, rc.info.ID, rc.seq.Add(1), snap)
 	if rc.observe != nil {
 		rc.observe(time.Since(t0))
 	}
@@ -195,6 +379,9 @@ func (rc *RemoteController) Plan(snap *monitor.Snapshot) sim.Decision {
 		}
 		rc.mu.Unlock()
 		return sim.Decision{}
+	}
+	if resp.Degraded {
+		rc.degraded.Add(1)
 	}
 	return resp.Decision
 }
@@ -208,5 +395,9 @@ func (rc *RemoteController) Err() error {
 
 // Close deletes the remote session.
 func (rc *RemoteController) Close() error {
-	return rc.client.DeleteSession(rc.info.ID)
+	ctx := rc.ctx
+	if ctx == nil || ctx.Err() != nil {
+		ctx = context.Background()
+	}
+	return rc.client.DeleteSession(ctx, rc.info.ID)
 }

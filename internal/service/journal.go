@@ -1,0 +1,242 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dagio"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// The crash-recovery journal: with Config.JournalDir set, every session
+// appends its lifecycle to an append-only per-session write-ahead log
+// (<dir>/<id>.wal, one JSON record per line). A plan is journaled BEFORE its
+// response is released, so any decision a client may have observed is
+// re-derivable; a restarted daemon rebuilds its session store by replaying
+// each WAL through a fresh controller of the same policy. Deleting or
+// evicting a session removes its WAL; sessions alive at shutdown are
+// recovered on the next start.
+
+// walRecord is one journal line. Type "create" opens the log and carries
+// everything needed to rebuild the controller; each "plan" carries the
+// snapshot that advanced it and the response that was (about to be) served.
+type walRecord struct {
+	Type string `json:"type"`
+
+	// create
+	ID         string          `json:"id,omitempty"`
+	Policy     string          `json:"policy,omitempty"`
+	Workflow   *dagio.Document `json:"workflow,omitempty"`
+	Controller *ControllerSpec `json:"controller,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+
+	// plan
+	Seq      int64             `json:"seq,omitempty"`
+	Snapshot *monitor.Snapshot `json:"snapshot,omitempty"`
+	Response *PlanResponse     `json:"response,omitempty"`
+}
+
+// journal is one session's WAL handle. It has its own mutex: appends run
+// under the session mutex, but Close races with in-flight plans when a
+// session is deleted.
+type journal struct {
+	path string
+	f    *os.File
+	enc  *json.Encoder
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{path: path, f: f, enc: json.NewEncoder(f)}, nil
+}
+
+// append writes one record and syncs it to stable storage.
+func (j *journal) append(rec walRecord) error {
+	if j == nil {
+		return nil
+	}
+	if err := j.enc.Encode(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// close closes the file, removing it when remove is set (deleted sessions
+// must not resurrect on restart).
+func (j *journal) close(remove bool) {
+	if j == nil {
+		return
+	}
+	_ = j.f.Close()
+	if remove {
+		_ = os.Remove(j.path)
+	}
+}
+
+func (s *Server) journalPath(id string) string {
+	return filepath.Join(s.cfg.JournalDir, id+".wal")
+}
+
+// openSessionJournal attaches a WAL to a freshly created session and writes
+// its create record. Journal trouble is logged, never fatal: the daemon
+// degrades to memory-only sessions rather than refusing service.
+func (s *Server) openSessionJournal(sess *Session, req *CreateSessionRequest) {
+	if s.cfg.JournalDir == "" {
+		return
+	}
+	j, err := openJournal(s.journalPath(sess.ID))
+	if err != nil {
+		s.cfg.Logf("wire-serve: journal disabled for session %s: %v", sess.ID, err)
+		return
+	}
+	doc := req.Workflow
+	if doc == nil {
+		doc = dagio.Encode(sess.Workflow)
+	}
+	rec := walRecord{
+		Type:       "create",
+		ID:         sess.ID,
+		Policy:     sess.Policy,
+		Workflow:   doc,
+		Controller: req.Controller,
+		CreatedAt:  sess.CreatedAt(),
+	}
+	if err := j.append(rec); err != nil {
+		s.cfg.Logf("wire-serve: journal disabled for session %s: %v", sess.ID, err)
+		j.close(true)
+		return
+	}
+	sess.setWAL(j)
+}
+
+// recoverJournals rebuilds the session store from JournalDir. Called once
+// from New, before the daemon serves traffic.
+func (s *Server) recoverJournals() {
+	entries, err := os.ReadDir(s.cfg.JournalDir)
+	if err != nil {
+		s.cfg.Logf("wire-serve: journal recovery: %v", err)
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".wal" {
+			continue
+		}
+		path := filepath.Join(s.cfg.JournalDir, e.Name())
+		if err := s.recoverSession(path); err != nil {
+			s.cfg.Logf("wire-serve: journal recovery: %s: %v", e.Name(), err)
+		}
+	}
+}
+
+// recoverSession replays one WAL: it rebuilds the controller from the create
+// record, replays every journaled snapshot through it in sequence order
+// (skipping duplicate sequence numbers — a crash mid-append can leave the
+// same interval twice), restores the exactly-once cache from the last
+// record, and re-attaches the journal for appends. A torn trailing record is
+// truncated away.
+func (s *Server) recoverSession(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	dec := json.NewDecoder(f)
+	var create walRecord
+	if err := dec.Decode(&create); err != nil {
+		return fmt.Errorf("unreadable create record: %w", err)
+	}
+	if create.Type != "create" || create.ID == "" || create.Workflow == nil {
+		return fmt.Errorf("malformed create record")
+	}
+	wf, err := dagio.Decode(create.Workflow)
+	if err != nil {
+		return fmt.Errorf("workflow: %w", err)
+	}
+	ctrl, err := NewPolicyController(create.Policy, create.Controller)
+	if err != nil {
+		return err
+	}
+	createdAt := create.CreatedAt
+	if createdAt.IsZero() {
+		createdAt = s.now()
+	}
+	sess, err := s.store.Restore(create.ID, create.Policy, wf, ctrl, createdAt)
+	if err != nil {
+		return err
+	}
+
+	goodOffset := dec.InputOffset()
+	torn := false
+	for {
+		var rec walRecord
+		if err := dec.Decode(&rec); err != nil {
+			if !errors.Is(err, io.EOF) {
+				torn = true
+				s.cfg.Logf("wire-serve: journal %s: torn record after offset %d: %v; truncating",
+					filepath.Base(path), goodOffset, err)
+			}
+			break
+		}
+		if rec.Type != "plan" || rec.Snapshot == nil || rec.Response == nil {
+			goodOffset = dec.InputOffset()
+			continue
+		}
+		if rec.Seq <= sess.lastSeq {
+			// Duplicate interval (two writers during a crash window, or a
+			// replayed retry): first write wins, like the live seq cache.
+			goodOffset = dec.InputOffset()
+			continue
+		}
+		rec.Snapshot.Workflow = wf
+		dec2, degraded, _, perr := planStep(sess, rec.Snapshot)
+		if perr != nil {
+			s.cfg.Logf("wire-serve: journal %s: replaying seq %d: %v", filepath.Base(path), rec.Seq, perr)
+		} else if degraded != rec.Response.Degraded || !sameDecision(dec2, rec.Response.Decision) {
+			s.cfg.Logf("wire-serve: journal %s: seq %d replay diverged from recorded decision; keeping record",
+				filepath.Base(path), rec.Seq)
+		}
+		// The recorded response is authoritative: it is what the client saw.
+		sess.lastSeq = rec.Seq
+		sess.lastResp = rec.Response
+		sess.plans.Store(rec.Response.Iteration)
+		goodOffset = dec.InputOffset()
+	}
+	if torn {
+		if err := os.Truncate(path, goodOffset); err != nil {
+			return fmt.Errorf("truncate torn tail: %w", err)
+		}
+	}
+
+	j, err := openJournal(path)
+	if err != nil {
+		s.cfg.Logf("wire-serve: journal disabled for recovered session %s: %v", sess.ID, err)
+	} else {
+		sess.setWAL(j)
+	}
+	s.metrics.JournalReplayed()
+	s.cfg.Logf("wire-serve: recovered session %s (%s, %d plan(s)) from journal", sess.ID, sess.Policy, sess.lastSeq)
+	return nil
+}
+
+// sameDecision compares two decisions structurally.
+func sameDecision(a, b sim.Decision) bool {
+	if a.Launch != b.Launch || len(a.Releases) != len(b.Releases) {
+		return false
+	}
+	for i := range a.Releases {
+		if a.Releases[i] != b.Releases[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,14 +1,19 @@
 package service
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/dagio"
 	"repro/internal/dist"
+	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -46,13 +51,37 @@ type LoadgenConfig struct {
 	// stream — cross-session contamination cannot cancel out.
 	SeedBase int64
 
+	// Chaos, when non-nil and active, injects the plan's faults: each
+	// session gets a private fault-injecting client (network faults,
+	// stream = session seed) and a private cloud-fault injector for its
+	// simulated site. Requires a retry policy; Retry defaults to
+	// DefaultChaosRetry when unset.
+	Chaos *chaos.Plan
+	// Retry overrides the per-session clients' retry policy (chaos mode
+	// only; without Chaos the shared Client is used as configured).
+	Retry *RetryPolicy
+
 	// Verify re-runs every session in-process with an identical fresh
-	// controller and requires identical results: any dropped or
-	// mis-routed decision changes the event stream and is caught here.
+	// controller and requires the decision streams byte-identical: any
+	// lost, duplicated, degraded, or mis-routed plan interval changes the
+	// stream and is caught here — under fault injection this is the
+	// exactly-once certificate.
 	Verify bool
 
 	// Progress, when set, is called after each finished session.
 	Progress func(done, total int)
+}
+
+// DefaultChaosRetry is the retry policy chaos loadgen uses when none is
+// given: persistent enough to ride out injected faults and a daemon
+// restart, with small delays to keep runs fast.
+func DefaultChaosRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:       10,
+		BaseDelay:         20 * time.Millisecond,
+		MaxDelay:          500 * time.Millisecond,
+		PerAttemptTimeout: 15 * time.Second,
+	}
 }
 
 // LoadgenResult summarizes a load-generation run.
@@ -70,14 +99,71 @@ type LoadgenResult struct {
 	// Latency summarizes client-observed plan round trips.
 	Latency LatencySummary
 
+	// Retries counts HTTP retry attempts across all sessions.
+	Retries int64
+	// DegradedPlans counts responses served by the daemon's fallback.
+	DegradedPlans int64
+	// NetFaults aggregates injected network faults (chaos mode).
+	NetFaults chaos.Counts
+	// CloudFaults aggregates injected cloud faults (chaos mode).
+	CloudFaults chaos.CloudCounts
+
 	// Errors holds the first few failure messages.
 	Errors []string
 }
 
+// decisionTee records the JSON encoding of every decision a controller
+// emits, in order — the byte-level decision stream two runs are compared on.
+type decisionTee struct {
+	inner sim.Controller
+	decs  [][]byte
+}
+
+func (t *decisionTee) Name() string { return t.inner.Name() }
+
+func (t *decisionTee) Plan(snap *monitor.Snapshot) sim.Decision {
+	d := t.inner.Plan(snap)
+	b, _ := json.Marshal(d)
+	t.decs = append(t.decs, b)
+	return d
+}
+
+// diffDecisionStreams returns "" when the two streams are byte-identical.
+func diffDecisionStreams(remote, local [][]byte) string {
+	if len(remote) != len(local) {
+		return fmt.Sprintf("decision count %d != %d", len(remote), len(local))
+	}
+	for i := range remote {
+		if !bytes.Equal(remote[i], local[i]) {
+			return fmt.Sprintf("decision %d: %s != %s", i, remote[i], local[i])
+		}
+	}
+	return ""
+}
+
+// sessionClient returns the client session i should plan through: the shared
+// one normally, or a private fault-injecting one in chaos mode (per-session
+// transports keep each fault schedule private to one request stream, so
+// concurrency cannot reshuffle it).
+func (cfg *LoadgenConfig) sessionClient(stream int64) (*Client, *chaos.Transport) {
+	if cfg.Chaos == nil || !cfg.Chaos.Active() {
+		return cfg.Client, nil
+	}
+	tr := cfg.Chaos.Transport(stream, nil)
+	retry := DefaultChaosRetry()
+	if cfg.Retry != nil {
+		retry = cfg.Retry.withDefaults()
+	}
+	return NewClient(cfg.Client.BaseURL(), WithTransport(tr), WithRetry(retry)), tr
+}
+
 // Loadgen runs the load generation and returns the aggregate report. It
 // returns an error only for invalid configuration; per-session failures are
-// counted in the result.
-func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
+// counted in the result. ctx cancellation aborts in-flight sessions.
+func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Client == nil {
 		return nil, fmt.Errorf("loadgen: Client is required")
 	}
@@ -103,6 +189,11 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 	}
 	if err := cfg.Cloud.Validate(); err != nil {
 		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: %w", err)
+		}
 	}
 	// Validate the policy spec once up front, not N times concurrently.
 	if _, err := NewPolicyController(cfg.Policy, cfg.Controller); err != nil {
@@ -135,8 +226,14 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 		if cfg.Policy == "full-site" {
 			simCfg.InitialInstances = cfg.Cloud.MaxInstances
 		}
+		client, tr := cfg.sessionClient(seed)
+		var cloudFaults *chaos.CloudFaults
+		if cfg.Chaos != nil && cfg.Chaos.Active() {
+			cloudFaults = cfg.Chaos.CloudFaults(seed)
+			simCfg.Faults = cloudFaults
+		}
 
-		rc, err := NewRemoteController(cfg.Client, CreateSessionRequest{
+		rc, err := NewRemoteController(ctx, client, CreateSessionRequest{
 			Workflow:   dagio.Encode(wf),
 			Policy:     cfg.Policy,
 			Controller: cfg.Controller,
@@ -152,7 +249,8 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 			mu.Unlock()
 		})
 
-		remote, err := sim.Run(wf, rc, simCfg)
+		remoteTee := &decisionTee{inner: rc}
+		remote, err := sim.Run(wf, remoteTee, simCfg)
 		if err != nil {
 			fail(i, fmt.Errorf("remote-planned run: %w", err))
 			return nil
@@ -162,39 +260,64 @@ func Loadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 			return nil
 		}
 
-		mismatch := false
+		mismatch := ""
 		if cfg.Verify {
 			ctrl, err := NewPolicyController(cfg.Policy, cfg.Controller)
 			if err != nil {
 				fail(i, err)
 				return nil
 			}
-			local, err := sim.Run(gen(seed), ctrl, simCfg)
+			localCfg := simCfg
+			if cfg.Chaos != nil && cfg.Chaos.Active() {
+				// The twin replays the identical cloud-fault stream: the
+				// injected faults must perturb both runs the same way.
+				localCfg.Faults = cfg.Chaos.CloudFaults(seed)
+			}
+			localTee := &decisionTee{inner: ctrl}
+			local, err := sim.Run(gen(seed), localTee, localCfg)
 			if err != nil {
 				fail(i, fmt.Errorf("in-process twin run: %w", err))
 				return nil
 			}
-			if d := diffResults(remote, local); d != "" {
-				mismatch = true
-				mu.Lock()
-				if len(res.Errors) < 5 {
-					res.Errors = append(res.Errors, fmt.Sprintf("session %d: remote/local mismatch: %s", i, d))
-				}
-				mu.Unlock()
+			if d := diffDecisionStreams(remoteTee.decs, localTee.decs); d != "" {
+				mismatch = "decision streams differ: " + d
+			} else if d := diffResults(remote, local); d != "" {
+				mismatch = "remote/local mismatch: " + d
 			}
 		}
 
 		mu.Lock()
 		res.Completed++
-		if mismatch {
+		if mismatch != "" {
 			res.Mismatched++
+			if len(res.Errors) < 5 {
+				res.Errors = append(res.Errors, fmt.Sprintf("session %d: %s", i, mismatch))
+			}
 		}
 		res.Plans += int64(remote.Decisions)
 		res.Decisions += int64(remote.Decisions)
+		res.DegradedPlans += rc.Degraded()
+		if client != cfg.Client {
+			res.Retries += client.Retries()
+		}
+		if tr != nil {
+			res.NetFaults.Add(tr.Counts())
+		}
+		if cloudFaults != nil {
+			c := cloudFaults.Counts()
+			res.CloudFaults.Orders += c.Orders
+			res.CloudFaults.Lost += c.Lost
+			res.CloudFaults.Duplicated += c.Duplicated
+			res.CloudFaults.DOA += c.DOA
+			res.CloudFaults.Stragglers += c.Stragglers
+		}
 		mu.Unlock()
 		return nil
 	})
 
+	if cfg.Chaos == nil || !cfg.Chaos.Active() {
+		res.Retries += cfg.Client.Retries()
+	}
 	res.Wall = time.Since(start)
 	if s := res.Wall.Seconds(); s > 0 {
 		res.PlansPerSec = float64(res.Plans) / s
@@ -220,6 +343,14 @@ func diffResults(remote, local *sim.Result) string {
 		return fmt.Sprintf("launches %d != %d", remote.Launches, local.Launches)
 	case remote.Restarts != local.Restarts:
 		return fmt.Sprintf("restarts %d != %d", remote.Restarts, local.Restarts)
+	case remote.Failures != local.Failures:
+		return fmt.Sprintf("failures %d != %d", remote.Failures, local.Failures)
+	case remote.OrdersLost != local.OrdersLost:
+		return fmt.Sprintf("orders lost %d != %d", remote.OrdersLost, local.OrdersLost)
+	case remote.OrdersDuplicated != local.OrdersDuplicated:
+		return fmt.Sprintf("orders duplicated %d != %d", remote.OrdersDuplicated, local.OrdersDuplicated)
+	case remote.DeadOnArrival != local.DeadOnArrival:
+		return fmt.Sprintf("dead on arrival %d != %d", remote.DeadOnArrival, local.DeadOnArrival)
 	case len(remote.TaskRuns) != len(local.TaskRuns):
 		return fmt.Sprintf("task runs %d != %d", len(remote.TaskRuns), len(local.TaskRuns))
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestLoadgenHundredConcurrentSessions(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	res, err := Loadgen(LoadgenConfig{
+	res, err := Loadgen(context.Background(), LoadgenConfig{
 		Client:   NewClient(ts.URL),
 		Sessions: 100,
 		Policy:   "wire",
@@ -69,16 +70,16 @@ func TestLoadgenConfigValidation(t *testing.T) {
 	defer ts.Close()
 	client := NewClient(ts.URL)
 
-	if _, err := Loadgen(LoadgenConfig{Client: client, Cloud: testCloud}); err == nil {
+	if _, err := Loadgen(context.Background(), LoadgenConfig{Client: client, Cloud: testCloud}); err == nil {
 		t.Error("missing workflow should fail")
 	}
-	if _, err := Loadgen(LoadgenConfig{Client: client, WorkflowKey: "nope", Cloud: testCloud}); err == nil {
+	if _, err := Loadgen(context.Background(), LoadgenConfig{Client: client, WorkflowKey: "nope", Cloud: testCloud}); err == nil {
 		t.Error("unknown workflow key should fail")
 	}
-	if _, err := Loadgen(LoadgenConfig{Client: client, WorkflowKey: "genome-s"}); err == nil {
+	if _, err := Loadgen(context.Background(), LoadgenConfig{Client: client, WorkflowKey: "genome-s"}); err == nil {
 		t.Error("invalid cloud config should fail")
 	}
-	if _, err := Loadgen(LoadgenConfig{
+	if _, err := Loadgen(context.Background(), LoadgenConfig{
 		Client: client, WorkflowKey: "genome-s", Cloud: testCloud, Policy: "apollo",
 	}); err == nil {
 		t.Error("unknown policy should fail")

@@ -22,6 +22,10 @@ type Metrics struct {
 	sessionsEvicted  int64
 	sessionsRejected int64
 
+	planRetries    int64
+	degradedPlans  int64
+	journalReplays int64
+
 	endpoints map[string]*endpointMetrics
 }
 
@@ -58,6 +62,18 @@ func (m *Metrics) SessionsEvicted(n int) {
 
 // SessionRejected counts creates refused at the capacity cap.
 func (m *Metrics) SessionRejected() { m.mu.Lock(); m.sessionsRejected++; m.mu.Unlock() }
+
+// PlanRetried counts plan requests answered from the exactly-once seq cache:
+// each one is a client retry the daemon deduplicated.
+func (m *Metrics) PlanRetried() { m.mu.Lock(); m.planRetries++; m.mu.Unlock() }
+
+// PlanDegraded counts decisions served by a session's fallback policy after
+// its controller panicked.
+func (m *Metrics) PlanDegraded() { m.mu.Lock(); m.degradedPlans++; m.mu.Unlock() }
+
+// JournalReplayed counts sessions rebuilt from their write-ahead logs at
+// startup.
+func (m *Metrics) JournalReplayed() { m.mu.Lock(); m.journalReplays++; m.mu.Unlock() }
 
 // Observe records one request against an endpoint label.
 func (m *Metrics) Observe(endpoint string, d time.Duration, isError bool) {
@@ -117,11 +133,24 @@ type EndpointCounters struct {
 	LatencyMs *LatencySummary `json:"latency_ms,omitempty"`
 }
 
+// FaultToleranceCounters is the fault-tolerance block of the metrics
+// document.
+type FaultToleranceCounters struct {
+	// RetriesTotal counts plan requests answered from the exactly-once
+	// sequence cache (deduplicated client retries).
+	RetriesTotal int64 `json:"retries_total"`
+	// DegradedPlansTotal counts fallback decisions after controller panics.
+	DegradedPlansTotal int64 `json:"degraded_plans_total"`
+	// JournalReplaysTotal counts sessions rebuilt from WALs at startup.
+	JournalReplaysTotal int64 `json:"journal_replays_total"`
+}
+
 // MetricsDump is the GET /metrics response body.
 type MetricsDump struct {
-	UptimeS   float64                     `json:"uptime_s"`
-	Sessions  SessionCounters             `json:"sessions"`
-	Endpoints map[string]EndpointCounters `json:"endpoints"`
+	UptimeS        float64                     `json:"uptime_s"`
+	Sessions       SessionCounters             `json:"sessions"`
+	FaultTolerance FaultToleranceCounters      `json:"fault_tolerance"`
+	Endpoints      map[string]EndpointCounters `json:"endpoints"`
 }
 
 // Dump snapshots the counters. activeSessions is supplied by the caller
@@ -137,6 +166,11 @@ func (m *Metrics) Dump(now time.Time, activeSessions int) MetricsDump {
 			Deleted:  m.sessionsDeleted,
 			Evicted:  m.sessionsEvicted,
 			Rejected: m.sessionsRejected,
+		},
+		FaultTolerance: FaultToleranceCounters{
+			RetriesTotal:        m.planRetries,
+			DegradedPlansTotal:  m.degradedPlans,
+			JournalReplaysTotal: m.journalReplays,
 		},
 		Endpoints: make(map[string]EndpointCounters, len(m.endpoints)),
 	}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"os"
 	"time"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// ShutdownGrace bounds the drain of in-flight requests on shutdown
 	// (default 10s).
 	ShutdownGrace time.Duration
+	// JournalDir, when set, enables the crash-recovery journal: every
+	// session appends its lifecycle to <dir>/<id>.wal and a restarted
+	// daemon rebuilds its session store by replay (see journal.go). Empty
+	// disables journaling.
+	JournalDir string
 	// Clock overrides the wall clock (tests).
 	Clock func() time.Time
 	// Logf, when set, receives operational log lines.
@@ -91,6 +97,14 @@ func New(cfg Config) *Server {
 		store:   NewStore(cfg.MaxSessions, cfg.Clock),
 		metrics: NewMetrics(cfg.Clock()),
 		start:   cfg.Clock(),
+	}
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			s.cfg.Logf("wire-serve: journaling disabled: %v", err)
+			s.cfg.JournalDir = ""
+		} else {
+			s.recoverJournals()
+		}
 	}
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))

@@ -31,9 +31,18 @@ type Session struct {
 	Policy   string
 	Workflow *dag.Workflow
 
-	// mu guards ctrl (controllers keep mutable run state).
+	// mu guards ctrl and the planning state below (controllers keep
+	// mutable run state).
 	mu   sync.Mutex
 	ctrl sim.Controller
+	// lastSeq/lastResp are the exactly-once plan cache: a retried request
+	// bearing lastSeq is answered with lastResp instead of re-planning.
+	lastSeq  int64
+	lastResp *PlanResponse
+	// fallback answers plan requests when ctrl panics (lazily built).
+	fallback sim.Controller
+	// wal is the session's crash-recovery journal (nil when disabled).
+	wal *journal
 
 	createdAt time.Time
 	// lastUsed is unix nanoseconds, written on every API touch; atomic so
@@ -48,6 +57,22 @@ func (s *Session) Controller(fn func(ctrl sim.Controller) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return fn(s.ctrl)
+}
+
+// setWAL attaches the session's journal.
+func (s *Session) setWAL(j *journal) {
+	s.mu.Lock()
+	s.wal = j
+	s.mu.Unlock()
+}
+
+// takeWAL detaches and returns the session's journal (nil when absent).
+func (s *Session) takeWAL() *journal {
+	s.mu.Lock()
+	j := s.wal
+	s.wal = nil
+	s.mu.Unlock()
+	return j
 }
 
 // CreatedAt returns the session creation time.
@@ -116,6 +141,24 @@ func (st *Store) Create(policy string, wf *dag.Workflow, ctrl sim.Controller) (*
 	return s, nil
 }
 
+// Restore re-inserts a session recovered from its journal under its original
+// ID. It fails with ErrMaxSessions at capacity and rejects duplicate IDs.
+func (st *Store) Restore(id, policy string, wf *dag.Workflow, ctrl sim.Controller, createdAt time.Time) (*Session, error) {
+	s := &Session{ID: id, Policy: policy, Workflow: wf, ctrl: ctrl, createdAt: createdAt}
+	s.lastUsed.Store(st.now().UnixNano())
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.max > 0 && len(st.sessions) >= st.max {
+		return nil, ErrMaxSessions
+	}
+	if _, taken := st.sessions[id]; taken {
+		return nil, fmt.Errorf("service: restore: session %s already exists", id)
+	}
+	st.sessions[id] = s
+	return s, nil
+}
+
 // Get returns the session and refreshes its idle timer.
 func (st *Store) Get(id string) (*Session, error) {
 	st.mu.Lock()
@@ -128,15 +171,19 @@ func (st *Store) Get(id string) (*Session, error) {
 	return s, nil
 }
 
-// Delete removes the session. An in-flight plan holding the session mutex
-// finishes normally; the session is simply no longer routable.
+// Delete removes the session and its journal. An in-flight plan holding the
+// session mutex finishes normally; the session is simply no longer routable.
 func (st *Store) Delete(id string) error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.sessions[id]; !ok {
+	s, ok := st.sessions[id]
+	if ok {
+		delete(st.sessions, id)
+	}
+	st.mu.Unlock()
+	if !ok {
 		return ErrNotFound
 	}
-	delete(st.sessions, id)
+	s.takeWAL().close(true)
 	return nil
 }
 
@@ -155,13 +202,16 @@ func (st *Store) EvictIdle(ttl time.Duration) int {
 	}
 	cutoff := st.now().Add(-ttl).UnixNano()
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	n := 0
+	var evicted []*Session
 	for id, s := range st.sessions {
 		if s.lastUsed.Load() < cutoff {
 			delete(st.sessions, id)
-			n++
+			evicted = append(evicted, s)
 		}
 	}
-	return n
+	st.mu.Unlock()
+	for _, s := range evicted {
+		s.takeWAL().close(true)
+	}
+	return len(evicted)
 }

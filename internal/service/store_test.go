@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -179,7 +180,7 @@ func TestMaxSessionsRejection(t *testing.T) {
 	client := NewClient(ts.URL)
 
 	for i := 0; i < 2; i++ {
-		if _, err := client.CreateSession(CreateSessionRequest{WorkflowKey: "genome-s"}); err != nil {
+		if _, err := client.CreateSession(context.Background(), CreateSessionRequest{WorkflowKey: "genome-s"}); err != nil {
 			t.Fatalf("create %d: %v", i, err)
 		}
 	}
@@ -204,7 +205,7 @@ func TestMaxSessionsRejection(t *testing.T) {
 	}
 
 	// The typed client surfaces the same information.
-	_, err = client.CreateSession(CreateSessionRequest{WorkflowKey: "genome-s"})
+	_, err = client.CreateSession(context.Background(), CreateSessionRequest{WorkflowKey: "genome-s"})
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != 429 || apiErr.Code != "max_sessions" {
 		t.Errorf("client error = %v, want APIError 429/max_sessions", err)

@@ -101,10 +101,57 @@ type Config struct {
 	// smaller pool at the next snapshot. Zero disables failures.
 	MTBF simtime.Duration
 
+	// Faults, when set, perturbs cloud-side order handling: the injector
+	// is consulted once per controller-ordered launch (lost, duplicated,
+	// or dead-on-arrival orders) and once per materialized launch for a
+	// straggler activation delay. The bootstrap pool of InitialInstances
+	// is exempt — it models the operator's initial provisioning, not an
+	// elastic order. Injectors carry their own seeded randomness so the
+	// MTBF/interference stream of Seed is untouched.
+	Faults FaultInjector
+
+	// DOAGrace is how long after the nominal activation time a pending
+	// order is given before being written off as dead on arrival and
+	// canceled (default: the cloud lag time, i.e. one extra interval).
+	// The controller observes the shrunken pool at the next snapshot and
+	// re-orders.
+	DOAGrace simtime.Duration
+
 	// Observer, when set, receives every lifecycle event of the run
 	// (task starts/completions/kills, instance lifecycle, decisions) on
 	// the simulation goroutine. Used by the trace tooling.
 	Observer func(Event)
+}
+
+// LaunchFate classifies what the simulated cloud does with one launch
+// order (§II-B: orders take a lag to act and do not always act faithfully).
+type LaunchFate int
+
+// Launch-order fates, consulted per controller-ordered launch.
+const (
+	// LaunchOK materializes the order normally.
+	LaunchOK LaunchFate = iota
+	// LaunchLost drops the order silently; no instance is ever created.
+	LaunchLost
+	// LaunchDuplicated materializes the order twice (at-least-once
+	// provider semantics); the second launch still respects the site cap.
+	LaunchDuplicated
+	// LaunchDOA creates the instance but it never activates; after
+	// DOAGrace the simulator writes it off and cancels it unbilled.
+	LaunchDOA
+)
+
+// FaultInjector lets a fault-injection harness (internal/chaos) perturb the
+// cloud side of a run. Implementations are consulted on the simulation
+// goroutine only and must be deterministic for reproducible runs.
+type FaultInjector interface {
+	// LaunchFate is consulted once per controller-ordered launch.
+	LaunchFate() LaunchFate
+	// ActivationDelay is consulted once per materialized launch and
+	// returns an extra straggler delay added to the nominal lag
+	// (0 = activates on time). Not consulted for dead-on-arrival
+	// launches, which never activate.
+	ActivationDelay() simtime.Duration
 }
 
 // EventKind labels an observer notification.
@@ -120,6 +167,10 @@ const (
 	EvInstanceTerminated
 	EvInstanceFailed
 	EvDecision
+	// Fault-injection events (Config.Faults).
+	EvOrderLost
+	EvOrderDuplicated
+	EvInstanceDOA
 )
 
 // String implements fmt.Stringer.
@@ -141,6 +192,12 @@ func (k EventKind) String() string {
 		return "instance-failed"
 	case EvDecision:
 		return "decision"
+	case EvOrderLost:
+		return "order-lost"
+	case EvOrderDuplicated:
+		return "order-duplicated"
+	case EvInstanceDOA:
+		return "instance-doa"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -203,6 +260,12 @@ type Result struct {
 	Restarts  int
 	Failures  int
 	Decisions int
+
+	// Fault-injection outcomes (zero without Config.Faults; Failures
+	// above counts MTBF crashes of active instances).
+	OrdersLost       int // launch orders dropped before reaching the site
+	OrdersDuplicated int // launch orders materialized twice
+	DeadOnArrival    int // launches that never activated and were written off
 
 	// ControllerWall is the real CPU-wall time spent inside Plan calls:
 	// the paper's controller-overhead metric (§IV-F).
@@ -379,10 +442,26 @@ func (r *run) fail(err error) {
 	}
 }
 
+// launch materializes a bootstrap launch, exempt from fault injection.
 func (r *run) launch(now simtime.Time) (*instState, error) {
+	return r.launchFated(now, false, false)
+}
+
+// launchFated materializes one launch. A dead-on-arrival launch holds a
+// pending slot, never activates, and is written off (canceled unbilled)
+// DOAGrace after its nominal activation time. Only elastic (controller-
+// ordered) launches consult the straggler injector.
+func (r *run) launchFated(now simtime.Time, doa, elastic bool) (*instState, error) {
 	in, err := r.site.Launch(now)
 	if err != nil {
 		return nil, err
+	}
+	if elastic && !doa && r.cfg.Faults != nil {
+		if extra := r.cfg.Faults.ActivationDelay(); extra > 0 {
+			if err := r.site.Postpone(in, in.ActiveAt+extra); err != nil {
+				return nil, err
+			}
+		}
 	}
 	r.emit(Event{Time: now, Kind: EvInstanceLaunch, Task: -1, Instance: in.ID})
 	is := &instState{inst: in, running: make(map[dag.TaskID]struct{}), speed: 1}
@@ -397,6 +476,25 @@ func (r *run) launch(now simtime.Time) (*instState, error) {
 	r.res.Launches++
 	if held := r.site.Held(); held > r.res.PeakPool {
 		r.res.PeakPool = held
+	}
+	if doa {
+		grace := r.cfg.DOAGrace
+		if grace <= 0 {
+			grace = r.cfg.interval()
+		}
+		r.eng.At(in.ActiveAt+grace, event.PriInstance, "doa-writeoff", func(_ *event.Engine, t simtime.Time) {
+			if is.inst.State != cloud.Pending {
+				return // run finished first; finish() already canceled it
+			}
+			r.res.DeadOnArrival++
+			r.emit(Event{Time: t, Kind: EvInstanceDOA, Task: -1, Instance: is.inst.ID})
+			if err := r.site.Terminate(is.inst, t); err != nil {
+				r.fail(err)
+				return
+			}
+			r.samplePool(t)
+		})
+		return is, nil
 	}
 	r.eng.At(in.ActiveAt, event.PriInstance, "activate", func(_ *event.Engine, t simtime.Time) {
 		if is.inst.State != cloud.Pending {
@@ -630,7 +728,30 @@ func (r *run) apply(dec Decision, now simtime.Time) error {
 		return fmt.Errorf("sim: controller %s requested negative launch %d", r.ctrl.Name(), dec.Launch)
 	}
 	for i := 0; i < dec.Launch; i++ {
-		if _, err := r.launch(now); err != nil {
+		fate := LaunchOK
+		if r.cfg.Faults != nil {
+			fate = r.cfg.Faults.LaunchFate()
+		}
+		switch fate {
+		case LaunchLost:
+			r.res.OrdersLost++
+			r.emit(Event{Time: now, Kind: EvOrderLost, Task: -1, Instance: -1})
+			continue
+		case LaunchDuplicated:
+			r.res.OrdersDuplicated++
+			r.emit(Event{Time: now, Kind: EvOrderDuplicated, Task: -1, Instance: -1})
+			// The duplicate is best-effort at the cap, like the order.
+			for n := 0; n < 2; n++ {
+				if _, err := r.launchFated(now, false, true); err != nil {
+					if err == cloud.ErrSiteFull {
+						break
+					}
+					return err
+				}
+			}
+			continue
+		}
+		if _, err := r.launchFated(now, fate == LaunchDOA, true); err != nil {
 			if err == cloud.ErrSiteFull {
 				break // best effort at the cap
 			}

@@ -576,3 +576,186 @@ func (reactiveRelauncher) Plan(snap *monitor.Snapshot) Decision {
 	}
 	return Decision{}
 }
+
+// scriptedFaults replays fixed launch fates and straggler delays.
+type scriptedFaults struct {
+	fates  []LaunchFate
+	fi     int
+	delays []simtime.Duration
+	di     int
+}
+
+func (s *scriptedFaults) LaunchFate() LaunchFate {
+	if s.fi < len(s.fates) {
+		f := s.fates[s.fi]
+		s.fi++
+		return f
+	}
+	return LaunchOK
+}
+
+func (s *scriptedFaults) ActivationDelay() simtime.Duration {
+	if s.di < len(s.delays) {
+		d := s.delays[s.di]
+		s.di++
+		return d
+	}
+	return 0
+}
+
+func TestLostOrderNeverMaterializes(t *testing.T) {
+	wf := fan(4, 100, 0)
+	sc := &scriptController{decisions: []Decision{{Launch: 3}}}
+	cfg := Config{Cloud: testCloud(), Faults: &scriptedFaults{fates: []LaunchFate{LaunchLost, LaunchOK, LaunchOK}}}
+	res, err := Run(wf, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrdersLost != 1 {
+		t.Errorf("OrdersLost = %d, want 1", res.OrdersLost)
+	}
+	// Bootstrap + the two surviving orders.
+	if res.Launches != 3 {
+		t.Errorf("launches = %d, want 3", res.Launches)
+	}
+	// 4 tasks on 3 instances: task0 at 10..110, tasks 1-2 at 20..120,
+	// task3 queued behind -> 110..210.
+	if !simtime.Equal(res.Makespan, 210) {
+		t.Errorf("makespan = %v, want 210", res.Makespan)
+	}
+}
+
+func TestDuplicatedOrderMaterializesTwice(t *testing.T) {
+	wf := fan(4, 100, 0)
+	sc := &scriptController{decisions: []Decision{{Launch: 1}}}
+	cfg := Config{Cloud: testCloud(), Faults: &scriptedFaults{fates: []LaunchFate{LaunchDuplicated}}}
+	res, err := Run(wf, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrdersDuplicated != 1 {
+		t.Errorf("OrdersDuplicated = %d, want 1", res.OrdersDuplicated)
+	}
+	if res.Launches != 3 || res.PeakPool != 3 {
+		t.Errorf("launches = %d peak = %d, want 3 and 3", res.Launches, res.PeakPool)
+	}
+}
+
+func TestDeadOnArrivalWrittenOffUnbilled(t *testing.T) {
+	wf := fan(4, 100, 0)
+	base, err := Run(wf, holdController{}, Config{Cloud: testCloud()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &scriptController{decisions: []Decision{{Launch: 1}}}
+	cfg := Config{Cloud: testCloud(), Faults: &scriptedFaults{fates: []LaunchFate{LaunchDOA}}}
+	var doaEvents int
+	cfg.Observer = func(ev Event) {
+		if ev.Kind == EvInstanceDOA {
+			doaEvents++
+			// Ordered at t=10, nominal activation 20, default grace = one
+			// interval -> written off at 30.
+			if !simtime.Equal(ev.Time, 30) {
+				t.Errorf("DOA write-off at %v, want 30", ev.Time)
+			}
+		}
+	}
+	res, err := Run(wf, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadOnArrival != 1 || doaEvents != 1 {
+		t.Errorf("DeadOnArrival = %d, events = %d, want 1 and 1", res.DeadOnArrival, doaEvents)
+	}
+	// The DOA launch never ran a task and must not be billed: same cost and
+	// makespan as the fault-free single-instance run.
+	if res.UnitsCharged != base.UnitsCharged {
+		t.Errorf("units = %d, fault-free run paid %d", res.UnitsCharged, base.UnitsCharged)
+	}
+	if !simtime.Equal(res.Makespan, base.Makespan) {
+		t.Errorf("makespan = %v, fault-free %v", res.Makespan, base.Makespan)
+	}
+	// While pending, the DOA instance held a cap slot.
+	if res.PeakPool != 2 {
+		t.Errorf("peak pool = %d, want 2", res.PeakPool)
+	}
+}
+
+func TestDOAControllerReorders(t *testing.T) {
+	// A pool-target controller that keeps re-ordering until it holds 2.
+	wf := fan(8, 100, 0)
+	target := targetController{want: 2}
+	cfg := Config{Cloud: testCloud(), Faults: &scriptedFaults{fates: []LaunchFate{LaunchDOA}}}
+	res, err := Run(wf, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadOnArrival != 1 {
+		t.Fatalf("DeadOnArrival = %d, want 1", res.DeadOnArrival)
+	}
+	// First order (t=10) is DOA; written off at 30. The controller sees
+	// held=2 at t=20 (pending counts), held=1 again at t=30 after the
+	// write-off, and re-orders; the replacement activates at 40.
+	if res.Launches != 3 {
+		t.Errorf("launches = %d, want 3 (bootstrap + DOA + re-order)", res.Launches)
+	}
+	usable := 0
+	for _, s := range res.Pool {
+		if s.Usable > usable {
+			usable = s.Usable
+		}
+	}
+	if usable != 2 {
+		t.Errorf("peak usable = %d, want 2 (re-ordered instance activated)", usable)
+	}
+}
+
+func TestStragglerDelaysActivation(t *testing.T) {
+	wf := fan(2, 100, 0)
+	sc := &scriptController{decisions: []Decision{{Launch: 1}}}
+	cfg := Config{Cloud: testCloud(), Faults: &scriptedFaults{delays: []simtime.Duration{15}}}
+	res, err := Run(wf, sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered at 10, nominal activation 20, straggles to 35; its task runs
+	// 35..135 while the bootstrap instance finishes task0 at 110.
+	if !simtime.Equal(res.Makespan, 135) {
+		t.Errorf("makespan = %v, want 135", res.Makespan)
+	}
+	// Billing follows the delayed activation: the straggler is charged from
+	// 35 and pays 1 unit for 35..135; the bootstrap instance is held to run
+	// end (10..135 = 2 units). Charging from the nominal activation would
+	// have billed the straggler 2 units.
+	if res.UnitsCharged != 3 {
+		t.Errorf("units = %d, want 3", res.UnitsCharged)
+	}
+}
+
+func TestBootstrapExemptFromStragglers(t *testing.T) {
+	wf := fan(1, 30, 0)
+	sf := &scriptedFaults{delays: []simtime.Duration{500}}
+	res, err := Run(wf, holdController{}, Config{Cloud: testCloud(), Faults: sf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.di != 0 {
+		t.Errorf("bootstrap launch consulted the straggler injector %d times", sf.di)
+	}
+	if !simtime.Equal(res.Makespan, 40) {
+		t.Errorf("makespan = %v, want 40 (undelayed bootstrap)", res.Makespan)
+	}
+}
+
+// targetController launches toward a fixed pool size.
+type targetController struct{ want int }
+
+func (c targetController) Name() string { return "target" }
+func (c targetController) Plan(snap *monitor.Snapshot) Decision {
+	held := len(snap.Instances)
+	if held < c.want {
+		return Decision{Launch: c.want - held}
+	}
+	return Decision{}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -115,6 +116,7 @@ func TestEventKindStrings(t *testing.T) {
 	kinds := []sim.EventKind{
 		sim.EvTaskStart, sim.EvTaskComplete, sim.EvTaskKilled,
 		sim.EvInstanceLaunch, sim.EvInstanceActive, sim.EvInstanceTerminated, sim.EvDecision,
+		sim.EvInstanceFailed, sim.EvOrderLost, sim.EvOrderDuplicated, sim.EvInstanceDOA,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
@@ -162,4 +164,66 @@ func (k *killOnce) Plan(snap *monitor.Snapshot) sim.Decision {
 		return sim.Decision{Launch: 1, Releases: []sim.ReleaseOrder{{Instance: snap.Instances[0].ID}}}
 	}
 	return sim.Decision{}
+}
+
+// grower launches one instance per tick until the site cap.
+type grower struct{ cap int }
+
+func (grower) Name() string { return "grower" }
+
+func (g grower) Plan(snap *monitor.Snapshot) sim.Decision {
+	if len(snap.Instances) < g.cap {
+		return sim.Decision{Launch: 1}
+	}
+	return sim.Decision{}
+}
+
+// TestFaultEventsAppearInTrace runs a fault-injected simulation and requires
+// every injected cloud fault to surface in the recorded event stream and its
+// CSV dump, each count agreeing with the run result.
+func TestFaultEventsAppearInTrace(t *testing.T) {
+	b := dag.NewBuilder("faulty")
+	st := b.AddStage("s")
+	for i := 0; i < 30; i++ {
+		b.AddTask(st, "t", 120, 0, 1)
+	}
+	wf := b.MustBuild()
+	plan := chaos.Plan{Seed: 3, LostOrder: 0.25, DuplicateOrder: 0.25, DeadOnArrival: 0.25}
+	rec := NewRecorder()
+	res, err := sim.Run(wf, grower{cap: 6}, sim.Config{
+		Cloud:    cloud.Config{SlotsPerInstance: 2, LagTime: 10, ChargingUnit: 60, MaxInstances: 6},
+		Faults:   plan.CloudFaults(1),
+		Observer: rec.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrdersLost+res.OrdersDuplicated+res.DeadOnArrival == 0 {
+		t.Fatal("no cloud faults injected; the trace has nothing to record")
+	}
+	counts := rec.CountByKind()
+	if counts[sim.EvOrderLost] != res.OrdersLost {
+		t.Errorf("order-lost events = %d, result says %d", counts[sim.EvOrderLost], res.OrdersLost)
+	}
+	if counts[sim.EvOrderDuplicated] != res.OrdersDuplicated {
+		t.Errorf("order-duplicated events = %d, result says %d", counts[sim.EvOrderDuplicated], res.OrdersDuplicated)
+	}
+	if counts[sim.EvInstanceDOA] != res.DeadOnArrival {
+		t.Errorf("instance-doa events = %d, result says %d", counts[sim.EvInstanceDOA], res.DeadOnArrival)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for kind, n := range map[string]int{
+		"order-lost":       res.OrdersLost,
+		"order-duplicated": res.OrdersDuplicated,
+		"instance-doa":     res.DeadOnArrival,
+	} {
+		if n > 0 && !strings.Contains(out, kind) {
+			t.Errorf("csv missing %q rows (%d injected)", kind, n)
+		}
+	}
 }

@@ -16,7 +16,10 @@
 package wire
 
 import (
+	"context"
+
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/dag"
@@ -203,17 +206,47 @@ type (
 )
 
 // NewServiceServer returns an unstarted wire-serve daemon; mount
-// Handler() on any listener or drive it with Serve.
+// Handler() on any listener or drive it with Serve. Set
+// ServiceConfig.JournalDir to enable the crash-recovery journal.
 func NewServiceServer(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
 
-// NewServiceClient returns a client for the daemon at baseURL.
-func NewServiceClient(baseURL string) *ServiceClient { return service.NewClient(baseURL) }
+// NewServiceClient returns a client for the daemon at baseURL. Options tune
+// timeouts, transports, and retries (see WithServiceRetry).
+func NewServiceClient(baseURL string, opts ...ServiceClientOption) *ServiceClient {
+	return service.NewClient(baseURL, opts...)
+}
 
 // NewRemoteController opens a session on a daemon and returns a Controller
-// that plans through it.
-func NewRemoteController(c *ServiceClient, req CreateSessionRequest) (*RemoteController, error) {
-	return service.NewRemoteController(c, req)
+// that plans through it; ctx bounds the session's whole lifetime.
+func NewRemoteController(ctx context.Context, c *ServiceClient, req CreateSessionRequest) (*RemoteController, error) {
+	return service.NewRemoteController(ctx, c, req)
 }
+
+// Fault injection and fault tolerance.
+type (
+	// ChaosPlan is the seeded deterministic fault-injection plan: network
+	// faults for the service client, cloud faults for RunConfig.Faults.
+	ChaosPlan = chaos.Plan
+	// FaultInjector perturbs the cloud side of a simulated run
+	// (RunConfig.Faults); ChaosPlan.CloudFaults builds one.
+	FaultInjector = sim.FaultInjector
+	// ServiceClientOption customizes NewServiceClient.
+	ServiceClientOption = service.ClientOption
+	// ServiceRetryPolicy bounds the client's exponential-backoff retries.
+	ServiceRetryPolicy = service.RetryPolicy
+)
+
+// Service client options.
+var (
+	// WithServiceTimeout replaces the client's whole-request timeout.
+	WithServiceTimeout = service.WithTimeout
+	// WithServiceTransport wraps the HTTP transport (chaos injection).
+	WithServiceTransport = service.WithTransport
+	// WithServiceRetry enables retries with exponential backoff and full
+	// jitter; paired with plan sequence numbers, retried planning stays
+	// exactly-once.
+	WithServiceRetry = service.WithRetry
+)
 
 // NewPolicyController builds a controller by policy name ("wire",
 // "deadline", "full-site", "pure-reactive", "reactive-conserving") — the
