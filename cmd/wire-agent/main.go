@@ -1,0 +1,114 @@
+// Command wire-agent is a live execution worker: it registers with a
+// wire-serve daemon, advertises task slots, long-polls for leased tasks, and
+// runs each lease through the busy/sleep task emulator, reporting measured
+// execution and transfer times back to the dispatcher.
+//
+//	wire-serve serve -addr 127.0.0.1:8080 &
+//	curl -s -X POST http://127.0.0.1:8080/v1/live/runs -d '{"workflow_key":"genome-s", ...}'
+//	wire-agent -server http://127.0.0.1:8080 -run live-<id> -slots 4
+//
+// Chaos flags make the agent an unreliable worker for reclaim testing:
+// -chaos-drop injects random request drops into its transport, and
+// -partition-after severs it from the dispatcher entirely after a wall-clock
+// delay — from the dispatcher's point of view the agent crashes, its
+// heartbeat lapses, and its leased tasks are reclaimed and re-executed
+// elsewhere.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/exec"
+)
+
+func main() {
+	fs := flag.NewFlagSet("wire-agent", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "wire-serve base URL")
+	run := fs.String("run", "", "live run ID to serve (required)")
+	name := fs.String("name", "", "agent display name (default: hostname-pid)")
+	slots := fs.Int("slots", 4, "concurrent task slots to advertise")
+	pollWait := fs.Duration("poll-wait", 5*time.Second, "long-poll duration cap")
+	chaosDrop := fs.Float64("chaos-drop", 0, "probability of dropping each request (unreliable-agent mode)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed for -chaos-drop")
+	partitionAfter := fs.Duration("partition-after", 0, "sever the agent from the dispatcher after this wall delay (0 = never)")
+	quiet := fs.Bool("quiet", false, "suppress log lines")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "wire-agent: -run is required")
+		os.Exit(2)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "wire-agent: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	var transport http.RoundTripper = http.DefaultTransport
+	if *chaosDrop > 0 {
+		transport = chaos.Plan{Seed: *chaosSeed, DropRequest: *chaosDrop}.Transport(0, transport)
+	}
+	pt := &partitionTransport{next: transport}
+	if *partitionAfter > 0 {
+		time.AfterFunc(*partitionAfter, func() {
+			logf("partitioned from dispatcher (after %v)", *partitionAfter)
+			pt.sever()
+		})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := exec.RunAgent(ctx, exec.AgentConfig{
+		BaseURL:    *server,
+		RunID:      *run,
+		Name:       *name,
+		Slots:      *slots,
+		PollWait:   *pollWait,
+		HTTPClient: &http.Client{Transport: pt},
+		Logf:       logf,
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "wire-agent:", err)
+		os.Exit(1)
+	}
+}
+
+// partitionTransport drops every request once severed: the process lives on
+// but the dispatcher never hears from it again.
+type partitionTransport struct {
+	next http.RoundTripper
+
+	mu      sync.Mutex
+	severed bool
+}
+
+func (p *partitionTransport) sever() {
+	p.mu.Lock()
+	p.severed = true
+	p.mu.Unlock()
+}
+
+func (p *partitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p.mu.Lock()
+	severed := p.severed
+	p.mu.Unlock()
+	if severed {
+		return nil, fmt.Errorf("wire-agent: network partitioned")
+	}
+	return p.next.RoundTrip(req)
+}

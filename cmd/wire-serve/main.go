@@ -65,8 +65,10 @@ func runServe(args []string) error {
 	maxSessions := fs.Int("max-sessions", 1024, "concurrent session cap (-1 = unbounded)")
 	ttl := fs.Duration("ttl", 30*time.Minute, "idle session TTL (-1 = never evict)")
 	janitor := fs.Duration("janitor", time.Minute, "eviction sweep interval")
-	grace := fs.Duration("grace", 10*time.Second, "shutdown drain bound")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain bound for HTTP requests")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain bound for in-flight agent leases")
 	journal := fs.String("journal", "", "crash-recovery journal directory (empty = journaling off)")
+	liveRuns := fs.Int("live-max-runs", 8, "concurrent live execution runs (-1 = live plane off)")
 	quiet := fs.Bool("quiet", false, "suppress operational log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +85,9 @@ func runServe(args []string) error {
 		IdleTTL:         *ttl,
 		JanitorInterval: *janitor,
 		ShutdownGrace:   *grace,
+		DrainTimeout:    *drainTimeout,
 		JournalDir:      *journal,
+		LiveMaxRuns:     *liveRuns,
 		Logf:            logf,
 	})
 

@@ -1,0 +1,244 @@
+// Live run: close the MAPE loop outside the simulator. The program drives a
+// live execution run of an Epigenomics-class workflow at high timescale
+// through real worker agents: each agent leases tasks, emulates them on the
+// wall clock, and reports measured execution and transfer times, so the WIRE
+// controller plans from genuine monitoring snapshots assembled out of agent
+// telemetry.
+//
+// After the workflow completes, the program fetches the recorded
+// snapshot→decision stream and replays it through a fresh in-process
+// controller (TwinVerify): the live decision stream must be byte-identical to
+// the simulator twin's — the live-vs-sim parity certificate — and the lease
+// counters must show zero lost leases.
+//
+//	go run ./examples/live-run
+//
+// By default the daemon is hosted in-process and the agents are goroutines.
+// Flags turn the program into the CI certificate driver:
+//
+//	-server URL      drive an external wire-serve daemon instead
+//	-agent-bin PATH  spawn real wire-agent processes instead of goroutines
+//	-kill-agent      agent-kill chaos certificate: SIGKILL the first worker
+//	                 while it holds leases; the run must still complete with
+//	                 every leased task reclaimed and re-executed (needs
+//	                 -agent-bin)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/wire"
+)
+
+func main() {
+	server := flag.String("server", "", "external wire-serve base URL (default: host the daemon in-process)")
+	agentBin := flag.String("agent-bin", "", "wire-agent binary to spawn as real worker processes (default: in-process goroutines)")
+	agentN := flag.Int("agents", 2, "number of worker agents")
+	slots := flag.Int("slots", 4, "task slots per agent and per instance")
+	workflow := flag.String("workflow", "genome-s", "catalogued run key")
+	policy := flag.String("policy", "wire", "controller policy")
+	timescale := flag.Float64("timescale", 100, "simulated seconds per wall second")
+	killAgent := flag.Bool("kill-agent", false, "kill the first worker mid-task and require reclaim (needs -agent-bin)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+	flag.Parse()
+	if *killAgent && *agentBin == "" {
+		log.Fatal("-kill-agent needs -agent-bin (only a real process can be killed)")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// 1. A daemon to talk to: external (-server) or hosted in-process on an
+	//    ephemeral port, as `wire-serve serve -addr 127.0.0.1:0` would.
+	base := *server
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := wire.NewServiceServer(wire.ServiceConfig{Logf: func(string, ...any) {}})
+		go func() {
+			if err := srv.Serve(ctx, ln); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("wire-serve daemon up at %s\n", base)
+	}
+	client := wire.NewLiveClient(base)
+
+	// 2. Create the live run under the paper's site parameters (§IV-B):
+	//    instances host a few task slots, ~3 min instantiation lag, 15 min
+	//    charging unit.
+	info, err := client.CreateRun(ctx, &wire.LiveRunRequest{
+		WorkflowKey:      *workflow,
+		Policy:           *policy,
+		SlotsPerInstance: *slots,
+		LagTimeS:         180,
+		ChargingUnitS:    900,
+		MaxInstances:     12,
+		Timescale:        *timescale,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created %s: %s (%d tasks / %d stages) under %s at %g× timescale\n",
+		info.ID, info.Workflow, info.Tasks, info.Stages, info.Policy, info.Timescale)
+
+	// 3. The workers. With -agent-bin they are separate wire-agent
+	//    processes; otherwise goroutines running the identical loop.
+	var (
+		goAgents sync.WaitGroup
+		procs    []*exec.Cmd
+		doomed   *exec.Cmd
+	)
+	spawn := func(name string) {
+		if *agentBin != "" {
+			cmd := exec.CommandContext(ctx, *agentBin,
+				"-server", base, "-run", info.ID, "-name", name,
+				"-slots", fmt.Sprint(*slots))
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("spawned agent process %s (pid %d)\n", name, cmd.Process.Pid)
+			procs = append(procs, cmd)
+			if name == "doomed" {
+				doomed = cmd
+			}
+			return
+		}
+		goAgents.Add(1)
+		go func() {
+			defer goAgents.Done()
+			err := wire.RunLiveAgent(ctx, wire.LiveAgentConfig{
+				BaseURL: base, RunID: info.ID, Name: name, Slots: *slots,
+			})
+			if err != nil && ctx.Err() == nil {
+				log.Fatalf("agent %s: %v", name, err)
+			}
+		}()
+	}
+	if *killAgent {
+		// The victim registers first, so it binds the bootstrap instance
+		// and is guaranteed to be holding leases when killed.
+		spawn("doomed")
+	}
+	for i := 1; i <= *agentN; i++ {
+		spawn(fmt.Sprintf("worker-%d", i))
+	}
+
+	// 4. Start the run clock.
+	if _, err := client.StartRun(ctx, info.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	status := func() wire.LiveRunStatus {
+		st, err := client.RunStatus(ctx, info.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
+	// 5. Chaos: once the victim holds active leases, kill -9 it. Its
+	//    heartbeat lapses, the dispatcher declares the agent failed, and
+	//    every leased task must be reclaimed and re-executed elsewhere.
+	if *killAgent {
+		for {
+			st := status()
+			var active int
+			for _, a := range st.Agents {
+				if a.Name == "doomed" {
+					active = a.ActiveLeases
+				}
+			}
+			if active > 0 {
+				fmt.Printf("killing agent 'doomed' (pid %d) holding %d active leases\n",
+					doomed.Process.Pid, active)
+				if err := doomed.Process.Kill(); err != nil {
+					log.Fatal(err)
+				}
+				break
+			}
+			if ctx.Err() != nil {
+				log.Fatal("victim never received a lease")
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// 6. Wait for the workflow to finish.
+	var st wire.LiveRunStatus
+	for {
+		st = status()
+		if st.State.String() == "done" || st.State.String() == "failed" {
+			break
+		}
+		if ctx.Err() != nil {
+			log.Fatalf("run still %s at deadline (%d/%d tasks)", st.State, st.TasksCompleted, st.Tasks)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	goAgents.Wait()
+	for _, cmd := range procs {
+		if cmd == doomed {
+			_ = cmd.Wait() // killed; non-zero by design
+			continue
+		}
+		if err := cmd.Wait(); err != nil && ctx.Err() == nil {
+			log.Fatalf("agent process: %v", err)
+		}
+	}
+	if st.Result == nil {
+		log.Fatalf("run %s: %s", st.State, st.Error)
+	}
+	res := st.Result
+
+	fmt.Printf("\nlive run complete in %v wall\n", time.Duration(res.WallElapsedMs)*time.Millisecond)
+	fmt.Printf("  makespan      %.1f simulated min\n", res.MakespanS/60)
+	fmt.Printf("  units charged %d (%.0f instance-seconds)\n", res.UnitsCharged, res.ChargedSeconds)
+	fmt.Printf("  utilization   %.1f%%   peak pool %d   launches %d   restarts %d   failures %d\n",
+		res.Utilization*100, res.PeakPool, res.Launches, res.Restarts, res.Failures)
+	fmt.Printf("  decisions     %d   leases granted %d / completed %d / reclaimed %d / lost %d\n",
+		res.Decisions, res.Counters.LeasesGranted, res.Counters.LeasesCompleted,
+		res.Counters.LeasesReclaimed, res.Counters.LeasesLost)
+	if res.Counters.LeasesLost != 0 {
+		log.Fatalf("FAILED: %d leases lost", res.Counters.LeasesLost)
+	}
+	if got := res.Counters.LeasesGranted - res.Counters.LeasesCompleted - res.Counters.LeasesReclaimed; got != 0 {
+		log.Fatalf("FAILED: lease identity violated by %d", got)
+	}
+	if *killAgent {
+		if res.Counters.AgentsFailed == 0 || res.Counters.LeasesReclaimed == 0 {
+			log.Fatalf("FAILED: agent kill not observed (failed=%d reclaimed=%d)",
+				res.Counters.AgentsFailed, res.Counters.LeasesReclaimed)
+		}
+		fmt.Printf("\nchaos certificate PASSED: %d agent(s) failed, %d leased task(s) reclaimed and re-executed\n",
+			res.Counters.AgentsFailed, res.Counters.LeasesReclaimed)
+	}
+
+	// 7. Parity certificate: replay the recorded snapshots through a fresh
+	//    controller and require a byte-identical decision stream.
+	records, err := client.PlanStream(ctx, info.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	twin, err := wire.NewPolicyController(*policy, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wire.TwinVerify(records, twin); err != nil {
+		log.Fatalf("FAILED: %v", err)
+	}
+	fmt.Printf("\nparity certificate PASSED: %d live decisions byte-identical to the simulator twin\n",
+		len(records))
+}

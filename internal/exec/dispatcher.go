@@ -1,0 +1,1270 @@
+package exec
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/monitor"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Errors returned by the dispatcher's protocol methods.
+var (
+	// ErrUnknownAgent: the agent ID is not registered (or was failed and
+	// removed). Agents re-register on this error.
+	ErrUnknownAgent = errors.New("exec: unknown agent")
+	// ErrRunOver: the run already finished; no new registrations.
+	ErrRunOver = errors.New("exec: run is over")
+	// ErrNotStarted: the operation needs a started run.
+	ErrNotStarted = errors.New("exec: run not started")
+)
+
+// leaseState tracks one lease through its lifecycle.
+type leaseState int
+
+const (
+	leaseActive leaseState = iota
+	leaseCompleted
+	leaseReclaimed
+)
+
+// lease is one granted task execution.
+type lease struct {
+	id        int64
+	task      dag.TaskID
+	agent     *agentState
+	state     leaseState
+	grantedAt simtime.Time
+	deadline  time.Time
+	delivered bool
+	timer     *time.Timer
+}
+
+// agentState is one registered worker process.
+type agentState struct {
+	id       string
+	name     string
+	slots    int
+	lastSeen time.Time
+	inst     *instRec // nil while parked
+	leases   map[int64]*lease
+	gone     bool
+}
+
+func (a *agentState) status() string {
+	switch {
+	case a.gone:
+		return "gone"
+	case a.inst == nil:
+		return "parked"
+	case a.inst.draining:
+		return "draining"
+	case a.inst.inst.State == cloud.Active:
+		return "active"
+	default:
+		return "pending"
+	}
+}
+
+// capacity is how many concurrent leases the agent's instance may hold: the
+// site's slots-per-instance, further limited by what the agent advertises.
+func (a *agentState) capacity() int {
+	if a.inst == nil {
+		return 0
+	}
+	c := a.inst.inst.Slots
+	if a.slots < c {
+		c = a.slots
+	}
+	return c
+}
+
+// instRec is one logical cloud instance and its agent binding.
+type instRec struct {
+	inst     *cloud.Instance
+	agent    *agentState // nil while unbound
+	draining bool
+	termTime *time.Timer
+}
+
+// taskState mirrors the simulator's per-task bookkeeping, fed by measured
+// agent reports instead of sampled ground truth.
+type taskState struct {
+	state    monitor.TaskState
+	waiting  int
+	readyAt  simtime.Time
+	priority bool
+
+	startedAt simtime.Time
+	agent     string
+	instance  cloud.InstanceID
+	leaseID   int64
+
+	transferObserved   bool
+	transferTime       simtime.Duration
+	transferObservedAt simtime.Time
+	execTime           simtime.Duration
+	completedAt        simtime.Time
+
+	restarts int
+}
+
+// LiveResult summarizes a finished live run with the simulator's metrics
+// vocabulary, plus the live plane's own accounting.
+type LiveResult struct {
+	Workflow string `json:"workflow"`
+	Policy   string `json:"policy"`
+
+	MakespanS      simtime.Duration `json:"makespan_s"`
+	UnitsCharged   int              `json:"units_charged"`
+	ChargedSeconds float64          `json:"charged_seconds"`
+	Utilization    float64          `json:"utilization"`
+
+	PeakPool      int `json:"peak_pool"`
+	Launches      int `json:"launches"`
+	Restarts      int `json:"restarts"`
+	Failures      int `json:"failures"`
+	Decisions     int `json:"decisions"`
+	DeadOnArrival int `json:"dead_on_arrival,omitempty"`
+
+	Timescale     float64  `json:"timescale"`
+	WallElapsedMs int64    `json:"wall_elapsed_ms"`
+	Counters      Counters `json:"counters"`
+}
+
+// Dispatcher owns one live workflow run: the ready queue, the lease table,
+// the agent registry, the billing site on the scaled wall clock, and the
+// MAPE control loop. All state is guarded by one mutex; wall-clock timers
+// re-check state under the lock, so late or duplicate firings are harmless.
+type Dispatcher struct {
+	cfg   Config
+	wf    *dag.Workflow
+	clock *cloud.ScaledClock
+	site  *cloud.Site
+
+	mu      sync.Mutex
+	state   RunState
+	runErr  error
+	queue   *sched.Queue
+	tasks   []taskState
+	agents  map[string]*agentState
+	insts   map[cloud.InstanceID]*instRec
+	leases  map[int64]*lease
+	waiters []chan struct{}
+
+	agentSeq  int
+	leaseSeq  int64
+	recSeq    int64
+	completed int
+	restarts  int
+	failures  int
+	peakPool  int
+	launches  int
+	decisions int
+	lastTick  simtime.Time
+	tickSeq   int
+	counters  Counters
+	records   []PlanRecord
+	result    *LiveResult
+	draining  bool
+
+	createdWall time.Time
+	startWall   time.Time
+	doneAt      simtime.Time
+
+	tickTimer *time.Timer
+	reapTimer *time.Timer
+	wallTimer *time.Timer
+	done      chan struct{}
+}
+
+// NewDispatcher builds a run in the Created state: agents may register, the
+// clock starts on Start.
+func NewDispatcher(cfg Config) (*Dispatcher, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	clock, err := cloud.NewScaledClock(cfg.Timescale, cfg.now)
+	if err != nil {
+		return nil, err
+	}
+	site, err := cloud.NewSite(cfg.Cloud)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dispatcher{
+		cfg:         cfg,
+		wf:          cfg.Workflow,
+		clock:       clock,
+		site:        site,
+		queue:       sched.NewQueue(),
+		tasks:       make([]taskState, cfg.Workflow.NumTasks()),
+		agents:      make(map[string]*agentState),
+		insts:       make(map[cloud.InstanceID]*instRec),
+		leases:      make(map[int64]*lease),
+		createdWall: cfg.now(),
+		done:        make(chan struct{}),
+	}
+	for _, t := range d.wf.Tasks {
+		d.tasks[t.ID].waiting = len(t.Deps)
+		d.tasks[t.ID].state = monitor.Blocked
+	}
+	for _, id := range d.wf.Roots() {
+		d.markReadyLocked(id, 0)
+	}
+	return d, nil
+}
+
+// Workflow returns the run's DAG.
+func (d *Dispatcher) Workflow() *dag.Workflow { return d.wf }
+
+// Config returns the effective (defaulted) configuration.
+func (d *Dispatcher) Config() Config { return d.cfg }
+
+// Done is closed when the run reaches Done or Failed.
+func (d *Dispatcher) Done() <-chan struct{} { return d.done }
+
+// Wait blocks until the run finishes or ctx is canceled, then returns the
+// result (nil on Failed) and the run error.
+func (d *Dispatcher) Wait(ctx context.Context) (*LiveResult, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-d.done:
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.result, d.runErr
+}
+
+// emitLocked forwards an event to the observer. Called under the lock; the
+// observer must not call back into the dispatcher.
+func (d *Dispatcher) emitLocked(ev sim.Event) {
+	if d.cfg.Observer != nil {
+		d.cfg.Observer(ev)
+	}
+}
+
+func (d *Dispatcher) journalLocked(r Record) {
+	if d.cfg.Journal == nil {
+		return
+	}
+	d.recSeq++
+	r.Seq = d.recSeq
+	r.WallMs = d.cfg.now().Sub(d.createdWall).Milliseconds()
+	d.cfg.Journal.Append(r)
+}
+
+// notifyLocked wakes every parked long-poll.
+func (d *Dispatcher) notifyLocked() {
+	for _, ch := range d.waiters {
+		close(ch)
+	}
+	d.waiters = nil
+}
+
+// Start anchors the scaled clock, orders the bootstrap pool, and arms the
+// control loop. Idempotent; an already finished run returns ErrRunOver.
+func (d *Dispatcher) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch d.state {
+	case Running:
+		return nil
+	case Done, Failed:
+		return ErrRunOver
+	}
+	d.state = Running
+	d.clock.Start()
+	d.startWall = d.cfg.now()
+	d.journalLocked(Record{Kind: RecRunStarted, Detail: d.wf.Name})
+
+	for i := 0; i < d.cfg.InitialInstances; i++ {
+		if _, err := d.launchLocked(0); err != nil {
+			d.failLocked(fmt.Errorf("exec: initial pool: %w", err))
+			return d.runErr
+		}
+	}
+	d.bindAgentsLocked()
+
+	d.tickSeq = 1
+	d.tickTimer = time.AfterFunc(d.clock.WallUntil(simtime.Time(d.tickSeq)*simtime.Time(d.cfg.Interval)), d.onTick)
+	reap := d.cfg.HeartbeatTTL / 2
+	if reap < 50*time.Millisecond {
+		reap = 50 * time.Millisecond
+	}
+	d.reapTimer = time.AfterFunc(reap, d.onReap)
+	d.wallTimer = time.AfterFunc(d.cfg.MaxWall, func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.state != Running {
+			return
+		}
+		d.failLocked(fmt.Errorf("exec: run exceeded wall horizon %v with %d/%d tasks done",
+			d.cfg.MaxWall, d.completed, d.wf.NumTasks()))
+	})
+	return nil
+}
+
+// launchLocked orders one instance at simulated time now and arms its
+// activation and DOA timers.
+func (d *Dispatcher) launchLocked(now simtime.Time) (*instRec, error) {
+	in, err := d.site.Launch(now)
+	if err != nil {
+		return nil, err
+	}
+	ir := &instRec{inst: in}
+	d.insts[in.ID] = ir
+	d.launches++
+	if held := d.site.Held(); held > d.peakPool {
+		d.peakPool = held
+	}
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvInstanceLaunch, Task: -1, Instance: in.ID})
+	d.journalLocked(Record{Kind: RecInstanceLaunch, NowS: now, Instance: intPtr(int(in.ID))})
+
+	id := in.ID
+	time.AfterFunc(d.clock.WallUntil(in.ActiveAt), func() { d.onActivation(id) })
+	time.AfterFunc(d.clock.WallUntil(in.ActiveAt+d.cfg.DOAGrace), func() { d.onDOACheck(id) })
+	return ir, nil
+}
+
+// onActivation fires at an instance's nominal activation time: if an agent
+// is bound, the instance goes active and leases start flowing.
+func (d *Dispatcher) onActivation(id cloud.InstanceID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return
+	}
+	ir, ok := d.insts[id]
+	if !ok || ir.inst.State != cloud.Pending || ir.agent == nil {
+		return // unbound: the DOA timer decides its fate
+	}
+	d.activateLocked(ir)
+	d.dispatchLocked()
+	d.notifyLocked()
+}
+
+func (d *Dispatcher) activateLocked(ir *instRec) {
+	now := d.clock.Now()
+	if simtime.Before(now, ir.inst.ActiveAt) {
+		now = ir.inst.ActiveAt // timer fired a hair early
+	}
+	if err := d.site.Activate(ir.inst, now); err != nil {
+		d.failLocked(err)
+		return
+	}
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvInstanceActive, Task: -1, Instance: ir.inst.ID})
+	d.journalLocked(Record{Kind: RecInstanceActive, NowS: now, Instance: intPtr(int(ir.inst.ID)), Agent: ir.agent.id})
+}
+
+// onDOACheck fires one grace window after nominal activation: a launch that
+// never bound an agent is written off dead-on-arrival and canceled unbilled,
+// exactly like the simulator's DOA fault path.
+func (d *Dispatcher) onDOACheck(id cloud.InstanceID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return
+	}
+	ir, ok := d.insts[id]
+	if !ok || ir.inst.State != cloud.Pending {
+		return
+	}
+	now := d.clock.Now()
+	d.counters.DOAWriteoffs++
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvInstanceDOA, Task: -1, Instance: id})
+	d.journalLocked(Record{Kind: RecInstanceDOA, NowS: now, Instance: intPtr(int(id))})
+	if ir.agent != nil { // bound but still pending: impossible unless racing activation; park the agent
+		ir.agent.inst = nil
+		ir.agent = nil
+	}
+	if err := d.site.Terminate(ir.inst, now); err != nil {
+		d.failLocked(err)
+	}
+}
+
+// bindAgentsLocked pairs unbound, non-terminated instances with parked
+// agents, lowest instance ID first, in registration order. A binding past
+// the nominal activation time activates immediately (the agent was late to
+// the party but the lag has elapsed).
+func (d *Dispatcher) bindAgentsLocked() {
+	ids := make([]int, 0, len(d.insts))
+	for id := range d.insts {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ir := d.insts[cloud.InstanceID(id)]
+		if ir.inst.State == cloud.Terminated || ir.agent != nil || ir.draining {
+			continue
+		}
+		a := d.pickParkedLocked()
+		if a == nil {
+			return
+		}
+		a.inst = ir
+		ir.agent = a
+		now := d.clock.Now()
+		d.journalLocked(Record{Kind: RecAgentBound, NowS: now, Agent: a.id, Instance: intPtr(id)})
+		if ir.inst.State == cloud.Pending && simtime.AtOrAfter(now, ir.inst.ActiveAt) {
+			d.activateLocked(ir)
+		}
+	}
+}
+
+// pickParkedLocked returns the longest-registered parked agent.
+func (d *Dispatcher) pickParkedLocked() *agentState {
+	var best *agentState
+	for _, a := range d.agents {
+		if a.gone || a.inst != nil {
+			continue
+		}
+		if best == nil || a.id < best.id {
+			best = a
+		}
+	}
+	return best
+}
+
+// Register adds a worker. Agents registered before Start are bound to the
+// bootstrap pool; later registrants park until a launch needs them.
+func (d *Dispatcher) Register(name string, slots int) (RegisterResponse, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == Done || d.state == Failed {
+		return RegisterResponse{}, ErrRunOver
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	d.agentSeq++
+	id := fmt.Sprintf("a%d", d.agentSeq)
+	if name == "" {
+		name = id
+	}
+	a := &agentState{
+		id:       id,
+		name:     name,
+		slots:    slots,
+		lastSeen: d.cfg.now(),
+		leases:   make(map[int64]*lease),
+	}
+	d.agents[id] = a
+	d.counters.AgentsRegistered++
+	d.journalLocked(Record{Kind: RecAgentRegistered, NowS: d.clock.Now(), Agent: id, Slots: slots, Detail: name})
+	if d.state == Running {
+		d.bindAgentsLocked()
+		d.dispatchLocked()
+	}
+	return RegisterResponse{AgentID: id, HeartbeatTTLMs: d.cfg.HeartbeatTTL.Milliseconds()}, nil
+}
+
+func (d *Dispatcher) markReadyLocked(id dag.TaskID, now simtime.Time) {
+	ts := &d.tasks[id]
+	ts.state = monitor.Ready
+	ts.readyAt = now
+	d.queue.Push(id, d.wf.Task(id).Stage, now)
+}
+
+// dispatchLocked grants ready tasks to free capacity on active, non-draining
+// instances with live agents, lowest instance ID first — the simulator's
+// dispatch order, so live and simulated runs assign work identically.
+func (d *Dispatcher) dispatchLocked() {
+	if d.state != Running || d.draining {
+		return
+	}
+	now := d.clock.Now()
+	for d.queue.Len() > 0 {
+		a := d.pickAgentLocked(now)
+		if a == nil {
+			return
+		}
+		it, _ := d.queue.Pop()
+		d.grantLocked(it, a, now)
+	}
+}
+
+func (d *Dispatcher) pickAgentLocked(now simtime.Time) *agentState {
+	var best *agentState
+	for _, ir := range d.insts {
+		a := ir.agent
+		if a == nil || a.gone || ir.draining {
+			continue
+		}
+		if ir.inst.State != cloud.Active || !ir.inst.UsableAt(now) {
+			continue
+		}
+		if len(a.leases) >= a.capacity() {
+			continue
+		}
+		if best == nil || ir.inst.ID < best.inst.inst.ID {
+			best = a
+		}
+	}
+	return best
+}
+
+// grantLocked creates a lease for one ready task on an agent. The lease
+// deadline bounds the agent's wall-clock occupancy: the expected scaled
+// duration times LeaseFactor, plus slack.
+func (d *Dispatcher) grantLocked(it sched.Item, a *agentState, now simtime.Time) {
+	t := d.wf.Task(it.Task)
+	d.leaseSeq++
+	expected := d.clock.WallDuration(t.ExecTime + t.TransferTime)
+	ttl := time.Duration(float64(expected)*d.cfg.LeaseFactor) + d.cfg.LeaseSlack
+	l := &lease{
+		id:        d.leaseSeq,
+		task:      it.Task,
+		agent:     a,
+		grantedAt: now,
+		deadline:  d.cfg.now().Add(ttl),
+	}
+	a.leases[l.id] = l
+	d.leases[l.id] = l
+	d.counters.LeasesGranted++
+
+	ts := &d.tasks[it.Task]
+	ts.state = monitor.Running
+	ts.priority = it.Priority
+	ts.startedAt = now
+	ts.agent = a.id
+	ts.instance = a.inst.inst.ID
+	ts.leaseID = l.id
+	ts.transferObserved = false
+	ts.transferTime = 0
+
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskStart, Task: it.Task, Instance: a.inst.inst.ID})
+	d.journalLocked(Record{Kind: RecLeaseGranted, NowS: now, Agent: a.id,
+		Lease: int64Ptr(l.id), Task: intPtr(int(it.Task)), Instance: intPtr(int(a.inst.inst.ID))})
+
+	id := l.id
+	l.timer = time.AfterFunc(ttl, func() { d.onLeaseExpired(id) })
+}
+
+// leaseSpecLocked builds the wire lease for delivery.
+func (d *Dispatcher) leaseSpecLocked(l *lease) Lease {
+	t := d.wf.Task(l.task)
+	return Lease{
+		ID:    l.id,
+		Task:  t.ID,
+		Stage: t.Stage,
+		Spec: TaskSpec{
+			ExecS:     t.ExecTime,
+			TransferS: t.TransferTime,
+			InputMB:   t.InputSize,
+			Timescale: d.cfg.Timescale,
+			BusyFrac:  d.cfg.BusyFrac,
+		},
+		DeadlineMs: time.Until(l.deadline).Milliseconds(),
+	}
+}
+
+// Poll is the agent's heartbeat and lease pickup. It long-polls up to wait
+// when the agent has no undelivered leases.
+func (d *Dispatcher) Poll(ctx context.Context, agentID string, wait time.Duration) (PollResponse, error) {
+	const maxWait = 30 * time.Second
+	if wait > maxWait {
+		wait = maxWait
+	}
+	deadline := d.cfg.now().Add(wait)
+	for {
+		d.mu.Lock()
+		a, ok := d.agents[agentID]
+		if !ok || a.gone {
+			d.mu.Unlock()
+			return PollResponse{}, ErrUnknownAgent
+		}
+		a.lastSeen = d.cfg.now()
+		resp := PollResponse{Status: a.status(), Done: d.state == Done || d.state == Failed}
+		for _, l := range a.leases {
+			if l.state == leaseActive && !l.delivered {
+				l.delivered = true
+				resp.Leases = append(resp.Leases, d.leaseSpecLocked(l))
+			}
+		}
+		sort.Slice(resp.Leases, func(i, j int) bool { return resp.Leases[i].ID < resp.Leases[j].ID })
+		if len(resp.Leases) > 0 || resp.Done || d.cfg.now().Add(10*time.Millisecond).After(deadline) {
+			d.mu.Unlock()
+			return resp, nil
+		}
+		ch := make(chan struct{})
+		d.waiters = append(d.waiters, ch)
+		d.mu.Unlock()
+
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return PollResponse{}, ctx.Err()
+		case <-t.C:
+		case <-ch:
+			t.Stop()
+		case <-d.done:
+			t.Stop()
+		}
+	}
+}
+
+// ReportTransfer records the measured input-transfer duration of a running
+// lease — the live counterpart of the simulator's mid-attempt transfer
+// observation feeding Snapshot.RecentTransfers.
+func (d *Dispatcher) ReportTransfer(agentID string, leaseID int64, rep TransferReport) (Ack, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.agents[agentID]
+	if !ok {
+		return Ack{}, ErrUnknownAgent
+	}
+	if !a.gone {
+		a.lastSeen = d.cfg.now()
+	}
+	l, ok := d.leases[leaseID]
+	if !ok || l.state != leaseActive || l.agent != a {
+		d.counters.StaleReports++
+		return Ack{Stale: true}, nil
+	}
+	ts := &d.tasks[l.task]
+	ts.transferObserved = true
+	ts.transferTime = rep.TransferS
+	ts.transferObservedAt = d.clock.Now()
+	return Ack{}, nil
+}
+
+// Complete finishes a lease with the agent's measured times. A stale lease
+// (reclaimed, or superseded after an agent failure) is acknowledged and
+// ignored — the task was requeued and runs elsewhere.
+func (d *Dispatcher) Complete(agentID string, leaseID int64, rep CompleteReport) (Ack, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.agents[agentID]
+	if !ok {
+		return Ack{}, ErrUnknownAgent
+	}
+	if !a.gone {
+		a.lastSeen = d.cfg.now()
+	}
+	l, ok := d.leases[leaseID]
+	if !ok || l.state != leaseActive || l.agent != a {
+		d.counters.StaleReports++
+		return Ack{Stale: true}, nil
+	}
+	now := d.clock.Now()
+	l.state = leaseCompleted
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	delete(a.leases, l.id)
+	d.counters.LeasesCompleted++
+
+	ts := &d.tasks[l.task]
+	ts.state = monitor.Completed
+	ts.completedAt = now
+	ts.execTime = rep.ExecS
+	ts.transferTime = rep.TransferS
+	if !ts.transferObserved {
+		ts.transferObserved = true
+		ts.transferObservedAt = now
+	}
+	a.inst.inst.BusySlotSeconds += rep.ExecS + rep.TransferS
+	d.completed++
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskComplete, Task: l.task, Instance: a.inst.inst.ID})
+	d.journalLocked(Record{Kind: RecLeaseCompleted, NowS: now, Agent: a.id,
+		Lease: int64Ptr(l.id), Task: intPtr(int(l.task))})
+
+	for _, s := range d.wf.Task(l.task).Succs {
+		ss := &d.tasks[s]
+		ss.waiting--
+		if ss.waiting == 0 {
+			d.markReadyLocked(s, now)
+		}
+	}
+	if d.completed == d.wf.NumTasks() {
+		d.finishLocked(now)
+		return Ack{}, nil
+	}
+	d.dispatchLocked()
+	d.notifyLocked()
+	return Ack{}, nil
+}
+
+// onLeaseExpired fires at a lease's wall deadline: an agent that still holds
+// it is declared failed and everything it leased is reclaimed.
+func (d *Dispatcher) onLeaseExpired(id int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return
+	}
+	l, ok := d.leases[id]
+	if !ok || l.state != leaseActive {
+		return
+	}
+	d.cfg.Logf("exec: lease %d (task %d) expired on agent %s", l.id, l.task, l.agent.id)
+	d.failAgentLocked(l.agent, "lease-expired")
+}
+
+// onReap periodically declares agents dead whose heartbeat lapsed.
+func (d *Dispatcher) onReap() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return
+	}
+	cutoff := d.cfg.now().Add(-d.cfg.HeartbeatTTL)
+	var stale []*agentState
+	for _, a := range d.agents {
+		if !a.gone && a.lastSeen.Before(cutoff) {
+			stale = append(stale, a)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].id < stale[j].id })
+	for _, a := range stale {
+		d.cfg.Logf("exec: agent %s heartbeat lapsed", a.id)
+		d.failAgentLocked(a, "heartbeat-lost")
+	}
+	reap := d.cfg.HeartbeatTTL / 2
+	if reap < 50*time.Millisecond {
+		reap = 50 * time.Millisecond
+	}
+	d.reapTimer = time.AfterFunc(reap, d.onReap)
+}
+
+// failAgentLocked removes a crashed or partitioned agent: every active lease
+// is reclaimed (requeued exactly once — the lease state machine makes a
+// second reclaim impossible), and its instance fails like a simulator MTBF
+// crash.
+func (d *Dispatcher) failAgentLocked(a *agentState, reason string) {
+	if a.gone {
+		return
+	}
+	a.gone = true
+	d.counters.AgentsFailed++
+	now := d.clock.Now()
+	d.journalLocked(Record{Kind: RecAgentFailed, NowS: now, Agent: a.id, Detail: reason})
+
+	ir := a.inst
+	for _, l := range sortedLeases(a.leases) {
+		if l.state == leaseActive {
+			d.reclaimLocked(l, now)
+		}
+	}
+	a.leases = make(map[int64]*lease)
+	a.inst = nil
+
+	if ir != nil {
+		ir.agent = nil
+		d.failures++
+		d.emitLocked(sim.Event{Time: now, Kind: sim.EvInstanceFailed, Task: -1, Instance: ir.inst.ID})
+		d.terminateInstLocked(ir, now)
+		// A parked agent may take over the vacated logical capacity only
+		// via a fresh controller launch; the instance is gone, as in the
+		// simulator.
+	}
+	delete(d.agents, a.id)
+	d.dispatchLocked()
+	d.notifyLocked()
+}
+
+func sortedLeases(m map[int64]*lease) []*lease {
+	out := make([]*lease, 0, len(m))
+	for _, l := range m {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// reclaimLocked returns a leased task to the ready queue. The lease moves to
+// the terminal reclaimed state first, so a duplicate expiry/failure path or
+// a late agent report cannot requeue it twice.
+func (d *Dispatcher) reclaimLocked(l *lease, now simtime.Time) {
+	l.state = leaseReclaimed
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	d.counters.LeasesReclaimed++
+	ts := &d.tasks[l.task]
+	if l.agent.inst != nil {
+		l.agent.inst.inst.BusySlotSeconds += now - ts.startedAt
+	}
+	ts.restarts++
+	d.restarts++
+	ts.state = monitor.Ready
+	ts.readyAt = now
+	ts.agent = ""
+	ts.leaseID = 0
+	ts.transferObserved = false
+	ts.transferTime = 0
+	d.queue.Requeue(l.task, d.wf.Task(l.task).Stage, now, ts.priority)
+	var instID cloud.InstanceID = -1
+	if l.agent.inst != nil {
+		instID = l.agent.inst.inst.ID
+	}
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskKilled, Task: l.task, Instance: instID})
+	d.journalLocked(Record{Kind: RecLeaseReclaimed, NowS: now, Agent: l.agent.id,
+		Lease: int64Ptr(l.id), Task: intPtr(int(l.task))})
+}
+
+// terminateInstLocked ends a logical instance (billing stops; pending
+// instances cancel unbilled).
+func (d *Dispatcher) terminateInstLocked(ir *instRec, now simtime.Time) {
+	if ir.inst.State == cloud.Terminated {
+		return
+	}
+	at := now
+	if ir.inst.State == cloud.Active && simtime.Before(at, ir.inst.ActiveAt) {
+		at = ir.inst.ActiveAt
+	}
+	if err := d.site.Terminate(ir.inst, at); err != nil {
+		d.failLocked(err)
+		return
+	}
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvInstanceTerminated, Task: -1, Instance: ir.inst.ID})
+	d.journalLocked(Record{Kind: RecInstanceEnd, NowS: now, Instance: intPtr(int(ir.inst.ID))})
+}
+
+// releaseLocked executes a controller release order at time now: running
+// leases are reclaimed (the simulator's kill-on-terminate semantics), the
+// instance terminates, and the agent returns to the parked pool, available
+// for future launches.
+func (d *Dispatcher) releaseLocked(ir *instRec, now simtime.Time) {
+	if ir.inst.State == cloud.Terminated {
+		return
+	}
+	a := ir.agent
+	if a != nil {
+		for _, l := range sortedLeases(a.leases) {
+			if l.state == leaseActive {
+				d.reclaimLocked(l, now)
+			}
+		}
+		a.leases = make(map[int64]*lease)
+		a.inst = nil
+		ir.agent = nil
+		d.journalLocked(Record{Kind: RecAgentParked, NowS: now, Agent: a.id})
+	}
+	d.terminateInstLocked(ir, now)
+	d.bindAgentsLocked()
+	d.dispatchLocked()
+	d.notifyLocked()
+}
+
+// onTick runs one MAPE iteration: assemble the snapshot from live state,
+// consult the controller, record the pair for the parity twin, apply the
+// decision with lag semantics.
+func (d *Dispatcher) onTick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return
+	}
+	d.tickSeq++
+	d.tickTimer = time.AfterFunc(d.clock.WallUntil(simtime.Time(d.tickSeq)*simtime.Time(d.cfg.Interval)), d.onTick)
+
+	now := d.clock.Now()
+	snap := d.snapshotLocked(now)
+	snapJSON, err := json.Marshal(snap)
+	if err != nil {
+		d.failLocked(err)
+		return
+	}
+	d.lastTick = now
+
+	dec := d.planLocked(snap)
+	decJSON, err := json.Marshal(dec)
+	if err != nil {
+		d.failLocked(err)
+		return
+	}
+	d.decisions++
+	d.records = append(d.records, PlanRecord{
+		Seq:      d.decisions,
+		NowS:     float64(now),
+		Snapshot: snapJSON,
+		Decision: decJSON,
+	})
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvDecision, Task: -1, Instance: -1,
+		Launch: dec.Launch, Released: len(dec.Releases)})
+	d.journalLocked(Record{Kind: RecDecision, NowS: now,
+		Detail: fmt.Sprintf("launch=%d releases=%d", dec.Launch, len(dec.Releases))})
+
+	if err := d.applyLocked(dec, now); err != nil {
+		d.failLocked(err)
+	}
+}
+
+// planLocked calls the controller, converting a policy panic into a run
+// failure instead of taking the process down.
+func (d *Dispatcher) planLocked(snap *monitor.Snapshot) (dec sim.Decision) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.failLocked(fmt.Errorf("exec: controller panic: %v", r))
+			dec = sim.Decision{}
+		}
+	}()
+	return d.cfg.Controller.Plan(snap)
+}
+
+// applyLocked maps a pool decision onto agents and billing, mirroring the
+// simulator's apply.
+func (d *Dispatcher) applyLocked(dec sim.Decision, now simtime.Time) error {
+	if dec.Launch < 0 {
+		return fmt.Errorf("exec: controller %s requested negative launch %d", d.cfg.Controller.Name(), dec.Launch)
+	}
+	for i := 0; i < dec.Launch; i++ {
+		if _, err := d.launchLocked(now); err != nil {
+			if err == cloud.ErrSiteFull {
+				break // best effort at the cap
+			}
+			return err
+		}
+	}
+	d.bindAgentsLocked()
+	for _, ro := range dec.Releases {
+		ir, ok := d.insts[ro.Instance]
+		if !ok {
+			return fmt.Errorf("exec: controller %s released unknown instance %d", d.cfg.Controller.Name(), ro.Instance)
+		}
+		if ir.inst.State == cloud.Terminated {
+			return fmt.Errorf("exec: controller %s released terminated instance %d", d.cfg.Controller.Name(), ro.Instance)
+		}
+		if ir.draining {
+			continue
+		}
+		ir.draining = true
+		at := now
+		if ro.AtBoundary && ir.inst.State == cloud.Active {
+			at = ir.inst.NextChargeBoundary(now)
+		}
+		if simtime.AtOrBefore(at, now) {
+			d.releaseLocked(ir, now)
+			continue
+		}
+		rec := ir
+		ir.termTime = time.AfterFunc(d.clock.WallUntil(at), func() {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			if d.state != Running {
+				return
+			}
+			d.releaseLocked(rec, d.clock.Now())
+		})
+	}
+	return nil
+}
+
+// snapshotLocked assembles the monitoring view from live agent telemetry —
+// the same structure the simulator builds from its event state, but every
+// time here was measured on a wall clock by a worker process.
+func (d *Dispatcher) snapshotLocked(now simtime.Time) *monitor.Snapshot {
+	snap := &monitor.Snapshot{
+		Now:              now,
+		Interval:         d.cfg.Interval,
+		ChargingUnit:     d.cfg.Cloud.ChargingUnit,
+		LagTime:          d.cfg.Cloud.LagTime,
+		SlotsPerInstance: d.cfg.Cloud.SlotsPerInstance,
+		MaxInstances:     d.cfg.Cloud.MaxInstances,
+		Workflow:         d.wf,
+		Tasks:            make([]monitor.TaskRecord, d.wf.NumTasks()),
+	}
+	for _, t := range d.wf.Tasks {
+		ts := &d.tasks[t.ID]
+		rec := monitor.TaskRecord{
+			ID:        t.ID,
+			Stage:     t.Stage,
+			State:     ts.state,
+			InputSize: t.InputSize,
+			ReadyAt:   ts.readyAt,
+		}
+		switch ts.state {
+		case monitor.Running:
+			rec.StartedAt = ts.startedAt
+			rec.Instance = ts.instance
+			rec.Elapsed = now - ts.startedAt
+			if ts.transferObserved {
+				rec.TransferObserved = true
+				rec.TransferTime = ts.transferTime
+			}
+		case monitor.Completed:
+			rec.StartedAt = ts.startedAt
+			rec.Instance = ts.instance
+			rec.CompletedAt = ts.completedAt
+			rec.ExecTime = ts.execTime
+			rec.TransferObserved = true
+			rec.TransferTime = ts.transferTime
+		}
+		snap.Tasks[t.ID] = rec
+
+		if (ts.state == monitor.Running || ts.state == monitor.Completed) && ts.transferObserved {
+			if simtime.After(ts.transferObservedAt, d.lastTick) && simtime.AtOrBefore(ts.transferObservedAt, now) {
+				snap.RecentTransfers = append(snap.RecentTransfers, float64(ts.transferTime))
+			}
+		}
+	}
+	for _, in := range d.site.Instances() {
+		if in.State == cloud.Terminated {
+			continue
+		}
+		ir := d.insts[in.ID]
+		rec := monitor.InstanceRecord{
+			ID:               in.ID,
+			State:            in.State,
+			Slots:            in.Slots,
+			RequestedAt:      in.RequestedAt,
+			ActiveAt:         in.ActiveAt,
+			TimeToNextCharge: in.TimeToNextCharge(now),
+			Draining:         ir.draining,
+		}
+		if ir.agent != nil {
+			for _, l := range sortedLeases(ir.agent.leases) {
+				if l.state == leaseActive {
+					rec.Running = append(rec.Running, l.task)
+				}
+			}
+		}
+		snap.Instances = append(snap.Instances, rec)
+	}
+	return snap
+}
+
+// finishLocked completes the run: all remaining instances terminate, final
+// metrics freeze, and the lease identity is audited (any lease neither
+// completed nor reclaimed counts as lost — the invariant CI asserts is zero).
+func (d *Dispatcher) finishLocked(now simtime.Time) {
+	d.state = Done
+	d.doneAt = now
+	d.stopTimersLocked()
+	for _, ir := range d.insts {
+		d.terminateInstLocked(ir, now)
+	}
+	outstanding := d.counters.LeasesGranted - d.counters.LeasesCompleted - d.counters.LeasesReclaimed
+	if outstanding > 0 {
+		d.counters.LeasesLost = outstanding
+	}
+	d.result = &LiveResult{
+		Workflow:       d.wf.Name,
+		Policy:         d.cfg.Controller.Name(),
+		MakespanS:      simtime.Duration(now),
+		UnitsCharged:   d.site.TotalUnitsCharged(now),
+		ChargedSeconds: d.site.TotalChargedSeconds(now),
+		Utilization:    d.site.Utilization(now),
+		PeakPool:       d.peakPool,
+		Launches:       d.launches,
+		Restarts:       d.restarts,
+		Failures:       d.failures,
+		Decisions:      d.decisions,
+		DeadOnArrival:  int(d.counters.DOAWriteoffs),
+		Timescale:      d.cfg.Timescale,
+		WallElapsedMs:  d.cfg.now().Sub(d.startWall).Milliseconds(),
+		Counters:       d.counters,
+	}
+	d.journalLocked(Record{Kind: RecRunDone, NowS: now,
+		Detail: fmt.Sprintf("makespan=%.1fs units=%d", now, d.result.UnitsCharged)})
+	d.cfg.Logf("exec: run done: makespan %.1f sim-s, %d units, %d decisions, wall %v",
+		now, d.result.UnitsCharged, d.decisions, d.cfg.now().Sub(d.startWall).Round(time.Millisecond))
+	close(d.done)
+	d.notifyLocked()
+}
+
+// failLocked aborts the run. Outstanding leases become lost (they will never
+// complete or be reclaimed), which keeps the lease identity auditable even
+// for failed runs.
+func (d *Dispatcher) failLocked(err error) {
+	if d.state == Done || d.state == Failed {
+		return
+	}
+	d.state = Failed
+	d.runErr = err
+	d.doneAt = d.clock.Now()
+	d.stopTimersLocked()
+	outstanding := d.counters.LeasesGranted - d.counters.LeasesCompleted - d.counters.LeasesReclaimed
+	if outstanding > 0 {
+		d.counters.LeasesLost = outstanding
+	}
+	d.journalLocked(Record{Kind: RecRunFailed, NowS: d.doneAt, Detail: err.Error()})
+	d.cfg.Logf("exec: run failed: %v", err)
+	close(d.done)
+	d.notifyLocked()
+}
+
+func (d *Dispatcher) stopTimersLocked() {
+	if d.tickTimer != nil {
+		d.tickTimer.Stop()
+	}
+	if d.reapTimer != nil {
+		d.reapTimer.Stop()
+	}
+	if d.wallTimer != nil {
+		d.wallTimer.Stop()
+	}
+	for _, l := range d.leases {
+		if l.timer != nil {
+			l.timer.Stop()
+		}
+	}
+	for _, ir := range d.insts {
+		if ir.termTime != nil {
+			ir.termTime.Stop()
+		}
+	}
+}
+
+// Abort fails a run from the outside (DELETE endpoint, driver teardown).
+func (d *Dispatcher) Abort(reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == Created {
+		// Never started: mark failed directly so waiters release.
+		d.state = Failed
+		d.runErr = fmt.Errorf("exec: aborted: %s", reason)
+		close(d.done)
+		d.notifyLocked()
+		return
+	}
+	d.failLocked(fmt.Errorf("exec: aborted: %s", reason))
+}
+
+// SetDraining stops granting new leases (in-flight ones run to completion).
+// Used by the server's graceful shutdown.
+func (d *Dispatcher) SetDraining(v bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.draining = v
+	if !v && d.state == Running {
+		d.dispatchLocked()
+		d.notifyLocked()
+	}
+}
+
+// OutstandingLeases returns the number of granted leases neither completed
+// nor reclaimed.
+func (d *Dispatcher) OutstandingLeases() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.counters.LeasesGranted - d.counters.LeasesCompleted - d.counters.LeasesReclaimed)
+}
+
+// State returns the run state.
+func (d *Dispatcher) State() RunState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Err returns the run error (nil unless Failed).
+func (d *Dispatcher) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.runErr
+}
+
+// Result returns the final result (nil until Done).
+func (d *Dispatcher) Result() *LiveResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.result
+}
+
+// Counters returns a copy of the live counters.
+func (d *Dispatcher) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
+
+// Records returns the recorded plan stream for the parity twin.
+func (d *Dispatcher) Records() []PlanRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PlanRecord, len(d.records))
+	copy(out, d.records)
+	return out
+}
+
+// Assignments returns the live task→agent assignment state, comparable with
+// a journal replay's ReplayAssignments.
+func (d *Dispatcher) Assignments() *AssignmentState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := NewAssignmentState()
+	for i := range d.tasks {
+		ts := &d.tasks[i]
+		id := dag.TaskID(i)
+		switch ts.state {
+		case monitor.Running:
+			st.Leased[id] = ts.agent
+		case monitor.Completed:
+			st.Completed[id] = true
+		}
+		if ts.restarts > 0 {
+			st.Reclaims[id] = ts.restarts
+		}
+	}
+	for id, a := range d.agents {
+		if !a.gone {
+			st.LiveAgents[id] = true
+		}
+	}
+	return st
+}
+
+// Status summarizes the run for the status endpoint. The RunInfo.ID field is
+// filled by the registry.
+func (d *Dispatcher) Status() RunStatusResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	resp := RunStatusResponse{
+		RunInfo: RunInfo{
+			Workflow:  d.wf.Name,
+			Tasks:     d.wf.NumTasks(),
+			Stages:    len(d.wf.Stages),
+			Policy:    d.cfg.Controller.Name(),
+			Timescale: d.cfg.Timescale,
+			State:     d.state,
+		},
+		NowS:           d.clock.Now(),
+		TasksCompleted: d.completed,
+		Decisions:      d.decisions,
+		Counters:       d.counters,
+		Result:         d.result,
+	}
+	if d.runErr != nil {
+		resp.Error = d.runErr.Error()
+	}
+	for _, in := range d.site.Instances() {
+		if in.State != cloud.Terminated {
+			resp.AgentsRequired++
+		}
+	}
+	ids := make([]string, 0, len(d.agents))
+	for id := range d.agents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := d.agents[id]
+		as := AgentStatus{ID: a.id, Name: a.name, Slots: a.slots, Status: a.status()}
+		if a.inst != nil {
+			v := int(a.inst.inst.ID)
+			as.Instance = &v
+		}
+		for _, l := range a.leases {
+			if l.state == leaseActive {
+				as.ActiveLeases++
+			}
+		}
+		resp.Agents = append(resp.Agents, as)
+	}
+	return resp
+}

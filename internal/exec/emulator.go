@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// Emulator executes one leased task as a busy/sleep hybrid: each phase
+// (input transfer, then execution) occupies wall time equal to the spec's
+// simulated duration divided by the timescale, spending BusyFrac of every
+// tick spinning and the rest sleeping. It is the repo's stand-in for the
+// paper's emulated task mix (§IV-B): the workload is synthetic but the
+// concurrency, the clocks, and the measurement noise are real.
+//
+// The emulator reports *measured* durations — wall-clock elapsed scaled back
+// to simulated seconds — never the spec values. That is the point: the
+// monitoring plane downstream (and ultimately the predictor) sees noisy
+// observations, exactly as with kickstart records from real workers.
+type Emulator struct {
+	Spec TaskSpec
+
+	// now and sleep override the clock in tests; nil uses the real ones.
+	now   func() time.Time
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// emulatorTick bounds one busy+sleep cycle so context cancellation is
+// observed promptly even inside long phases.
+const emulatorTick = 10 * time.Millisecond
+
+// Run emulates the task. onTransfer, when non-nil, is invoked between the
+// transfer and execution phases with the measured transfer duration — the
+// agent uses it to post the mid-task transfer report. The returned report
+// carries the measured phase durations in simulated seconds.
+func (e *Emulator) Run(ctx context.Context, onTransfer func(simtime.Duration)) (CompleteReport, error) {
+	now := e.now
+	if now == nil {
+		now = time.Now
+	}
+	scale := e.Spec.Timescale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	transfer, err := e.phase(ctx, now, e.Spec.TransferS/scale)
+	if err != nil {
+		return CompleteReport{}, err
+	}
+	measuredTransfer := transfer.Seconds() * scale
+	if onTransfer != nil {
+		onTransfer(measuredTransfer)
+	}
+
+	exec, err := e.phase(ctx, now, e.Spec.ExecS/scale)
+	if err != nil {
+		return CompleteReport{}, err
+	}
+	return CompleteReport{
+		ExecS:     exec.Seconds() * scale,
+		TransferS: measuredTransfer,
+		InputMB:   e.Spec.InputMB,
+	}, nil
+}
+
+// phase occupies wallSeconds of wall clock with the busy/sleep mix and
+// returns the measured elapsed time.
+func (e *Emulator) phase(ctx context.Context, now func() time.Time, wallSeconds simtime.Duration) (time.Duration, error) {
+	start := now()
+	if wallSeconds <= 0 {
+		return now().Sub(start), nil
+	}
+	deadline := start.Add(time.Duration(wallSeconds * float64(time.Second)))
+	busyFrac := e.Spec.BusyFrac
+	if busyFrac < 0 {
+		busyFrac = 0
+	}
+	if busyFrac > 1 {
+		busyFrac = 1
+	}
+	for {
+		remaining := deadline.Sub(now())
+		if remaining <= 0 {
+			break
+		}
+		tick := remaining
+		if tick > emulatorTick {
+			tick = emulatorTick
+		}
+		busy := time.Duration(float64(tick) * busyFrac)
+		if busy > 0 {
+			spinUntil := now().Add(busy)
+			for now().Before(spinUntil) {
+				// Busy-spin: emulate CPU occupancy.
+			}
+		}
+		if rest := tick - busy; rest > 0 {
+			if err := e.doSleep(ctx, rest); err != nil {
+				return now().Sub(start), err
+			}
+		} else if err := ctx.Err(); err != nil {
+			return now().Sub(start), err
+		}
+	}
+	return now().Sub(start), nil
+}
+
+func (e *Emulator) doSleep(ctx context.Context, d time.Duration) error {
+	if e.sleep != nil {
+		return e.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestEmulatorMeasuresScaledPhases(t *testing.T) {
+	// 30 s exec + 10 s transfer at 1000× = 40 ms of wall clock.
+	em := &Emulator{Spec: TaskSpec{
+		ExecS: 30, TransferS: 10, InputMB: 7.5, Timescale: 1000, BusyFrac: 0.2,
+	}}
+	var transfers []simtime.Duration
+	start := time.Now()
+	rep, err := em.Run(context.Background(), func(d simtime.Duration) { transfers = append(transfers, d) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(transfers) != 1 {
+		t.Fatalf("onTransfer called %d times", len(transfers))
+	}
+	if transfers[0] != rep.TransferS {
+		t.Fatalf("mid-task transfer %v != reported %v", transfers[0], rep.TransferS)
+	}
+	if rep.InputMB != 7.5 {
+		t.Fatalf("InputMB = %v", rep.InputMB)
+	}
+	// Measured durations are wall observations scaled back up: at least the
+	// spec value, with bounded scheduling noise (generous bound for CI).
+	if rep.ExecS < 30 || rep.ExecS > 30+0.4*1000 {
+		t.Fatalf("measured exec %v sim s, spec 30", rep.ExecS)
+	}
+	if rep.TransferS < 10 || rep.TransferS > 10+0.4*1000 {
+		t.Fatalf("measured transfer %v sim s, spec 10", rep.TransferS)
+	}
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("finished in %v, want ≥ 40ms of wall occupancy", elapsed)
+	}
+}
+
+func TestEmulatorZeroCostPhases(t *testing.T) {
+	em := &Emulator{Spec: TaskSpec{ExecS: 0, TransferS: 0, Timescale: 100}}
+	rep, err := em.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.ExecS) > 1 || math.Abs(rep.TransferS) > 1 {
+		t.Fatalf("zero-cost task measured exec=%v transfer=%v", rep.ExecS, rep.TransferS)
+	}
+}
+
+func TestEmulatorObservesCancellation(t *testing.T) {
+	// A task that would occupy 10 wall seconds must abort promptly.
+	em := &Emulator{Spec: TaskSpec{ExecS: 10, Timescale: 1, BusyFrac: 0.2}}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := em.Run(ctx, nil)
+	if err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation observed after %v", elapsed)
+	}
+}

@@ -1,0 +1,262 @@
+// Package exec is the live execution plane: it closes the MAPE loop outside
+// the discrete-event simulator, against real concurrency and real clocks.
+//
+// In the paper, WIRE steers Pegasus/HTCondor workers executing an emulated
+// task mix on ExoGENI (§IV-B). This package plays that substrate's role for
+// the repo: a Dispatcher owns one workflow run, leases ready tasks to
+// wire-agent worker processes over HTTP, assembles genuine monitoring
+// snapshots from agent heartbeats and measured completions, consults the
+// same sim.Controller policies every MAPE interval, and maps scale decisions
+// onto admitting/retiring agent slots — with the cloud lag and charging-unit
+// billing metered on a wall clock (cloud.ScaledClock + cloud.Site).
+//
+// The pieces:
+//
+//   - Dispatcher: run state, ready queue (internal/sched), lease table,
+//     agent registry, control loop. Everything the simulator does with
+//     events, the dispatcher does with wall-clock timers.
+//   - Emulator: the busy/sleep hybrid task emulator agents run per lease,
+//     scaled by a timescale factor so tests finish in seconds while billing
+//     stays in paper units.
+//   - Agent / RunAgent: the worker loop (register, long-poll, execute,
+//     report) shared by cmd/wire-agent, the examples/live-run driver, and
+//     the in-process tests.
+//   - Registry + Handler: the HTTP surface wire-serve mounts under
+//     /v1/live/.
+//   - Journal + ReplayAssignments: an append-only record of every agent
+//     event, replayable to the exact task→agent assignment state.
+//   - TwinVerify: the live-vs-sim parity certificate — a fresh controller
+//     fed the run's recorded snapshots must reproduce the decision stream
+//     byte for byte.
+//
+// Leases have deadlines: a crashed or partitioned agent's tasks are
+// reclaimed and requeued exactly once, surfacing as the simulator's
+// instance-failed event kind; launch orders no agent binds within the grace
+// window surface as dead-on-arrival write-offs.
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// RunState is the lifecycle state of one live run.
+type RunState int
+
+// Run lifecycle states.
+const (
+	// Created: run built, agents may register, clock not started.
+	Created RunState = iota
+	// Running: clock started, control loop live.
+	Running
+	// Done: every task completed; Result is final.
+	Done
+	// Failed: aborted by an internal error or the wall-time horizon.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s RunState) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the state by name.
+func (s RunState) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a state name.
+func (s *RunState) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"created"`:
+		*s = Created
+	case `"running"`:
+		*s = Running
+	case `"done"`:
+		*s = Done
+	case `"failed"`:
+		*s = Failed
+	default:
+		return fmt.Errorf("exec: unknown run state %s", b)
+	}
+	return nil
+}
+
+// Config parameterizes one live run.
+type Config struct {
+	// Workflow is the DAG to execute. Required.
+	Workflow *dag.Workflow
+	// Controller plans the pool each interval. Required.
+	Controller sim.Controller
+
+	// Cloud carries the billing/site parameters in simulated seconds:
+	// slots per instance, lag time, charging unit, instance cap — the
+	// same Config the simulator uses, metered here on the scaled wall
+	// clock.
+	Cloud cloud.Config
+
+	// Interval is the MAPE period in simulated seconds (default: the
+	// cloud lag time, as in §III-A).
+	Interval simtime.Duration
+
+	// InitialInstances is the pool size ordered at t=0 (default 1).
+	InitialInstances int
+
+	// Timescale compresses the run: one wall second is Timescale
+	// simulated seconds (default 1). At 100×, a 3-minute lag passes in
+	// 1.8 wall seconds and a 30 s task emulates in 0.3 s.
+	Timescale float64
+
+	// BusyFrac is the emulator hint sent in every lease: the fraction of
+	// each scaled phase spent busy-spinning instead of sleeping
+	// (default 0.2). Zero-cost tasks sleep only.
+	BusyFrac float64
+
+	// LeaseFactor and LeaseSlack bound a lease's wall-clock deadline:
+	// grant + LeaseFactor × expected wall occupancy + LeaseSlack. An
+	// agent that has not completed (or been reaped) by then is declared
+	// failed and its tasks are reclaimed. Defaults: 4 and 2 s.
+	LeaseFactor float64
+	LeaseSlack  time.Duration
+
+	// HeartbeatTTL declares an agent dead when it has not polled or
+	// reported for this long (wall clock; default max(3×scaled interval,
+	// 2 s)).
+	HeartbeatTTL time.Duration
+
+	// DOAGrace is how long past its nominal activation a launch order may
+	// stay unbound to an agent before being written off dead-on-arrival
+	// and canceled unbilled, in simulated seconds (default: one
+	// interval).
+	DOAGrace simtime.Duration
+
+	// MaxWall aborts runs exceeding this wall-clock horizon (default
+	// 15 min) — the live counterpart of sim.Config.MaxSimTime.
+	MaxWall time.Duration
+
+	// Journal, when set, receives every agent/lease lifecycle record (see
+	// Record). Appends happen under the dispatcher lock, in order.
+	Journal RecordSink
+
+	// Observer, when set, receives the run's lifecycle events using the
+	// simulator's event vocabulary (task starts/completions/kills,
+	// instance lifecycle including failed/DOA, decisions).
+	Observer func(sim.Event)
+
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// now overrides the wall clock (tests).
+	now func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Workflow == nil {
+		return c, fmt.Errorf("exec: Workflow is required")
+	}
+	if c.Controller == nil {
+		return c, fmt.Errorf("exec: Controller is required")
+	}
+	if err := c.Cloud.Validate(); err != nil {
+		return c, err
+	}
+	if err := c.Workflow.Validate(); err != nil {
+		return c, err
+	}
+	if c.Interval <= 0 {
+		if c.Cloud.LagTime > 0 {
+			c.Interval = c.Cloud.LagTime
+		} else {
+			c.Interval = 1
+		}
+	}
+	if c.InitialInstances <= 0 {
+		c.InitialInstances = 1
+	}
+	if c.Timescale <= 0 {
+		c.Timescale = 1
+	}
+	if c.BusyFrac < 0 || c.BusyFrac > 1 {
+		return c, fmt.Errorf("exec: BusyFrac %v outside [0,1]", c.BusyFrac)
+	}
+	if c.BusyFrac == 0 {
+		c.BusyFrac = 0.2
+	}
+	if c.LeaseFactor <= 0 {
+		c.LeaseFactor = 4
+	}
+	if c.LeaseSlack <= 0 {
+		c.LeaseSlack = 2 * time.Second
+	}
+	if c.HeartbeatTTL <= 0 {
+		scaled := time.Duration(c.Interval / c.Timescale * float64(time.Second))
+		c.HeartbeatTTL = 3 * scaled
+		if c.HeartbeatTTL < 2*time.Second {
+			c.HeartbeatTTL = 2 * time.Second
+		}
+	}
+	if c.DOAGrace <= 0 {
+		c.DOAGrace = c.Interval
+	}
+	if c.MaxWall <= 0 {
+		c.MaxWall = 15 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c, nil
+}
+
+// Counters are the live plane's operational counters. The lease identity
+// LeasesGranted == LeasesCompleted + LeasesReclaimed + outstanding holds at
+// all times; LeasesLost counts violations (leases still outstanding when a
+// run finished) and must stay zero.
+type Counters struct {
+	AgentsRegistered int64 `json:"agents_registered"`
+	AgentsFailed     int64 `json:"agents_failed"`
+
+	LeasesGranted   int64 `json:"leases_granted"`
+	LeasesCompleted int64 `json:"leases_completed"`
+	LeasesReclaimed int64 `json:"leases_reclaimed"`
+	LeasesLost      int64 `json:"leases_lost"`
+
+	// StaleReports counts transfer/complete reports for leases that were
+	// already reclaimed or finished — late messages from failed agents,
+	// acknowledged but ignored.
+	StaleReports int64 `json:"stale_reports"`
+
+	// DOAWriteoffs counts launch orders written off dead-on-arrival
+	// because no agent bound within the grace window.
+	DOAWriteoffs int64 `json:"doa_writeoffs"`
+}
+
+// Add accumulates another counter set (the registry aggregates across runs).
+func (c *Counters) Add(o Counters) {
+	c.AgentsRegistered += o.AgentsRegistered
+	c.AgentsFailed += o.AgentsFailed
+	c.LeasesGranted += o.LeasesGranted
+	c.LeasesCompleted += o.LeasesCompleted
+	c.LeasesReclaimed += o.LeasesReclaimed
+	c.LeasesLost += o.LeasesLost
+	c.StaleReports += o.StaleReports
+	c.DOAWriteoffs += o.DOAWriteoffs
+}

@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/simtime"
+)
+
+// Journal record kinds. One record is appended per agent/lease/instance
+// lifecycle transition, in dispatcher-lock order, so the journal is a total
+// order over everything that happened to the run's assignment state.
+const (
+	RecRunStarted      = "run-started"
+	RecRunDone         = "run-done"
+	RecRunFailed       = "run-failed"
+	RecAgentRegistered = "agent-registered"
+	RecAgentBound      = "agent-bound"
+	RecAgentParked     = "agent-parked"
+	RecAgentFailed     = "agent-failed"
+	RecInstanceLaunch  = "instance-launch"
+	RecInstanceActive  = "instance-active"
+	RecInstanceEnd     = "instance-terminated"
+	RecInstanceDOA     = "instance-doa"
+	RecLeaseGranted    = "lease-granted"
+	RecLeaseCompleted  = "lease-completed"
+	RecLeaseReclaimed  = "lease-reclaimed"
+	RecDecision        = "decision"
+)
+
+// Record is one journal entry. Optional identifiers use pointers so the zero
+// task/instance IDs survive the omitempty round trip.
+type Record struct {
+	Seq    int64        `json:"seq"`
+	WallMs int64        `json:"wall_ms"`
+	NowS   simtime.Time `json:"now_s"`
+	Kind   string       `json:"kind"`
+
+	Agent    string `json:"agent,omitempty"`
+	Instance *int   `json:"instance,omitempty"`
+	Lease    *int64 `json:"lease,omitempty"`
+	Task     *int   `json:"task,omitempty"`
+	Slots    int    `json:"slots,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// RecordSink receives journal records. Append is called under the dispatcher
+// lock and must not block for long or call back into the dispatcher.
+type RecordSink interface {
+	Append(Record)
+}
+
+// MemorySink accumulates records in memory (tests, replay verification).
+type MemorySink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Append implements RecordSink.
+func (m *MemorySink) Append(r Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, r)
+}
+
+// Records returns a copy of the accumulated records.
+func (m *MemorySink) Records() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, len(m.recs))
+	copy(out, m.recs)
+	return out
+}
+
+// FileSink appends records as JSON lines, one per record, flushed on every
+// append (the same write-ahead discipline as the service session journal).
+type FileSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	f  *os.File
+}
+
+// NewFileSink creates (or truncates) path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append implements RecordSink. Encoding errors are impossible for Record;
+// write errors are swallowed (journaling is best-effort observability, not a
+// correctness dependency of the live run).
+func (s *FileSink) Append(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	s.w.Write(b)
+	s.w.WriteByte('\n')
+	s.w.Flush()
+}
+
+// Close flushes and closes the file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	return s.f.Close()
+}
+
+// ReadRecords decodes a JSONL journal stream. A torn trailing line (partial
+// write at crash) is ignored, matching the service journal's replay rules.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail: stop here. A corrupt record mid-stream would
+			// also stop the replay, surfacing as a shorter journal.
+			break
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// AssignmentState is the task→agent assignment picture at one instant,
+// either observed live (Dispatcher.Assignments) or rebuilt from a journal
+// (ReplayAssignments). The reclaim tests assert the two are identical.
+type AssignmentState struct {
+	// Leased maps running tasks to the agent currently holding their lease.
+	Leased map[dag.TaskID]string `json:"leased"`
+	// Completed marks finished tasks.
+	Completed map[dag.TaskID]bool `json:"completed"`
+	// Reclaims counts how many times each task's lease was reclaimed.
+	Reclaims map[dag.TaskID]int `json:"reclaims"`
+	// LiveAgents holds registered agents not yet failed.
+	LiveAgents map[string]bool `json:"live_agents"`
+}
+
+// NewAssignmentState returns an empty state.
+func NewAssignmentState() *AssignmentState {
+	return &AssignmentState{
+		Leased:     make(map[dag.TaskID]string),
+		Completed:  make(map[dag.TaskID]bool),
+		Reclaims:   make(map[dag.TaskID]int),
+		LiveAgents: make(map[string]bool),
+	}
+}
+
+// Equal reports whether two assignment states match.
+func (s *AssignmentState) Equal(o *AssignmentState) bool {
+	if len(s.Leased) != len(o.Leased) || len(s.Completed) != len(o.Completed) ||
+		len(s.Reclaims) != len(o.Reclaims) || len(s.LiveAgents) != len(o.LiveAgents) {
+		return false
+	}
+	for k, v := range s.Leased {
+		if o.Leased[k] != v {
+			return false
+		}
+	}
+	for k := range s.Completed {
+		if !o.Completed[k] {
+			return false
+		}
+	}
+	for k, v := range s.Reclaims {
+		if o.Reclaims[k] != v {
+			return false
+		}
+	}
+	for k := range s.LiveAgents {
+		if !o.LiveAgents[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplayAssignments folds a journal into the assignment state it implies.
+// It is the journal's correctness certificate: replaying the records of a
+// live run (including agent failures and reclaims) must reproduce exactly
+// the dispatcher's in-memory assignment state.
+func ReplayAssignments(records []Record) (*AssignmentState, error) {
+	st := NewAssignmentState()
+	// Track lease→task/agent so reclaim/complete records need only the
+	// lease ID to resolve.
+	type leaseInfo struct {
+		task  dag.TaskID
+		agent string
+	}
+	leases := make(map[int64]leaseInfo)
+	for i, r := range records {
+		switch r.Kind {
+		case RecAgentRegistered:
+			st.LiveAgents[r.Agent] = true
+		case RecAgentFailed:
+			delete(st.LiveAgents, r.Agent)
+		case RecLeaseGranted:
+			if r.Lease == nil || r.Task == nil {
+				return nil, fmt.Errorf("exec: journal record %d (%s) missing lease/task", i, r.Kind)
+			}
+			id := dag.TaskID(*r.Task)
+			leases[*r.Lease] = leaseInfo{task: id, agent: r.Agent}
+			st.Leased[id] = r.Agent
+		case RecLeaseCompleted:
+			if r.Lease == nil {
+				return nil, fmt.Errorf("exec: journal record %d (%s) missing lease", i, r.Kind)
+			}
+			li, ok := leases[*r.Lease]
+			if !ok {
+				return nil, fmt.Errorf("exec: journal record %d completes unknown lease %d", i, *r.Lease)
+			}
+			delete(st.Leased, li.task)
+			st.Completed[li.task] = true
+		case RecLeaseReclaimed:
+			if r.Lease == nil {
+				return nil, fmt.Errorf("exec: journal record %d (%s) missing lease", i, r.Kind)
+			}
+			li, ok := leases[*r.Lease]
+			if !ok {
+				return nil, fmt.Errorf("exec: journal record %d reclaims unknown lease %d", i, *r.Lease)
+			}
+			delete(st.Leased, li.task)
+			st.Reclaims[li.task]++
+		}
+	}
+	return st, nil
+}
+
+func intPtr(v int) *int       { return &v }
+func int64Ptr(v int64) *int64 { return &v }

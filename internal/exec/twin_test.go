@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// echoPool is a deterministic pure function of the snapshot: launch one
+// instance per ready task beyond the held pool.
+type echoPool struct{}
+
+func (echoPool) Name() string { return "echo-pool" }
+func (echoPool) Plan(snap *monitor.Snapshot) sim.Decision {
+	ready := 0
+	for _, tr := range snap.Tasks {
+		if tr.State == monitor.Ready {
+			ready++
+		}
+	}
+	return sim.Decision{Launch: ready - len(snap.Instances)}
+}
+
+func twinRecords(t *testing.T, ctrl sim.Controller, snaps []*monitor.Snapshot) []PlanRecord {
+	t.Helper()
+	var out []PlanRecord
+	for i, snap := range snaps {
+		sb, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := ctrl.Plan(snap)
+		db, err := json.Marshal(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, PlanRecord{Seq: i + 1, NowS: snap.Now, Snapshot: sb, Decision: db})
+	}
+	return out
+}
+
+func TestTwinVerify(t *testing.T) {
+	snaps := []*monitor.Snapshot{
+		{Now: 0, Interval: 60, Tasks: []monitor.TaskRecord{{State: monitor.Ready}, {State: monitor.Ready}}},
+		{Now: 60, Interval: 60, Tasks: []monitor.TaskRecord{{State: monitor.Running}, {State: monitor.Ready}},
+			Instances: []monitor.InstanceRecord{{}}},
+		{Now: 120, Interval: 60, Tasks: []monitor.TaskRecord{{State: monitor.Completed}, {State: monitor.Completed}},
+			Instances: []monitor.InstanceRecord{{}, {}}},
+	}
+	records := twinRecords(t, echoPool{}, snaps)
+
+	if err := TwinVerify(records, echoPool{}); err != nil {
+		t.Fatalf("identical twin rejected: %v", err)
+	}
+
+	// A twin making different calls must be flagged with the diverging
+	// record and both decision payloads.
+	err := TwinVerify(records, holdController{})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("divergent twin: err = %v", err)
+	}
+
+	// Tampered decision bytes must be caught even with an honest twin.
+	tampered := make([]PlanRecord, len(records))
+	copy(tampered, records)
+	tampered[2].Decision = json.RawMessage(`{"launch":99}`)
+	if err := TwinVerify(tampered, echoPool{}); err == nil {
+		t.Fatal("tampered decision accepted")
+	}
+
+	if err := TwinVerify(nil, echoPool{}); err == nil {
+		t.Fatal("empty record stream accepted")
+	}
+}

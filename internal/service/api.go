@@ -449,5 +449,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Dump(s.now(), s.store.Len()))
+	dump := s.metrics.Dump(s.now(), s.store.Len())
+	if s.live != nil {
+		lm := s.live.Metrics()
+		dump.Live = &lm
+	}
+	s.writeJSON(w, http.StatusOK, dump)
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/stats"
 )
 
@@ -150,7 +151,10 @@ type MetricsDump struct {
 	UptimeS        float64                     `json:"uptime_s"`
 	Sessions       SessionCounters             `json:"sessions"`
 	FaultTolerance FaultToleranceCounters      `json:"fault_tolerance"`
-	Endpoints      map[string]EndpointCounters `json:"endpoints"`
+	// Live aggregates the live execution plane (agents, leases, reclaims);
+	// present only when the server hosts a live-run registry.
+	Live      *exec.RegistryMetrics       `json:"live,omitempty"`
+	Endpoints map[string]EndpointCounters `json:"endpoints"`
 }
 
 // Dump snapshots the counters. activeSessions is supplied by the caller

@@ -26,6 +26,8 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/exec"
 )
 
 // Config tunes the daemon.
@@ -43,9 +45,18 @@ type Config struct {
 	ShutdownGrace time.Duration
 	// JournalDir, when set, enables the crash-recovery journal: every
 	// session appends its lifecycle to <dir>/<id>.wal and a restarted
-	// daemon rebuilds its session store by replay (see journal.go). Empty
+	// daemon rebuilds its session store by replay (see journal.go). Live
+	// runs journal their agent events to <dir>/live-*.jsonl. Empty
 	// disables journaling.
 	JournalDir string
+	// LiveMaxRuns caps concurrently tracked live execution runs
+	// (default 8; negative disables the live plane entirely).
+	LiveMaxRuns int
+	// DrainTimeout bounds how long shutdown waits for in-flight agent
+	// leases to complete or be reclaimed before the HTTP server is torn
+	// down (default 30s). HTTP connection draining alone would abandon
+	// agents mid-task; this flag is the lease-level counterpart.
+	DrainTimeout time.Duration
 	// Clock overrides the wall clock (tests).
 	Clock func() time.Time
 	// Logf, when set, receives operational log lines.
@@ -71,6 +82,12 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.LiveMaxRuns == 0 {
+		c.LiveMaxRuns = 8
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -86,6 +103,7 @@ type Server struct {
 	store   *Store
 	metrics *Metrics
 	mux     *http.ServeMux
+	live    *exec.Registry
 	start   time.Time
 }
 
@@ -113,6 +131,20 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	if cfg.LiveMaxRuns > 0 {
+		live, err := exec.NewRegistry(exec.RegistryConfig{
+			Factory:    LiveControllerFactory,
+			MaxRuns:    cfg.LiveMaxRuns,
+			JournalDir: s.cfg.JournalDir,
+			Logf:       cfg.Logf,
+		})
+		if err != nil {
+			// Only reachable with a nil factory; keep New's signature.
+			panic(err)
+		}
+		live.Mount(mux)
+		s.live = live
+	}
 	s.mux = mux
 	return s
 }
@@ -195,7 +227,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		s.cfg.Logf("wire-serve: shutting down, draining in-flight requests")
+		// Drain live agent leases first, while the API is still up: agents
+		// must be able to report (or time out and be reclaimed) before the
+		// HTTP server stops accepting their requests.
+		if s.live != nil {
+			s.cfg.Logf("wire-serve: shutting down, draining in-flight agent leases (timeout %v)", s.cfg.DrainTimeout)
+			drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+			if err := s.live.Drain(drainCtx); err != nil {
+				s.cfg.Logf("wire-serve: %v", err)
+			}
+			cancel()
+		}
+		s.cfg.Logf("wire-serve: draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dagio"
 	"repro/internal/dax"
 	"repro/internal/dot"
+	"repro/internal/exec"
 	"repro/internal/monitor"
 	"repro/internal/predict"
 	"repro/internal/service"
@@ -258,6 +259,39 @@ func NewPolicyController(policy string, spec *ControllerSpec) (Controller, error
 // EncodeWorkflow converts a workflow to its JSON document form, as
 // CreateSessionRequest.Workflow expects.
 var EncodeWorkflow = dagio.Encode
+
+// Live execution plane: wire-agent workers leasing emulated tasks from a
+// dispatcher that closes the MAPE loop on wall-clock measurements.
+type (
+	// LiveClient is the typed client for the daemon's /v1/live API; both
+	// run drivers and agents use it.
+	LiveClient = exec.LiveClient
+	// LiveAgentConfig tunes one worker agent (RunAgent / cmd/wire-agent).
+	LiveAgentConfig = exec.AgentConfig
+	// LiveRunRequest creates a live run on a daemon.
+	LiveRunRequest = exec.CreateRunRequest
+	// LiveRunStatus is the run status document, including the lease
+	// counters that certify zero lost leases.
+	LiveRunStatus = exec.RunStatusResponse
+	// LiveResult summarizes a finished live run in the same cost/makespan
+	// vocabulary as RunResult.
+	LiveResult = exec.LiveResult
+	// PlanRecord pairs the snapshot a live controller saw with the
+	// decision it made; TwinVerify replays these for the parity check.
+	PlanRecord = exec.PlanRecord
+)
+
+// NewLiveClient returns a live-plane client for the daemon at baseURL.
+func NewLiveClient(baseURL string) *LiveClient { return exec.NewLiveClient(baseURL, nil) }
+
+// RunLiveAgent runs a worker agent against a live run until the run
+// completes or ctx is canceled — the library form of cmd/wire-agent.
+func RunLiveAgent(ctx context.Context, cfg LiveAgentConfig) error { return exec.RunAgent(ctx, cfg) }
+
+// TwinVerify replays a live run's recorded snapshots through a fresh
+// controller and errors unless the decision stream is byte-identical: the
+// live-vs-sim parity certificate.
+func TwinVerify(records []PlanRecord, twin Controller) error { return exec.TwinVerify(records, twin) }
 
 // Tracing and visualization.
 type (
