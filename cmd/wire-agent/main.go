@@ -8,15 +8,18 @@
 //	wire-agent -server http://127.0.0.1:8080 -run live-<id> -slots 4
 //
 // Chaos flags make the agent an unreliable worker for reclaim testing:
-// -chaos-drop injects random request drops into its transport, and
+// -chaos-drop injects random request drops into its transport,
 // -partition-after severs it from the dispatcher entirely after a wall-clock
 // delay — from the dispatcher's point of view the agent crashes, its
 // heartbeat lapses, and its leased tasks are reclaimed and re-executed
-// elsewhere.
+// elsewhere — -chaos-task-crash makes leased attempts die mid-execution
+// (poison-task/quarantine testing), and -chaos-slow turns the agent into a
+// deterministic straggler (speculative re-execution testing).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -38,7 +41,11 @@ func main() {
 	slots := fs.Int("slots", 4, "concurrent task slots to advertise")
 	pollWait := fs.Duration("poll-wait", 5*time.Second, "long-poll duration cap")
 	chaosDrop := fs.Float64("chaos-drop", 0, "probability of dropping each request (unreliable-agent mode)")
-	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed for -chaos-drop")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed for the chaos flags")
+	chaosStream := fs.Int64("chaos-stream", 0, "fault-schedule stream id (distinguishes agents sharing a seed)")
+	chaosTaskCrash := fs.Float64("chaos-task-crash", 0, "probability each (task, attempt) crashes mid-execution (poison-task mode)")
+	chaosSlow := fs.Float64("chaos-slow", 0, "probability this agent is a straggler, stretching every task")
+	chaosSlowFactor := fs.Float64("chaos-slow-factor", 8, "duration multiplier applied when -chaos-slow selects this agent")
 	partitionAfter := fs.Duration("partition-after", 0, "sever the agent from the dispatcher after this wall delay (0 = never)")
 	quiet := fs.Bool("quiet", false, "suppress log lines")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -59,9 +66,20 @@ func main() {
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	plan := chaos.Plan{
+		Seed:        *chaosSeed,
+		DropRequest: *chaosDrop,
+		TaskCrash:   *chaosTaskCrash,
+		SlowAgent:   *chaosSlow,
+		SlowFactor:  *chaosSlowFactor,
+	}
+	if err := plan.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "wire-agent:", err)
+		os.Exit(2)
+	}
 	var transport http.RoundTripper = http.DefaultTransport
 	if *chaosDrop > 0 {
-		transport = chaos.Plan{Seed: *chaosSeed, DropRequest: *chaosDrop}.Transport(0, transport)
+		transport = plan.Transport(*chaosStream, transport)
 	}
 	pt := &partitionTransport{next: transport}
 	if *partitionAfter > 0 {
@@ -71,9 +89,7 @@ func main() {
 		})
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	err := exec.RunAgent(ctx, exec.AgentConfig{
+	acfg := exec.AgentConfig{
 		BaseURL:    *server,
 		RunID:      *run,
 		Name:       *name,
@@ -81,8 +97,28 @@ func main() {
 		PollWait:   *pollWait,
 		HTTPClient: &http.Client{Transport: pt},
 		Logf:       logf,
-	})
+	}
+	if *chaosTaskCrash > 0 {
+		acfg.CrashTask = plan.TaskCrashes
+	}
+	if stretch := plan.AgentSlowdown(*chaosStream); stretch > 1 {
+		logf("chaos: straggler mode, stretching tasks %.1fx", stretch)
+		acfg.Stretch = stretch
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := exec.RunAgent(ctx, acfg)
 	if err != nil && ctx.Err() == nil {
+		var rerr *exec.RegisterError
+		if errors.As(err, &rerr) {
+			// Terminal rejection: the dispatcher will never admit this
+			// agent, so retrying (or restarting) is pointless. Exit with a
+			// distinct status and point the operator at the daemon metrics.
+			fmt.Fprintf(os.Stderr, "wire-agent: registration rejected: %v\n", rerr)
+			fmt.Fprintf(os.Stderr, "wire-agent: check run state and limits: GET %s/metrics\n", *server)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "wire-agent:", err)
 		os.Exit(1)
 	}

@@ -22,17 +22,32 @@
 //	                 while it holds leases; the run must still complete with
 //	                 every leased task reclaimed and re-executed (needs
 //	                 -agent-bin)
+//	-server-bin PATH spawn a real wire-serve daemon process
+//	-kill-server     server-kill chaos certificate: SIGKILL the daemon once
+//	                 the run has made progress, restart it on the same
+//	                 address against the same journal directory, and require
+//	                 the run to finish with lease identity intact and the
+//	                 decision stream byte-identical under TwinVerify (needs
+//	                 -server-bin)
+//	-journal DIR     journal directory for the spawned daemon (default: a
+//	                 fresh temp dir)
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/wire"
@@ -47,19 +62,42 @@ func main() {
 	policy := flag.String("policy", "wire", "controller policy")
 	timescale := flag.Float64("timescale", 100, "simulated seconds per wall second")
 	killAgent := flag.Bool("kill-agent", false, "kill the first worker mid-task and require reclaim (needs -agent-bin)")
+	serverBin := flag.String("server-bin", "", "wire-serve binary to spawn as a real daemon process")
+	killServer := flag.Bool("kill-server", false, "SIGKILL the daemon mid-run and restart it from its journal (needs -server-bin)")
+	journalDir := flag.String("journal", "", "journal directory for the spawned daemon (default: temp dir)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall run deadline")
 	flag.Parse()
 	if *killAgent && *agentBin == "" {
 		log.Fatal("-kill-agent needs -agent-bin (only a real process can be killed)")
 	}
+	if *killServer && *serverBin == "" {
+		log.Fatal("-kill-server needs -server-bin (only a real process can be killed)")
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	// 1. A daemon to talk to: external (-server) or hosted in-process on an
-	//    ephemeral port, as `wire-serve serve -addr 127.0.0.1:0` would.
+	// 1. A daemon to talk to: external (-server), a spawned wire-serve
+	//    process (-server-bin), or hosted in-process on an ephemeral port, as
+	//    `wire-serve serve -addr 127.0.0.1:0` would.
 	base := *server
-	if base == "" {
+	var serverCmd *exec.Cmd
+	if base == "" && *serverBin != "" {
+		if *journalDir == "" {
+			dir, err := os.MkdirTemp("", "live-run-journal-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			*journalDir = dir
+		}
+		var err error
+		serverCmd, base, err = spawnServe(ctx, *serverBin, "127.0.0.1:0", *journalDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wire-serve daemon process up at %s (pid %d, journal %s)\n",
+			base, serverCmd.Process.Pid, *journalDir)
+	} else if base == "" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -176,6 +214,40 @@ func main() {
 		}
 	}
 
+	// 5b. Chaos: once the run has made real progress, SIGKILL the daemon
+	//     process, then restart it on the same address against the same
+	//     journal directory. The restarted dispatcher must rebuild the run —
+	//     queue, leases, agents, instances, controller state — from the
+	//     journal alone; the agents ride out the outage on their poll
+	//     backoff and keep their identities.
+	if *killServer {
+		for {
+			st := status()
+			if st.TasksCompleted >= 1 {
+				break
+			}
+			if ctx.Err() != nil {
+				log.Fatal("run made no progress before the server kill")
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		addr := strings.TrimPrefix(base, "http://")
+		fmt.Printf("killing wire-serve daemon (pid %d) mid-run\n", serverCmd.Process.Pid)
+		if err := serverCmd.Process.Kill(); err != nil {
+			log.Fatal(err)
+		}
+		_ = serverCmd.Wait() // SIGKILL; non-zero by design
+		var err error
+		serverCmd, _, err = spawnServe(ctx, *serverBin, addr, *journalDir)
+		if err != nil {
+			log.Fatalf("daemon restart: %v", err)
+		}
+		fmt.Printf("wire-serve daemon restarted at %s (pid %d)\n", base, serverCmd.Process.Pid)
+		if n := liveRunsRecovered(ctx, base); n < 1 {
+			log.Fatalf("FAILED: restarted daemon reports %d runs recovered from journal", n)
+		}
+	}
+
 	// 6. Wait for the workflow to finish.
 	var st wire.LiveRunStatus
 	for {
@@ -208,13 +280,14 @@ func main() {
 	fmt.Printf("  units charged %d (%.0f instance-seconds)\n", res.UnitsCharged, res.ChargedSeconds)
 	fmt.Printf("  utilization   %.1f%%   peak pool %d   launches %d   restarts %d   failures %d\n",
 		res.Utilization*100, res.PeakPool, res.Launches, res.Restarts, res.Failures)
-	fmt.Printf("  decisions     %d   leases granted %d / completed %d / reclaimed %d / lost %d\n",
+	fmt.Printf("  decisions     %d   leases granted %d / completed %d / reclaimed %d / superseded %d / lost %d\n",
 		res.Decisions, res.Counters.LeasesGranted, res.Counters.LeasesCompleted,
-		res.Counters.LeasesReclaimed, res.Counters.LeasesLost)
+		res.Counters.LeasesReclaimed, res.Counters.LeasesSuperseded, res.Counters.LeasesLost)
 	if res.Counters.LeasesLost != 0 {
 		log.Fatalf("FAILED: %d leases lost", res.Counters.LeasesLost)
 	}
-	if got := res.Counters.LeasesGranted - res.Counters.LeasesCompleted - res.Counters.LeasesReclaimed; got != 0 {
+	if got := res.Counters.LeasesGranted - res.Counters.LeasesCompleted -
+		res.Counters.LeasesReclaimed - res.Counters.LeasesSuperseded; got != 0 {
 		log.Fatalf("FAILED: lease identity violated by %d", got)
 	}
 	if *killAgent {
@@ -241,4 +314,77 @@ func main() {
 	}
 	fmt.Printf("\nparity certificate PASSED: %d live decisions byte-identical to the simulator twin\n",
 		len(records))
+	if *killServer {
+		fmt.Println("server-kill certificate PASSED: run survived a daemon SIGKILL + journal restart with lease identity intact")
+	}
+	if serverCmd != nil {
+		_ = serverCmd.Process.Signal(syscall.SIGTERM)
+		_ = serverCmd.Wait()
+	}
+}
+
+// spawnServe starts a wire-serve daemon process on addr with journaling into
+// dir, waits for it to print its bound URL and answer /healthz, and returns
+// the running command plus the base URL.
+func spawnServe(ctx context.Context, bin, addr, dir string) (*exec.Cmd, string, error) {
+	cmd := exec.CommandContext(ctx, bin, "serve", "-addr", addr, "-journal", dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		_ = cmd.Process.Kill()
+		return nil, "", fmt.Errorf("wire-serve never reported its address")
+	}
+	go io.Copy(io.Discard, stdout) // keep draining so the daemon never blocks
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base, nil
+			}
+		}
+		if ctx.Err() != nil {
+			_ = cmd.Process.Kill()
+			return nil, "", fmt.Errorf("wire-serve at %s never became healthy", base)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// liveRunsRecovered reads the daemon's /metrics live block and returns how
+// many runs it resurrected from journals at startup.
+func liveRunsRecovered(ctx context.Context, base string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Live struct {
+			RunsRecovered int `json:"runs_recovered"`
+		} `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		log.Fatal(err)
+	}
+	return m.Live.RunsRecovered
 }

@@ -59,6 +59,18 @@ func (c *ScaledClock) Started() bool {
 	return c.started
 }
 
+// ResumeAt restarts the clock so the current wall instant reads as simulated
+// time t. Crash recovery uses it to continue a journaled run from the last
+// recorded simulated timestamp: the downtime simply does not exist on the
+// simulated axis, which keeps replayed decision streams aligned with the
+// original tick grid.
+func (c *ScaledClock) ResumeAt(t simtime.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.origin = c.now().Add(-time.Duration(t / c.scale * float64(time.Second)))
+	c.started = true
+}
+
 // Now returns the current simulated time (zero before Start).
 func (c *ScaledClock) Now() simtime.Time {
 	c.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -49,6 +50,25 @@ func IsCode(err error, code string) bool {
 	ae, ok := err.(*APIError)
 	return ok && ae.Code == code
 }
+
+// RegisterError is a terminal registration rejection: the dispatcher will
+// never admit this agent (the run is unknown, already over, or the daemon is
+// at its run limit), so retrying is pointless. wire-agent detects it with
+// errors.As and exits non-zero with an operator-readable reason.
+type RegisterError struct {
+	RunID string
+	// Code is the API error code: "not_found", "run_over", or "max_runs".
+	Code string
+	Err  error
+}
+
+// Error implements error.
+func (e *RegisterError) Error() string {
+	return fmt.Sprintf("exec: agent registration on run %s rejected (%s): %v", e.RunID, e.Code, e.Err)
+}
+
+// Unwrap exposes the underlying API error.
+func (e *RegisterError) Unwrap() error { return e.Err }
 
 func (c *LiveClient) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
@@ -168,6 +188,18 @@ type AgentConfig struct {
 	// under half the server's heartbeat TTL. Default 5 s.
 	PollWait time.Duration
 
+	// Stretch, when > 1, multiplies the emulated phase durations: the chaos
+	// slow-agent fault (chaos.Plan.AgentSlowdown). The agent reports its
+	// real (stretched) measurements, which is exactly what a straggler
+	// looks like to the dispatcher's speculation threshold.
+	Stretch float64
+
+	// CrashTask, when set, is consulted once per lease; true means the
+	// attempt dies partway through execution and is reported Failed (the
+	// chaos task-crash fault, chaos.Plan.TaskCrashes, keyed by task and
+	// attempt so a poison task fails every retry deterministically).
+	CrashTask func(task int64, attempt int) bool
+
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -199,23 +231,51 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 
 	var agentID string
 	var wait time.Duration
+	// register retries transport failures with jittered-exponential backoff
+	// (the dispatcher may be mid-restart, replaying its journal) and turns
+	// terminal API rejections into RegisterError.
 	register := func() error {
-		reg, err := client.Register(ctx, cfg.RunID, cfg.Name, cfg.Slots)
-		if err != nil {
-			return err
+		var rs retrySleeper
+		for {
+			reg, err := client.Register(ctx, cfg.RunID, cfg.Name, cfg.Slots)
+			if err == nil {
+				agentID = reg.AgentID
+				wait = cfg.PollWait
+				if ttl := wallMs(reg.HeartbeatTTLMs); ttl > 0 && wait > ttl/2 {
+					wait = ttl / 2
+				}
+				logf("agent %s: registered on %s (%d slots, poll %v)", agentID, cfg.RunID, cfg.Slots, wait)
+				return nil
+			}
+			for _, code := range []string{"not_found", "run_over", "max_runs"} {
+				if IsCode(err, code) {
+					return &RegisterError{RunID: cfg.RunID, Code: code, Err: err}
+				}
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if rs.retry >= 10 {
+				return err
+			}
+			logf("agent %q: register attempt %d failed: %v", cfg.Name, rs.retry+1, err)
+			if serr := rs.Sleep(ctx); serr != nil {
+				return serr
+			}
 		}
-		agentID = reg.AgentID
-		wait = cfg.PollWait
-		if ttl := wallMs(reg.HeartbeatTTLMs); ttl > 0 && wait > ttl/2 {
-			wait = ttl / 2
-		}
-		logf("agent %s: registered on %s (%d slots, poll %v)", agentID, cfg.RunID, cfg.Slots, wait)
-		return nil
 	}
 	if err := register(); err != nil {
+		var rerr *RegisterError
+		if errors.As(err, &rerr) {
+			return err
+		}
 		return fmt.Errorf("exec: agent register: %w", err)
 	}
 
+	// pollBackoff spaces retries of transient poll failures — including a
+	// dispatcher that is down for a restart — and resets on any success, so
+	// a recovered daemon sees the agent within one heartbeat TTL.
+	var pollBackoff retrySleeper
 	for {
 		resp, err := client.Poll(ctx, cfg.RunID, agentID, wait)
 		switch {
@@ -223,10 +283,12 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 			return ctx.Err()
 		case IsCode(err, "unknown_agent"):
 			// Declared dead (partition, missed heartbeats). Our leases were
-			// reclaimed; come back as a new worker.
+			// reclaimed; come back as a new worker. A restarted dispatcher
+			// that replayed our registration hands back the same identity.
 			logf("agent %s: declared dead by dispatcher; re-registering", agentID)
 			if rerr := register(); rerr != nil {
-				if IsCode(rerr, "run_over") || IsCode(rerr, "not_found") {
+				var reg *RegisterError
+				if errors.As(rerr, &reg) && (reg.Code == "run_over" || reg.Code == "not_found") {
 					return nil
 				}
 				return fmt.Errorf("exec: agent re-register: %w", rerr)
@@ -235,20 +297,19 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 		case IsCode(err, "not_found"):
 			return fmt.Errorf("exec: run %s gone: %w", cfg.RunID, err)
 		case err != nil:
-			// Transient transport failure (or injected chaos): back off and
-			// keep heartbeating.
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(200 * time.Millisecond):
+			// Transient transport failure (injected chaos, or the daemon
+			// restarting): back off and keep heartbeating.
+			if serr := pollBackoff.Sleep(ctx); serr != nil {
+				return serr
 			}
 			continue
 		}
+		pollBackoff.Reset()
 		for _, l := range resp.Leases {
 			wg.Add(1)
 			go func(l Lease) {
 				defer wg.Done()
-				runLease(ctx, client, cfg.RunID, agentID, l, logf)
+				runLease(ctx, client, cfg, agentID, l, logf)
 			}(l)
 		}
 		if resp.Done {
@@ -259,19 +320,44 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 }
 
 // runLease emulates one leased task and reports its measurements.
-func runLease(ctx context.Context, client *LiveClient, runID, agentID string, l Lease, logf func(string, ...any)) {
-	em := &Emulator{Spec: l.Spec}
-	rep, err := em.Run(ctx, func(transfer simtime.Duration) {
-		// Mid-task kickstart record: measured transfer duration. Best
-		// effort — the completion report carries it too.
-		_, _ = client.ReportTransfer(ctx, runID, agentID, l.ID, TransferReport{TransferS: transfer})
-	})
+func runLease(ctx context.Context, client *LiveClient, cfg AgentConfig, agentID string, l Lease, logf func(string, ...any)) {
+	runID := cfg.RunID
+	spec := l.Spec
+	if cfg.Stretch > 1 {
+		spec.ExecS *= cfg.Stretch
+		spec.TransferS *= cfg.Stretch
+	}
+	crash := cfg.CrashTask != nil && cfg.CrashTask(int64(l.Task), l.Attempt)
+	if crash {
+		// A poison attempt dies about a quarter of the way into execution:
+		// burn real wall time, never reach the transfer report, and tell
+		// the dispatcher the attempt Failed so it can requeue with backoff
+		// or quarantine once the attempt budget is spent.
+		spec.TransferS = 0
+		spec.ExecS /= 4
+	}
+	em := &Emulator{Spec: spec}
+	var onTransfer func(simtime.Duration)
+	if !crash {
+		onTransfer = func(transfer simtime.Duration) {
+			// Mid-task kickstart record: measured transfer duration. Best
+			// effort — the completion report carries it too.
+			_, _ = client.ReportTransfer(ctx, runID, agentID, l.ID, TransferReport{TransferS: transfer})
+		}
+	}
+	rep, err := em.Run(ctx, onTransfer)
 	if err != nil {
 		logf("agent %s: lease %d interrupted: %v", agentID, l.ID, err)
 		return
 	}
-	// The measurement must not be lost to a transient blip: retry briefly.
-	for attempt := 0; ; attempt++ {
+	if crash {
+		logf("agent %s: lease %d (task %d attempt %d) crashing by chaos plan", agentID, l.ID, l.Task, l.Attempt)
+		rep = CompleteReport{Failed: true, Error: fmt.Sprintf("chaos: injected crash on attempt %d", l.Attempt)}
+	}
+	// The measurement must not be lost to a transient blip: retry with the
+	// shared jittered backoff, long enough to ride out a dispatcher restart.
+	var rs retrySleeper
+	for {
 		ack, err := client.Complete(ctx, runID, agentID, l.ID, rep)
 		if err == nil {
 			if ack.Stale {
@@ -279,14 +365,12 @@ func runLease(ctx context.Context, client *LiveClient, runID, agentID string, l 
 			}
 			return
 		}
-		if ctx.Err() != nil || IsCode(err, "not_found") || IsCode(err, "unknown_agent") || attempt >= 4 {
+		if ctx.Err() != nil || IsCode(err, "not_found") || IsCode(err, "unknown_agent") || rs.retry >= 12 {
 			logf("agent %s: lease %d complete failed: %v", agentID, l.ID, err)
 			return
 		}
-		select {
-		case <-ctx.Done():
+		if rs.Sleep(ctx) != nil {
 			return
-		case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
 		}
 	}
 }

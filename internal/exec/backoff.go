@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered-exponential retry delays: full jitter over an
+// exponentially growing ceiling, the scheme the service client has used since
+// the chaos PR. It is shared by the agent's measurement-report retry, the
+// agent reconnect loop, and (via delegation) service.RetryPolicy, so every
+// retry path in the repo backs off the same way.
+type Backoff struct {
+	// Base seeds the exponential ceiling (default 100ms).
+	Base time.Duration
+	// Max caps the ceiling (default 2s).
+	Max time.Duration
+}
+
+// Delay returns the full-jitter sleep before the retry-th retry (retry ≥ 0):
+// a uniform draw u ∈ [0,1) over a ceiling of Base·2^retry capped at Max.
+func (b Backoff) Delay(retry int, u float64) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	ceil := base
+	for i := 0; i < retry && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	return time.Duration(u * float64(ceil))
+}
+
+// retrySleeper tracks consecutive failures and sleeps the corresponding
+// jittered-exponential delay, honouring context cancellation.
+type retrySleeper struct {
+	b     Backoff
+	retry int
+}
+
+// Sleep blocks for the next backoff delay (at least 1ms, so a zero jitter
+// draw cannot hot-spin) and advances the retry counter. It returns the
+// context error if cancelled mid-sleep.
+func (s *retrySleeper) Sleep(ctx context.Context) error {
+	d := s.b.Delay(s.retry, rand.Float64())
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	s.retry++
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Reset clears the failure streak after a success.
+func (s *retrySleeper) Reset() { s.retry = 0 }

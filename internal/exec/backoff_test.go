@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	// With u = 0.5 the delay is exactly half the ceiling, so the doubling
+	// sequence is observable: 50ms, 100ms, 200ms, … up to the 1s cap-half.
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // ceiling hit Max
+		1 * time.Second,
+	}
+	for retry, w := range want {
+		if got := b.Delay(retry, 0.5); got != w {
+			t.Errorf("Delay(%d, 0.5) = %v, want %v", retry, got, w)
+		}
+	}
+	// Full jitter: the draw spans [0, ceiling).
+	if got := b.Delay(3, 0); got != 0 {
+		t.Errorf("zero draw should be zero delay, got %v", got)
+	}
+	if got := b.Delay(50, 0.999); got >= 2*time.Second {
+		t.Errorf("delay %v must stay under Max", got)
+	}
+	// Zero value uses the documented defaults (100ms base, 2s cap).
+	if got := (Backoff{}).Delay(0, 0.5); got != 50*time.Millisecond {
+		t.Errorf("zero-value Delay(0, 0.5) = %v, want 50ms", got)
+	}
+	if got := (Backoff{}).Delay(20, 0.5); got != time.Second {
+		t.Errorf("zero-value Delay(20, 0.5) = %v, want 1s", got)
+	}
+}
+
+func TestRetrySleeperHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := retrySleeper{b: Backoff{Base: time.Hour, Max: time.Hour}}
+	start := time.Now()
+	if err := s.Sleep(ctx); err == nil {
+		t.Fatal("Sleep on cancelled context returned nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep ignored the cancelled context")
+	}
+	if s.retry != 1 {
+		t.Fatalf("retry counter = %d, want 1", s.retry)
+	}
+	s.Reset()
+	if s.retry != 0 {
+		t.Fatal("Reset did not clear the streak")
+	}
+}

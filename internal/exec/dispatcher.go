@@ -12,6 +12,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/dag"
 	"repro/internal/monitor"
+	"repro/internal/predict"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -35,6 +36,10 @@ const (
 	leaseActive leaseState = iota
 	leaseCompleted
 	leaseReclaimed
+	// leaseSuperseded: retired because the task's other copy won the race
+	// (speculation) or because this copy's agent vanished while a healthy
+	// duplicate survived. The task is NOT requeued — it still runs.
+	leaseSuperseded
 )
 
 // lease is one granted task execution.
@@ -47,6 +52,10 @@ type lease struct {
 	deadline  time.Time
 	delivered bool
 	timer     *time.Timer
+	// spec marks a speculative straggler duplicate; attempt is the task's
+	// execution attempt number carried on the wire for chaos determinism.
+	spec    bool
+	attempt int
 }
 
 // agentState is one registered worker process.
@@ -116,6 +125,17 @@ type taskState struct {
 	completedAt        simtime.Time
 
 	restarts int
+
+	// specLease is the task's speculative duplicate lease (0 when none);
+	// leaseID above always names the primary copy.
+	specLease int64
+	// failedAttempts counts failed executions (crash reports + reclaims)
+	// against Config.MaxTaskAttempts.
+	failedAttempts int
+	// pendingRequeue is set between a failed attempt and the task's
+	// backoff-delayed return to the ready queue.
+	pendingRequeue bool
+	requeueTimer   *time.Timer
 }
 
 // LiveResult summarizes a finished live run with the simulator's metrics
@@ -139,6 +159,23 @@ type LiveResult struct {
 	Timescale     float64  `json:"timescale"`
 	WallElapsedMs int64    `json:"wall_elapsed_ms"`
 	Counters      Counters `json:"counters"`
+
+	// Degraded marks a run that finished with tasks quarantined (poison
+	// tasks that exhausted their attempt budget) and therefore skipped
+	// their unreachable descendants.
+	Degraded         bool `json:"degraded,omitempty"`
+	QuarantinedTasks int  `json:"quarantined_tasks,omitempty"`
+	UnreachableTasks int  `json:"unreachable_tasks,omitempty"`
+}
+
+// agentHealth scores one worker by name (names survive re-registration, so a
+// flaky process that reconnects keeps its record). An agent whose failure
+// events reach the configured threshold at the configured ratio is
+// blacklisted — no new leases — until the cooldown elapses.
+type agentHealth struct {
+	completions      int64
+	failures         int64
+	blacklistedUntil time.Time
 }
 
 // Dispatcher owns one live workflow run: the ready queue, the lease table,
@@ -160,6 +197,15 @@ type Dispatcher struct {
 	insts   map[cloud.InstanceID]*instRec
 	leases  map[int64]*lease
 	waiters []chan struct{}
+	health  map[string]*agentHealth
+	// unreach holds quarantined tasks plus their transitive successors:
+	// work the run will never execute. The finish condition becomes
+	// completed + |unreach| == NumTasks, so a poisoned run still ends.
+	unreach map[dag.TaskID]bool
+	// pred is the speculation predictor (nil unless SpeculationFactor>0):
+	// the paper's online occupancy estimators, fed the same snapshots the
+	// controller sees, deciding when a running lease counts as a straggler.
+	pred *predict.Predictor
 
 	agentSeq  int
 	leaseSeq  int64
@@ -212,8 +258,16 @@ func NewDispatcher(cfg Config) (*Dispatcher, error) {
 		agents:      make(map[string]*agentState),
 		insts:       make(map[cloud.InstanceID]*instRec),
 		leases:      make(map[int64]*lease),
+		health:      make(map[string]*agentHealth),
+		unreach:     make(map[dag.TaskID]bool),
 		createdWall: cfg.now(),
 		done:        make(chan struct{}),
+	}
+	if cfg.SpeculationFactor > 0 {
+		d.pred = predict.New(predict.Config{})
+	}
+	if cfg.Journal != nil && len(cfg.Spec) > 0 {
+		d.journalLocked(Record{Kind: RecRunCreated, Detail: cfg.Workflow.Name, Spec: cfg.Spec})
 	}
 	for _, t := range d.wf.Tasks {
 		d.tasks[t.ID].waiting = len(t.Deps)
@@ -423,11 +477,14 @@ func (d *Dispatcher) bindAgentsLocked() {
 	}
 }
 
-// pickParkedLocked returns the longest-registered parked agent.
+// pickParkedLocked returns the longest-registered parked agent that is not
+// blacklisted — binding a blacklisted agent would starve its instance, since
+// no leases may flow to it anyway.
 func (d *Dispatcher) pickParkedLocked() *agentState {
+	wall := d.cfg.now()
 	var best *agentState
 	for _, a := range d.agents {
-		if a.gone || a.inst != nil {
+		if a.gone || a.inst != nil || d.blacklistedLocked(a.name, wall) {
 			continue
 		}
 		if best == nil || a.id < best.id {
@@ -447,6 +504,35 @@ func (d *Dispatcher) Register(name string, slots int) (RegisterResponse, error) 
 	}
 	if slots <= 0 {
 		slots = 1
+	}
+	// Reconnect: a returning agent is recognized by name. It keeps its
+	// identity and its outstanding leases — they are re-marked undelivered
+	// so the next poll reissues them. This is how a worker (or the whole
+	// recovered daemon) survives a restart without losing lease identity.
+	if name != "" {
+		for _, a := range d.agents {
+			if a.name != name || a.gone {
+				continue
+			}
+			a.slots = slots
+			a.lastSeen = d.cfg.now()
+			redelivered := 0
+			for _, l := range a.leases {
+				if l.state == leaseActive && l.delivered {
+					l.delivered = false
+					redelivered++
+				}
+			}
+			d.journalLocked(Record{Kind: RecAgentReconnected, NowS: d.clock.Now(),
+				Agent: a.id, Slots: slots, Detail: name})
+			d.cfg.Logf("exec: agent %s (%s) reconnected, %d leases reissued", a.id, name, redelivered)
+			if d.state == Running {
+				d.bindAgentsLocked()
+				d.dispatchLocked()
+				d.notifyLocked()
+			}
+			return RegisterResponse{AgentID: a.id, HeartbeatTTLMs: d.cfg.HeartbeatTTL.Milliseconds()}, nil
+		}
 	}
 	d.agentSeq++
 	id := fmt.Sprintf("a%d", d.agentSeq)
@@ -496,16 +582,27 @@ func (d *Dispatcher) dispatchLocked() {
 }
 
 func (d *Dispatcher) pickAgentLocked(now simtime.Time) *agentState {
+	return d.pickAgentExcludingLocked(now, nil)
+}
+
+// pickAgentExcludingLocked returns the lowest-instance-ID agent with free
+// capacity, skipping the excluded agent (speculation must pick a *different*
+// worker) and any agent currently blacklisted by health scoring.
+func (d *Dispatcher) pickAgentExcludingLocked(now simtime.Time, exclude *agentState) *agentState {
+	wall := d.cfg.now()
 	var best *agentState
 	for _, ir := range d.insts {
 		a := ir.agent
-		if a == nil || a.gone || ir.draining {
+		if a == nil || a.gone || a == exclude || ir.draining {
 			continue
 		}
 		if ir.inst.State != cloud.Active || !ir.inst.UsableAt(now) {
 			continue
 		}
 		if len(a.leases) >= a.capacity() {
+			continue
+		}
+		if d.blacklistedLocked(a.name, wall) {
 			continue
 		}
 		if best == nil || ir.inst.ID < best.inst.inst.ID {
@@ -523,24 +620,27 @@ func (d *Dispatcher) grantLocked(it sched.Item, a *agentState, now simtime.Time)
 	d.leaseSeq++
 	expected := d.clock.WallDuration(t.ExecTime + t.TransferTime)
 	ttl := time.Duration(float64(expected)*d.cfg.LeaseFactor) + d.cfg.LeaseSlack
+	ts := &d.tasks[it.Task]
 	l := &lease{
 		id:        d.leaseSeq,
 		task:      it.Task,
 		agent:     a,
 		grantedAt: now,
 		deadline:  d.cfg.now().Add(ttl),
+		attempt:   ts.failedAttempts + 1,
 	}
 	a.leases[l.id] = l
 	d.leases[l.id] = l
 	d.counters.LeasesGranted++
 
-	ts := &d.tasks[it.Task]
 	ts.state = monitor.Running
 	ts.priority = it.Priority
 	ts.startedAt = now
 	ts.agent = a.id
 	ts.instance = a.inst.inst.ID
 	ts.leaseID = l.id
+	ts.specLease = 0
+	ts.pendingRequeue = false
 	ts.transferObserved = false
 	ts.transferTime = 0
 
@@ -566,8 +666,55 @@ func (d *Dispatcher) leaseSpecLocked(l *lease) Lease {
 			Timescale: d.cfg.Timescale,
 			BusyFrac:  d.cfg.BusyFrac,
 		},
-		DeadlineMs: time.Until(l.deadline).Milliseconds(),
+		DeadlineMs:  time.Until(l.deadline).Milliseconds(),
+		Attempt:     l.attempt,
+		Speculative: l.spec,
 	}
+}
+
+// healthFor returns (creating if needed) the named agent's health record.
+func (d *Dispatcher) healthFor(name string) *agentHealth {
+	h := d.health[name]
+	if h == nil {
+		h = &agentHealth{}
+		d.health[name] = h
+	}
+	return h
+}
+
+// blacklistedLocked reports whether the named agent is inside a blacklist
+// cooldown window. Reactivation is lazy: once the window passes, the agent is
+// simply eligible again (its counters were reset at blacklist time, so it
+// re-earns trust from a clean slate).
+func (d *Dispatcher) blacklistedLocked(name string, wall time.Time) bool {
+	h := d.health[name]
+	return h != nil && wall.Before(h.blacklistedUntil)
+}
+
+// recordAgentFailureLocked debits n failure events against the named agent
+// and blacklists it when the failure ratio crosses the configured threshold.
+func (d *Dispatcher) recordAgentFailureLocked(name string, n int64, now simtime.Time) {
+	if n <= 0 {
+		return
+	}
+	h := d.healthFor(name)
+	h.failures += n
+	wall := d.cfg.now()
+	if wall.Before(h.blacklistedUntil) {
+		return // already serving a cooldown
+	}
+	total := h.completions + h.failures
+	if h.failures < int64(d.cfg.HealthMinEvents) || float64(h.failures)/float64(total) < d.cfg.HealthFailureRatio {
+		return
+	}
+	detail := fmt.Sprintf("failures=%d completions=%d cooldown=%v", h.failures, h.completions, d.cfg.HealthCooldown)
+	h.blacklistedUntil = wall.Add(d.cfg.HealthCooldown)
+	h.failures = 0
+	h.completions = 0
+	d.counters.AgentsBlacklisted++
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvAgentBlacklisted, Task: -1, Instance: -1})
+	d.journalLocked(Record{Kind: RecAgentBlacklisted, NowS: now, Agent: name, Detail: detail})
+	d.cfg.Logf("exec: agent %q blacklisted: %s", name, detail)
 }
 
 // Poll is the agent's heartbeat and lease pickup. It long-polls up to wait
@@ -629,12 +776,23 @@ func (d *Dispatcher) ReportTransfer(agentID string, leaseID int64, rep TransferR
 	if !a.gone {
 		a.lastSeen = d.cfg.now()
 	}
+	// A finished run accepts no observations: acknowledging stale keeps a
+	// late report from resurrecting per-task state after an abort.
+	if d.state != Running {
+		d.counters.StaleReports++
+		return Ack{Stale: true}, nil
+	}
 	l, ok := d.leases[leaseID]
 	if !ok || l.state != leaseActive || l.agent != a {
 		d.counters.StaleReports++
 		return Ack{Stale: true}, nil
 	}
 	ts := &d.tasks[l.task]
+	if l.id != ts.leaseID {
+		// Speculative duplicate: accepted, but the task's transfer record
+		// follows the primary copy only.
+		return Ack{}, nil
+	}
 	ts.transferObserved = true
 	ts.transferTime = rep.TransferS
 	ts.transferObservedAt = d.clock.Now()
@@ -654,24 +812,62 @@ func (d *Dispatcher) Complete(agentID string, leaseID int64, rep CompleteReport)
 	if !a.gone {
 		a.lastSeen = d.cfg.now()
 	}
+	// A finished run accepts no completions: without this gate a late
+	// report after an abort could re-run the finish path (double close of
+	// done) and resurrect deleted state.
+	if d.state != Running {
+		d.counters.StaleReports++
+		return Ack{Stale: true}, nil
+	}
 	l, ok := d.leases[leaseID]
 	if !ok || l.state != leaseActive || l.agent != a {
 		d.counters.StaleReports++
 		return Ack{Stale: true}, nil
 	}
 	now := d.clock.Now()
+	ts := &d.tasks[l.task]
+
+	if rep.Failed {
+		// Failed attempt: the lease is consumed and the agent's health
+		// debited. With a surviving duplicate the task still runs there —
+		// this copy is merely superseded; otherwise it is reclaimed
+		// against its attempt budget and requeued with backoff.
+		d.cfg.Logf("exec: lease %d (task %d) failed on agent %s: %s", l.id, l.task, a.id, rep.Error)
+		d.recordAgentFailureLocked(a.name, 1, now)
+		if other := d.otherActiveLocked(ts, l); other != nil {
+			d.supersedeLocked(l, now)
+		} else {
+			d.reclaimLocked(l, now, true, "task-failed")
+		}
+		d.dispatchLocked()
+		d.notifyLocked()
+		return Ack{}, nil
+	}
+
+	// First completion wins: retire the losing duplicate before recording
+	// the winner, so the task's lease of record is the one that finished.
+	if other := d.otherActiveLocked(ts, l); other != nil {
+		d.supersedeLocked(other, now)
+	}
 	l.state = leaseCompleted
 	if l.timer != nil {
 		l.timer.Stop()
 	}
 	delete(a.leases, l.id)
 	d.counters.LeasesCompleted++
+	if l.spec {
+		d.counters.SpeculationsWon++
+	}
+	d.healthFor(a.name).completions++
 
-	ts := &d.tasks[l.task]
 	ts.state = monitor.Completed
 	ts.completedAt = now
 	ts.execTime = rep.ExecS
 	ts.transferTime = rep.TransferS
+	ts.agent = a.id
+	ts.instance = a.inst.inst.ID
+	ts.leaseID = l.id
+	ts.specLease = 0
 	if !ts.transferObserved {
 		ts.transferObserved = true
 		ts.transferObservedAt = now
@@ -680,7 +876,7 @@ func (d *Dispatcher) Complete(agentID string, leaseID int64, rep CompleteReport)
 	d.completed++
 	d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskComplete, Task: l.task, Instance: a.inst.inst.ID})
 	d.journalLocked(Record{Kind: RecLeaseCompleted, NowS: now, Agent: a.id,
-		Lease: int64Ptr(l.id), Task: intPtr(int(l.task))})
+		Lease: int64Ptr(l.id), Task: intPtr(int(l.task)), ExecS: rep.ExecS, TransferS: rep.TransferS})
 
 	for _, s := range d.wf.Task(l.task).Succs {
 		ss := &d.tasks[s]
@@ -689,13 +885,36 @@ func (d *Dispatcher) Complete(agentID string, leaseID int64, rep CompleteReport)
 			d.markReadyLocked(s, now)
 		}
 	}
-	if d.completed == d.wf.NumTasks() {
+	if d.finishableLocked() {
 		d.finishLocked(now)
 		return Ack{}, nil
 	}
 	d.dispatchLocked()
 	d.notifyLocked()
 	return Ack{}, nil
+}
+
+// otherActiveLocked returns the task's other still-active lease (primary vs
+// speculative duplicate), or nil.
+func (d *Dispatcher) otherActiveLocked(ts *taskState, l *lease) *lease {
+	otherID := ts.leaseID
+	if l.id == ts.leaseID {
+		otherID = ts.specLease
+	}
+	if otherID == 0 || otherID == l.id {
+		return nil
+	}
+	o, ok := d.leases[otherID]
+	if !ok || o.state != leaseActive {
+		return nil
+	}
+	return o
+}
+
+// finishableLocked reports whether every task is accounted for: completed,
+// or written off as quarantined/unreachable.
+func (d *Dispatcher) finishableLocked() bool {
+	return d.completed+len(d.unreach) == d.wf.NumTasks()
 }
 
 // onLeaseExpired fires at a lease's wall deadline: an agent that still holds
@@ -754,13 +973,24 @@ func (d *Dispatcher) failAgentLocked(a *agentState, reason string) {
 	d.journalLocked(Record{Kind: RecAgentFailed, NowS: now, Agent: a.id, Detail: reason})
 
 	ir := a.inst
+	var debits int64 = 1 // the lapse/expiry itself
 	for _, l := range sortedLeases(a.leases) {
-		if l.state == leaseActive {
-			d.reclaimLocked(l, now)
+		if l.state != leaseActive {
+			continue
+		}
+		debits++
+		ts := &d.tasks[l.task]
+		if other := d.otherActiveLocked(ts, l); other != nil {
+			// A healthy duplicate survives elsewhere: this copy is
+			// superseded, not reclaimed — the task is not requeued.
+			d.supersedeLocked(l, now)
+		} else {
+			d.reclaimLocked(l, now, true, reason)
 		}
 	}
 	a.leases = make(map[int64]*lease)
 	a.inst = nil
+	d.recordAgentFailureLocked(a.name, debits, now)
 
 	if ir != nil {
 		ir.agent = nil
@@ -785,34 +1015,171 @@ func sortedLeases(m map[int64]*lease) []*lease {
 	return out
 }
 
-// reclaimLocked returns a leased task to the ready queue. The lease moves to
-// the terminal reclaimed state first, so a duplicate expiry/failure path or
-// a late agent report cannot requeue it twice.
-func (d *Dispatcher) reclaimLocked(l *lease, now simtime.Time) {
+// reclaimLocked retires a leased task's last active lease. The lease moves to
+// the terminal reclaimed state first, so a duplicate expiry/failure path or a
+// late agent report cannot requeue it twice. failure marks an attempt burned
+// against the task's budget: the requeue is then delayed with exponential
+// backoff, and a task at its MaxTaskAttempts budget is quarantined instead of
+// requeued. Non-failure reclaims (controller releases) requeue immediately
+// and stay off the budget.
+func (d *Dispatcher) reclaimLocked(l *lease, now simtime.Time, failure bool, reason string) {
 	l.state = leaseReclaimed
 	if l.timer != nil {
 		l.timer.Stop()
 	}
+	delete(l.agent.leases, l.id)
 	d.counters.LeasesReclaimed++
 	ts := &d.tasks[l.task]
 	if l.agent.inst != nil {
-		l.agent.inst.inst.BusySlotSeconds += now - ts.startedAt
+		l.agent.inst.inst.BusySlotSeconds += now - l.grantedAt
 	}
 	ts.restarts++
 	d.restarts++
+	if failure {
+		ts.failedAttempts++
+	}
 	ts.state = monitor.Ready
 	ts.readyAt = now
 	ts.agent = ""
 	ts.leaseID = 0
+	ts.specLease = 0
 	ts.transferObserved = false
 	ts.transferTime = 0
-	d.queue.Requeue(l.task, d.wf.Task(l.task).Stage, now, ts.priority)
 	var instID cloud.InstanceID = -1
 	if l.agent.inst != nil {
 		instID = l.agent.inst.inst.ID
 	}
 	d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskKilled, Task: l.task, Instance: instID})
 	d.journalLocked(Record{Kind: RecLeaseReclaimed, NowS: now, Agent: l.agent.id,
+		Lease: int64Ptr(l.id), Task: intPtr(int(l.task)), Attempt: ts.failedAttempts, Detail: reason})
+
+	if failure && d.cfg.MaxTaskAttempts > 0 && ts.failedAttempts >= d.cfg.MaxTaskAttempts {
+		d.quarantineLocked(l.task, now)
+		return
+	}
+	if failure {
+		d.scheduleRequeueLocked(l.task, ts)
+		return
+	}
+	d.requeueLocked(l.task, now)
+}
+
+// requeueLocked returns a reclaimed task to the ready queue, journaling the
+// re-entry so crash recovery replays the exact queue order.
+func (d *Dispatcher) requeueLocked(id dag.TaskID, now simtime.Time) {
+	ts := &d.tasks[id]
+	ts.pendingRequeue = false
+	ts.readyAt = now
+	d.queue.Requeue(id, d.wf.Task(id).Stage, now, ts.priority)
+	d.journalLocked(Record{Kind: RecTaskRequeued, NowS: now, Task: intPtr(int(id)), Attempt: ts.failedAttempts})
+}
+
+// scheduleRequeueLocked arms the exponential-backoff delay before a failed
+// task re-enters the ready queue: RequeueBase·2^(attempts-1), capped at 5 s
+// of wall clock, so a poison task cannot hammer the pool between failures.
+func (d *Dispatcher) scheduleRequeueLocked(id dag.TaskID, ts *taskState) {
+	delay := d.cfg.RequeueBase
+	for i := 1; i < ts.failedAttempts && delay < 5*time.Second; i++ {
+		delay *= 2
+	}
+	if delay > 5*time.Second {
+		delay = 5 * time.Second
+	}
+	ts.pendingRequeue = true
+	ts.requeueTimer = time.AfterFunc(delay, func() { d.onRequeue(id) })
+}
+
+func (d *Dispatcher) onRequeue(id dag.TaskID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state != Running {
+		return
+	}
+	ts := &d.tasks[id]
+	if !ts.pendingRequeue || ts.state != monitor.Ready {
+		return
+	}
+	d.requeueLocked(id, d.clock.Now())
+	d.dispatchLocked()
+	d.notifyLocked()
+}
+
+// quarantineLocked retires a poison task after its attempt budget: it will
+// never be scheduled again, its transitive successors become unreachable,
+// and the run finishes Done-but-degraded once the remaining tasks complete.
+func (d *Dispatcher) quarantineLocked(id dag.TaskID, now simtime.Time) {
+	ts := &d.tasks[id]
+	ts.state = monitor.Quarantined
+	ts.pendingRequeue = false
+	d.counters.QuarantinedTasks++
+	d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskQuarantined, Task: id, Instance: -1})
+	d.journalLocked(Record{Kind: RecTaskQuarantined, NowS: now, Task: intPtr(int(id)), Attempt: ts.failedAttempts})
+	d.cfg.Logf("exec: task %d quarantined after %d failed attempts", id, ts.failedAttempts)
+	d.recomputeUnreachLocked()
+	if d.finishableLocked() {
+		d.finishLocked(now)
+	}
+}
+
+// recomputeUnreachLocked rebuilds the unreachable set: quarantined tasks plus
+// every transitive successor (blocked forever behind the quarantine).
+func (d *Dispatcher) recomputeUnreachLocked() {
+	d.unreach = make(map[dag.TaskID]bool)
+	var visit func(id dag.TaskID)
+	visit = func(id dag.TaskID) {
+		if d.unreach[id] {
+			return
+		}
+		d.unreach[id] = true
+		for _, s := range d.wf.Task(id).Succs {
+			visit(s)
+		}
+	}
+	for i := range d.tasks {
+		if d.tasks[i].state == monitor.Quarantined {
+			visit(dag.TaskID(i))
+		}
+	}
+}
+
+// supersedeLocked retires the losing copy of a duplicated task: the race was
+// decided (the other copy completed) or this copy's agent vanished while a
+// healthy duplicate survived. The task is NOT requeued — it still runs or
+// already finished on the other copy — so supersession keeps the lease
+// identity without touching the queue.
+func (d *Dispatcher) supersedeLocked(l *lease, now simtime.Time) {
+	l.state = leaseSuperseded
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	delete(l.agent.leases, l.id)
+	if l.agent.inst != nil {
+		l.agent.inst.inst.BusySlotSeconds += now - l.grantedAt
+	}
+	d.counters.LeasesSuperseded++
+	if l.spec {
+		d.counters.SpeculationsWasted++
+	}
+	ts := &d.tasks[l.task]
+	if ts.specLease == l.id {
+		ts.specLease = 0
+	} else if ts.leaseID == l.id {
+		// The primary lost: promote the surviving duplicate to primary.
+		if surv, ok := d.leases[ts.specLease]; ok && surv.state == leaseActive {
+			ts.leaseID = surv.id
+			ts.specLease = 0
+			ts.agent = surv.agent.id
+			if surv.agent.inst != nil {
+				ts.instance = surv.agent.inst.inst.ID
+			}
+			ts.startedAt = surv.grantedAt
+			ts.transferObserved = false
+			ts.transferTime = 0
+		} else {
+			ts.specLease = 0
+		}
+	}
+	d.journalLocked(Record{Kind: RecLeaseSuperseded, NowS: now, Agent: l.agent.id,
 		Lease: int64Ptr(l.id), Task: intPtr(int(l.task))})
 }
 
@@ -845,8 +1212,13 @@ func (d *Dispatcher) releaseLocked(ir *instRec, now simtime.Time) {
 	a := ir.agent
 	if a != nil {
 		for _, l := range sortedLeases(a.leases) {
-			if l.state == leaseActive {
-				d.reclaimLocked(l, now)
+			if l.state != leaseActive {
+				continue
+			}
+			if other := d.otherActiveLocked(&d.tasks[l.task], l); other != nil {
+				d.supersedeLocked(l, now)
+			} else {
+				d.reclaimLocked(l, now, false, "instance-released")
 			}
 		}
 		a.leases = make(map[int64]*lease)
@@ -896,11 +1268,82 @@ func (d *Dispatcher) onTick() {
 	})
 	d.emitLocked(sim.Event{Time: now, Kind: sim.EvDecision, Task: -1, Instance: -1,
 		Launch: dec.Launch, Released: len(dec.Releases)})
+	// The full snapshot/decision pair rides in the journal so a restarted
+	// daemon can serve the complete plan stream — the TwinVerify parity
+	// certificate must survive the crash.
 	d.journalLocked(Record{Kind: RecDecision, NowS: now,
-		Detail: fmt.Sprintf("launch=%d releases=%d", dec.Launch, len(dec.Releases))})
+		Detail:   fmt.Sprintf("launch=%d releases=%d", dec.Launch, len(dec.Releases)),
+		Snapshot: snapJSON, Decision: decJSON})
 
 	if err := d.applyLocked(dec, now); err != nil {
 		d.failLocked(err)
+		return
+	}
+	if d.pred != nil && d.state == Running {
+		d.pred.Update(snap)
+		d.speculateLocked(snap, now)
+	}
+	// Retry dispatch every tick: queued tasks may have become grantable with
+	// no triggering event — most notably when a blacklisted agent's cooldown
+	// lapses (reactivation is a lazy predicate, not a timer).
+	d.dispatchLocked()
+}
+
+// speculateLocked scans running primaries for stragglers: a lease whose
+// elapsed simulated time exceeds SpeculationFactor × the online predictor's
+// occupancy estimate for the task (the same estimators the WIRE controller
+// plans with) gets a duplicate lease on a different healthy agent. First
+// completion wins; the loser is superseded and acked Stale on late reports.
+func (d *Dispatcher) speculateLocked(snap *monitor.Snapshot, now simtime.Time) {
+	for i := range d.tasks {
+		ts := &d.tasks[i]
+		if ts.state != monitor.Running || ts.specLease != 0 {
+			continue
+		}
+		primary, ok := d.leases[ts.leaseID]
+		if !ok || primary.state != leaseActive {
+			continue
+		}
+		id := dag.TaskID(i)
+		est, pol := d.pred.EstimateOccupancy(snap, id)
+		// RunningMedian is self-referential (a lone straggler drags its own
+		// threshold), and Zero/Prior carry no observed signal yet.
+		if est <= 0 || pol == predict.PolicyZero || pol == predict.PolicyRunningMedian || pol == predict.PolicyPrior {
+			continue
+		}
+		if float64(now-ts.startedAt) <= d.cfg.SpeculationFactor*est {
+			continue
+		}
+		a := d.pickAgentExcludingLocked(now, primary.agent)
+		if a == nil {
+			continue // no healthy second agent; retry next tick
+		}
+		t := d.wf.Task(id)
+		d.leaseSeq++
+		expected := d.clock.WallDuration(t.ExecTime + t.TransferTime)
+		ttl := time.Duration(float64(expected)*d.cfg.LeaseFactor) + d.cfg.LeaseSlack
+		l := &lease{
+			id:        d.leaseSeq,
+			task:      id,
+			agent:     a,
+			grantedAt: now,
+			deadline:  d.cfg.now().Add(ttl),
+			spec:      true,
+			attempt:   primary.attempt,
+		}
+		a.leases[l.id] = l
+		d.leases[l.id] = l
+		ts.specLease = l.id
+		d.counters.LeasesGranted++
+		d.counters.SpeculationsLaunched++
+		d.emitLocked(sim.Event{Time: now, Kind: sim.EvTaskSpeculated, Task: id, Instance: a.inst.inst.ID})
+		d.journalLocked(Record{Kind: RecLeaseSpeculated, NowS: now, Agent: a.id,
+			Lease: int64Ptr(l.id), Task: intPtr(int(id)), Instance: intPtr(int(a.inst.inst.ID)), Attempt: l.attempt})
+		d.cfg.Logf("exec: speculating task %d (elapsed %.1fs > %.1f×%.1fs) on agent %s",
+			id, now-ts.startedAt, d.cfg.SpeculationFactor, est, a.id)
+		lid := l.id
+		l.timer = time.AfterFunc(ttl, func() { d.onLeaseExpired(lid) })
+		d.notifyLocked()
 	}
 }
 
@@ -1048,7 +1491,8 @@ func (d *Dispatcher) finishLocked(now simtime.Time) {
 	for _, ir := range d.insts {
 		d.terminateInstLocked(ir, now)
 	}
-	outstanding := d.counters.LeasesGranted - d.counters.LeasesCompleted - d.counters.LeasesReclaimed
+	outstanding := d.counters.LeasesGranted - d.counters.LeasesCompleted -
+		d.counters.LeasesReclaimed - d.counters.LeasesSuperseded
 	if outstanding > 0 {
 		d.counters.LeasesLost = outstanding
 	}
@@ -1069,6 +1513,11 @@ func (d *Dispatcher) finishLocked(now simtime.Time) {
 		WallElapsedMs:  d.cfg.now().Sub(d.startWall).Milliseconds(),
 		Counters:       d.counters,
 	}
+	if len(d.unreach) > 0 {
+		d.result.Degraded = true
+		d.result.QuarantinedTasks = int(d.counters.QuarantinedTasks)
+		d.result.UnreachableTasks = len(d.unreach) - d.result.QuarantinedTasks
+	}
 	d.journalLocked(Record{Kind: RecRunDone, NowS: now,
 		Detail: fmt.Sprintf("makespan=%.1fs units=%d", now, d.result.UnitsCharged)})
 	d.cfg.Logf("exec: run done: makespan %.1f sim-s, %d units, %d decisions, wall %v",
@@ -1088,7 +1537,8 @@ func (d *Dispatcher) failLocked(err error) {
 	d.runErr = err
 	d.doneAt = d.clock.Now()
 	d.stopTimersLocked()
-	outstanding := d.counters.LeasesGranted - d.counters.LeasesCompleted - d.counters.LeasesReclaimed
+	outstanding := d.counters.LeasesGranted - d.counters.LeasesCompleted -
+		d.counters.LeasesReclaimed - d.counters.LeasesSuperseded
 	if outstanding > 0 {
 		d.counters.LeasesLost = outstanding
 	}
@@ -1116,6 +1566,11 @@ func (d *Dispatcher) stopTimersLocked() {
 	for _, ir := range d.insts {
 		if ir.termTime != nil {
 			ir.termTime.Stop()
+		}
+	}
+	for i := range d.tasks {
+		if t := d.tasks[i].requeueTimer; t != nil {
+			t.Stop()
 		}
 	}
 }
@@ -1147,12 +1602,13 @@ func (d *Dispatcher) SetDraining(v bool) {
 	}
 }
 
-// OutstandingLeases returns the number of granted leases neither completed
-// nor reclaimed.
+// OutstandingLeases returns the number of granted leases neither completed,
+// reclaimed, nor superseded.
 func (d *Dispatcher) OutstandingLeases() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return int(d.counters.LeasesGranted - d.counters.LeasesCompleted - d.counters.LeasesReclaimed)
+	return int(d.counters.LeasesGranted - d.counters.LeasesCompleted -
+		d.counters.LeasesReclaimed - d.counters.LeasesSuperseded)
 }
 
 // State returns the run state.
@@ -1252,9 +1708,11 @@ func (d *Dispatcher) Status() RunStatusResponse {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	wall := d.cfg.now()
 	for _, id := range ids {
 		a := d.agents[id]
-		as := AgentStatus{ID: a.id, Name: a.name, Slots: a.slots, Status: a.status()}
+		as := AgentStatus{ID: a.id, Name: a.name, Slots: a.slots, Status: a.status(),
+			Blacklisted: d.blacklistedLocked(a.name, wall)}
 		if a.inst != nil {
 			v := int(a.inst.inst.ID)
 			as.Instance = &v

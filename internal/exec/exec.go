@@ -150,9 +150,45 @@ type Config struct {
 	// 15 min) — the live counterpart of sim.Config.MaxSimTime.
 	MaxWall time.Duration
 
+	// MaxTaskAttempts quarantines a task after this many failed attempts
+	// (failed completion reports or reclaims of its lease). Zero disables
+	// quarantine: a poison task is retried forever, the pre-self-healing
+	// behaviour. With quarantine on, a run whose remaining tasks are all
+	// quarantined (or unreachable behind one) finishes Done but Degraded.
+	MaxTaskAttempts int
+
+	// RequeueBase seeds the exponential requeue delay after a failed
+	// attempt (wall clock, default 100ms, capped at 5 s): attempt n waits
+	// RequeueBase·2^(n-1) before re-entering the ready queue, so a poison
+	// task cannot monopolize the pool between failures.
+	RequeueBase time.Duration
+
+	// SpeculationFactor enables speculative straggler re-execution: when a
+	// running lease's elapsed simulated time exceeds SpeculationFactor ×
+	// the run's own online-predicted occupancy for the task, a duplicate
+	// lease is issued to a different healthy agent; first completion wins
+	// and the loser is superseded. Zero disables speculation.
+	SpeculationFactor float64
+
+	// HealthMinEvents, HealthFailureRatio, and HealthCooldown govern agent
+	// health scoring: an agent whose failure events (failed reports,
+	// deadline lapses, reclaims) reach HealthMinEvents with a failure
+	// ratio ≥ HealthFailureRatio is blacklisted by name — no new leases —
+	// until HealthCooldown elapses. Defaults: 3 events, ratio 0.5,
+	// 15 s cooldown.
+	HealthMinEvents    int
+	HealthFailureRatio float64
+	HealthCooldown     time.Duration
+
 	// Journal, when set, receives every agent/lease lifecycle record (see
 	// Record). Appends happen under the dispatcher lock, in order.
 	Journal RecordSink
+
+	// Spec, when set alongside Journal, is the marshaled CreateRunRequest
+	// journaled as the run's first record (RecRunCreated) so a restarted
+	// daemon can rebuild the dispatcher configuration from the journal
+	// alone.
+	Spec []byte
 
 	// Observer, when set, receives the run's lifecycle events using the
 	// simulator's event vocabulary (task starts/completions/kills,
@@ -217,6 +253,24 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxWall <= 0 {
 		c.MaxWall = 15 * time.Minute
 	}
+	if c.MaxTaskAttempts < 0 {
+		return c, fmt.Errorf("exec: negative MaxTaskAttempts %d", c.MaxTaskAttempts)
+	}
+	if c.RequeueBase <= 0 {
+		c.RequeueBase = 100 * time.Millisecond
+	}
+	if c.SpeculationFactor < 0 {
+		return c, fmt.Errorf("exec: negative SpeculationFactor %v", c.SpeculationFactor)
+	}
+	if c.HealthMinEvents <= 0 {
+		c.HealthMinEvents = 3
+	}
+	if c.HealthFailureRatio <= 0 || c.HealthFailureRatio > 1 {
+		c.HealthFailureRatio = 0.5
+	}
+	if c.HealthCooldown <= 0 {
+		c.HealthCooldown = 15 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -227,9 +281,9 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // Counters are the live plane's operational counters. The lease identity
-// LeasesGranted == LeasesCompleted + LeasesReclaimed + outstanding holds at
-// all times; LeasesLost counts violations (leases still outstanding when a
-// run finished) and must stay zero.
+// LeasesGranted == LeasesCompleted + LeasesReclaimed + LeasesSuperseded +
+// outstanding holds at all times; LeasesLost counts violations (leases still
+// outstanding when a run finished) and must stay zero.
 type Counters struct {
 	AgentsRegistered int64 `json:"agents_registered"`
 	AgentsFailed     int64 `json:"agents_failed"`
@@ -239,6 +293,11 @@ type Counters struct {
 	LeasesReclaimed int64 `json:"leases_reclaimed"`
 	LeasesLost      int64 `json:"leases_lost"`
 
+	// LeasesSuperseded counts leases retired because the task's duplicate
+	// lease finished first (speculation) or because the losing copy's
+	// agent went away while a healthy duplicate survived.
+	LeasesSuperseded int64 `json:"leases_superseded"`
+
 	// StaleReports counts transfer/complete reports for leases that were
 	// already reclaimed or finished — late messages from failed agents,
 	// acknowledged but ignored.
@@ -247,6 +306,22 @@ type Counters struct {
 	// DOAWriteoffs counts launch orders written off dead-on-arrival
 	// because no agent bound within the grace window.
 	DOAWriteoffs int64 `json:"doa_writeoffs"`
+
+	// QuarantinedTasks counts tasks retired after exhausting their attempt
+	// budget (Config.MaxTaskAttempts); any of these > 0 means the run
+	// finished degraded.
+	QuarantinedTasks int64 `json:"quarantined_tasks_total"`
+
+	// Speculation outcome counters: duplicates launched for suspected
+	// stragglers, duplicates that finished first, and duplicates whose
+	// original finished first (wasted work).
+	SpeculationsLaunched int64 `json:"speculations_launched_total"`
+	SpeculationsWon      int64 `json:"speculations_won_total"`
+	SpeculationsWasted   int64 `json:"speculations_wasted_total"`
+
+	// AgentsBlacklisted counts health-score blacklist decisions (an agent
+	// re-blacklisted after cooldown counts again).
+	AgentsBlacklisted int64 `json:"blacklisted_agents"`
 }
 
 // Add accumulates another counter set (the registry aggregates across runs).
@@ -257,6 +332,12 @@ func (c *Counters) Add(o Counters) {
 	c.LeasesCompleted += o.LeasesCompleted
 	c.LeasesReclaimed += o.LeasesReclaimed
 	c.LeasesLost += o.LeasesLost
+	c.LeasesSuperseded += o.LeasesSuperseded
 	c.StaleReports += o.StaleReports
 	c.DOAWriteoffs += o.DOAWriteoffs
+	c.QuarantinedTasks += o.QuarantinedTasks
+	c.SpeculationsLaunched += o.SpeculationsLaunched
+	c.SpeculationsWon += o.SpeculationsWon
+	c.SpeculationsWasted += o.SpeculationsWasted
+	c.AgentsBlacklisted += o.AgentsBlacklisted
 }

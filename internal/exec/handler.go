@@ -70,6 +70,8 @@ type Registry struct {
 	// retired accumulates counters of deleted runs so aggregate metrics
 	// survive DELETE.
 	retired Counters
+	// recovered counts runs resurrected from journals at startup.
+	recovered int
 }
 
 // NewRegistry returns an empty run registry.
@@ -83,11 +85,14 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 
 // RegistryMetrics is the live block of the server's /metrics dump.
 type RegistryMetrics struct {
-	Runs       int      `json:"runs"`
-	RunsActive int      `json:"runs_active"`
-	RunsDone   int      `json:"runs_done"`
-	RunsFailed int      `json:"runs_failed"`
-	Counters   Counters `json:"counters"`
+	Runs       int `json:"runs"`
+	RunsActive int `json:"runs_active"`
+	RunsDone   int `json:"runs_done"`
+	RunsFailed int `json:"runs_failed"`
+	// RunsRecovered counts runs resurrected from their journals when the
+	// daemon restarted after a crash.
+	RunsRecovered int      `json:"runs_recovered"`
+	Counters      Counters `json:"counters"`
 }
 
 // Metrics aggregates the registry's operational counters across all runs
@@ -98,7 +103,7 @@ func (g *Registry) Metrics() RegistryMetrics {
 	for _, e := range g.runs {
 		entries = append(entries, e)
 	}
-	m := RegistryMetrics{Counters: g.retired}
+	m := RegistryMetrics{Counters: g.retired, RunsRecovered: g.recovered}
 	g.mu.Unlock()
 	for _, e := range entries {
 		m.Runs++
@@ -262,6 +267,10 @@ func ConfigFromRequest(req *CreateRunRequest, factory ControllerFactory) (Config
 		LeaseSlack:       wallMs(req.LeaseSlackMs),
 		HeartbeatTTL:     wallMs(req.HeartbeatTTLMs),
 		MaxWall:          wallMs(req.MaxWallMs),
+
+		MaxTaskAttempts:   req.MaxTaskAttempts,
+		RequeueBase:       wallMs(req.RequeueBaseMs),
+		SpeculationFactor: req.SpeculationFactor,
 	}, nil
 }
 
@@ -289,6 +298,9 @@ func (g *Registry) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	// Journal the full request so a restarted daemon can rebuild the
+	// dispatcher from the run's own journal (crash recovery).
+	cfg.Spec, _ = json.Marshal(&req)
 	id := newRunID()
 	cfg.Logf = func(format string, args ...any) {
 		g.cfg.Logf("live %s: "+format, append([]any{id}, args...)...)
@@ -442,7 +454,14 @@ func (g *Registry) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := e.d.Register(req.Name, req.Slots)
 	if err != nil {
-		writeError(w, http.StatusConflict, "run_over", "%v", err)
+		// Distinguish the terminal rejection (run already over) from
+		// transient server trouble so agents can exit with a typed error
+		// instead of retrying forever.
+		if errors.Is(err, ErrRunOver) {
+			writeError(w, http.StatusConflict, "run_over", "%v", err)
+		} else {
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)

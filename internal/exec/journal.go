@@ -16,21 +16,29 @@ import (
 // lifecycle transition, in dispatcher-lock order, so the journal is a total
 // order over everything that happened to the run's assignment state.
 const (
-	RecRunStarted      = "run-started"
-	RecRunDone         = "run-done"
-	RecRunFailed       = "run-failed"
-	RecAgentRegistered = "agent-registered"
-	RecAgentBound      = "agent-bound"
-	RecAgentParked     = "agent-parked"
-	RecAgentFailed     = "agent-failed"
-	RecInstanceLaunch  = "instance-launch"
-	RecInstanceActive  = "instance-active"
-	RecInstanceEnd     = "instance-terminated"
-	RecInstanceDOA     = "instance-doa"
-	RecLeaseGranted    = "lease-granted"
-	RecLeaseCompleted  = "lease-completed"
-	RecLeaseReclaimed  = "lease-reclaimed"
-	RecDecision        = "decision"
+	RecRunCreated       = "run-created"
+	RecRunStarted       = "run-started"
+	RecRunResumed       = "run-resumed"
+	RecRunDone          = "run-done"
+	RecRunFailed        = "run-failed"
+	RecAgentRegistered  = "agent-registered"
+	RecAgentReconnected = "agent-reconnected"
+	RecAgentBound       = "agent-bound"
+	RecAgentParked      = "agent-parked"
+	RecAgentFailed      = "agent-failed"
+	RecAgentBlacklisted = "agent-blacklisted"
+	RecInstanceLaunch   = "instance-launch"
+	RecInstanceActive   = "instance-active"
+	RecInstanceEnd      = "instance-terminated"
+	RecInstanceDOA      = "instance-doa"
+	RecLeaseGranted     = "lease-granted"
+	RecLeaseSpeculated  = "lease-speculated"
+	RecLeaseCompleted   = "lease-completed"
+	RecLeaseReclaimed   = "lease-reclaimed"
+	RecLeaseSuperseded  = "lease-superseded"
+	RecTaskRequeued     = "task-requeued"
+	RecTaskQuarantined  = "task-quarantined"
+	RecDecision         = "decision"
 )
 
 // Record is one journal entry. Optional identifiers use pointers so the zero
@@ -47,6 +55,25 @@ type Record struct {
 	Task     *int   `json:"task,omitempty"`
 	Slots    int    `json:"slots,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+
+	// Attempt carries the task's failed-attempt count on lease-reclaimed
+	// and task-quarantined records, so recovery restores retry budgets.
+	Attempt int `json:"attempt,omitempty"`
+
+	// ExecS/TransferS carry the measured times on lease-completed records:
+	// recovery replays them into the snapshot state so the rebuilt
+	// predictor and billing match the original run exactly.
+	ExecS     simtime.Duration `json:"exec_s,omitempty"`
+	TransferS simtime.Duration `json:"transfer_s,omitempty"`
+
+	// Spec holds the marshaled CreateRunRequest on run-created records —
+	// everything a restarted daemon needs to rebuild the dispatcher.
+	Spec json.RawMessage `json:"run_spec,omitempty"`
+
+	// Snapshot/Decision hold the full plan record on decision records, so
+	// the TwinVerify parity certificate survives a daemon restart.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	Decision json.RawMessage `json:"decision,omitempty"`
 }
 
 // RecordSink receives journal records. Append is called under the dispatcher
@@ -88,6 +115,47 @@ type FileSink struct {
 // NewFileSink creates (or truncates) path.
 func NewFileSink(path string) (*FileSink, error) {
 	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// OpenFileSink opens an existing journal for appending, first truncating any
+// torn trailing line (a partial write at crash). Without the truncation, new
+// records appended after the torn fragment would be unreadable — ReadRecords
+// stops at the first undecodable line — so a second crash would lose the
+// entire recovered tail.
+func OpenFileSink(path string) (*FileSink, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	valid := int64(0)
+	for off := 0; off < len(data); {
+		nl := off
+		for nl < len(data) && data[nl] != '\n' {
+			nl++
+		}
+		if nl == len(data) {
+			break // unterminated tail, torn by definition
+		}
+		line := data[off:nl]
+		if len(line) > 0 {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break
+			}
+		}
+		valid = int64(nl + 1)
+		off = nl + 1
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -201,26 +269,41 @@ func (s *AssignmentState) Equal(o *AssignmentState) bool {
 // the dispatcher's in-memory assignment state.
 func ReplayAssignments(records []Record) (*AssignmentState, error) {
 	st := NewAssignmentState()
-	// Track lease→task/agent so reclaim/complete records need only the
-	// lease ID to resolve.
+	// Track lease→task/agent so reclaim/complete/supersede records need
+	// only the lease ID to resolve, plus the set of still-active leases per
+	// task: a speculative duplicate means a task can hold two at once, and
+	// Leased must follow the surviving copy when one is superseded.
 	type leaseInfo struct {
-		task  dag.TaskID
-		agent string
+		task   dag.TaskID
+		agent  string
+		active bool
 	}
-	leases := make(map[int64]leaseInfo)
+	leases := make(map[int64]*leaseInfo)
+	activeFor := func(task dag.TaskID) *leaseInfo {
+		var best *leaseInfo
+		var bestID int64
+		for id, li := range leases {
+			if li.active && li.task == task && (best == nil || id < bestID) {
+				best, bestID = li, id
+			}
+		}
+		return best
+	}
 	for i, r := range records {
 		switch r.Kind {
-		case RecAgentRegistered:
+		case RecAgentRegistered, RecAgentReconnected:
 			st.LiveAgents[r.Agent] = true
 		case RecAgentFailed:
 			delete(st.LiveAgents, r.Agent)
-		case RecLeaseGranted:
+		case RecLeaseGranted, RecLeaseSpeculated:
 			if r.Lease == nil || r.Task == nil {
 				return nil, fmt.Errorf("exec: journal record %d (%s) missing lease/task", i, r.Kind)
 			}
 			id := dag.TaskID(*r.Task)
-			leases[*r.Lease] = leaseInfo{task: id, agent: r.Agent}
-			st.Leased[id] = r.Agent
+			leases[*r.Lease] = &leaseInfo{task: id, agent: r.Agent, active: true}
+			if r.Kind == RecLeaseGranted {
+				st.Leased[id] = r.Agent
+			}
 		case RecLeaseCompleted:
 			if r.Lease == nil {
 				return nil, fmt.Errorf("exec: journal record %d (%s) missing lease", i, r.Kind)
@@ -229,6 +312,7 @@ func ReplayAssignments(records []Record) (*AssignmentState, error) {
 			if !ok {
 				return nil, fmt.Errorf("exec: journal record %d completes unknown lease %d", i, *r.Lease)
 			}
+			li.active = false
 			delete(st.Leased, li.task)
 			st.Completed[li.task] = true
 		case RecLeaseReclaimed:
@@ -239,8 +323,25 @@ func ReplayAssignments(records []Record) (*AssignmentState, error) {
 			if !ok {
 				return nil, fmt.Errorf("exec: journal record %d reclaims unknown lease %d", i, *r.Lease)
 			}
+			li.active = false
 			delete(st.Leased, li.task)
 			st.Reclaims[li.task]++
+		case RecLeaseSuperseded:
+			if r.Lease == nil {
+				return nil, fmt.Errorf("exec: journal record %d (%s) missing lease", i, r.Kind)
+			}
+			li, ok := leases[*r.Lease]
+			if !ok {
+				return nil, fmt.Errorf("exec: journal record %d supersedes unknown lease %d", i, *r.Lease)
+			}
+			li.active = false
+			// The surviving copy (if any) becomes the task's lease of
+			// record, matching the dispatcher's promotion rule.
+			if surv := activeFor(li.task); surv != nil {
+				st.Leased[li.task] = surv.agent
+			} else {
+				delete(st.Leased, li.task)
+			}
 		}
 	}
 	return st, nil

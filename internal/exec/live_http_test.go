@@ -117,7 +117,7 @@ func TestLiveRunOverHTTP(t *testing.T) {
 	if res.Counters.LeasesLost != 0 {
 		t.Fatalf("%d leases lost", res.Counters.LeasesLost)
 	}
-	if res.Counters.LeasesCompleted != res.Counters.LeasesGranted-res.Counters.LeasesReclaimed {
+	if res.Counters.LeasesCompleted != res.Counters.LeasesGranted-res.Counters.LeasesReclaimed-res.Counters.LeasesSuperseded {
 		t.Fatalf("lease identity violated: %+v", res.Counters)
 	}
 	if res.UnitsCharged < 1 || res.MakespanS <= 0 {

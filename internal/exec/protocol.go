@@ -50,6 +50,13 @@ type CreateRunRequest struct {
 	HeartbeatTTLMs int64   `json:"heartbeat_ttl_ms,omitempty"`
 	MaxWallMs      int64   `json:"max_wall_ms,omitempty"`
 
+	// Self-healing knobs (see Config): attempt budget before quarantine
+	// (0 = retry forever), requeue backoff seed, and the straggler
+	// speculation threshold factor (0 = no speculation).
+	MaxTaskAttempts   int     `json:"max_task_attempts,omitempty"`
+	RequeueBaseMs     int64   `json:"requeue_base_ms,omitempty"`
+	SpeculationFactor float64 `json:"speculation_factor,omitempty"`
+
 	// Start launches the run clock immediately. Default false: the
 	// caller registers agents first and POSTs …/start.
 	Start bool `json:"start,omitempty"`
@@ -76,6 +83,9 @@ type AgentStatus struct {
 	// Instance is the bound logical instance (absent while parked).
 	Instance     *int `json:"instance,omitempty"`
 	ActiveLeases int  `json:"active_leases"`
+	// Blacklisted is true while health scoring is withholding new leases
+	// from this agent (by name), pending cooldown.
+	Blacklisted bool `json:"blacklisted,omitempty"`
 }
 
 // RunStatusResponse is the GET /v1/live/runs/{id} body.
@@ -130,6 +140,11 @@ type Lease struct {
 	// DeadlineMs is the wall-clock lease TTL from grant; agents that blow
 	// it are declared failed and the task is reclaimed.
 	DeadlineMs int64 `json:"deadline_ms"`
+	// Attempt is the task's execution attempt number (1 for the first
+	// try); deterministic chaos task-crash streams key off it.
+	Attempt int `json:"attempt,omitempty"`
+	// Speculative marks a straggler re-execution duplicate.
+	Speculative bool `json:"speculative,omitempty"`
 }
 
 // PollRequest is the POST …/agents/{agent}/poll body. The poll doubles as
@@ -163,6 +178,12 @@ type CompleteReport struct {
 	ExecS     simtime.Duration `json:"exec_s"`
 	TransferS simtime.Duration `json:"transfer_s"`
 	InputMB   float64          `json:"input_mb"`
+
+	// Failed reports an unsuccessful attempt (task crash): the lease is
+	// consumed, the agent's health score is debited, and the task is
+	// requeued with backoff against its attempt budget.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // Ack is the generic accepted/stale response to lease reports. Stale means

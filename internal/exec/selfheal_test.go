@@ -1,0 +1,713 @@
+package exec
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/dagio"
+)
+
+// TestRegisterReconnectSameName: a returning agent (same non-empty name) keeps
+// its identity instead of being admitted as a fresh worker — the property that
+// lets both a restarted worker and a journal-recovered daemon preserve lease
+// identity across the outage.
+func TestRegisterReconnectSameName(t *testing.T) {
+	d, err := NewDispatcher(Config{
+		Workflow:   flatWorkflow(2, 10),
+		Controller: holdController{},
+		Cloud:      cloud.Config{SlotsPerInstance: 2, LagTime: 1, ChargingUnit: 10, MaxInstances: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Abort("test cleanup")
+
+	r1, err := d.Register("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := d.Register("w", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.AgentID != r2.AgentID {
+		t.Fatalf("reconnect changed identity: %s -> %s", r1.AgentID, r2.AgentID)
+	}
+	if c := d.Counters(); c.AgentsRegistered != 1 {
+		t.Fatalf("reconnect counted as a registration: %+v", c)
+	}
+	r3, err := d.Register("other", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.AgentID == r1.AgentID {
+		t.Fatal("distinct name reused an identity")
+	}
+}
+
+// poisonDoc is a flat stage where the first task is the designated poison
+// task: under the chaos task-crash fault it fails every attempt.
+func poisonDoc() (*dagio.Document, dag.TaskID) {
+	b := dag.NewBuilder("poison")
+	s := b.AddStage("work")
+	poison := b.AddTask(s, "poison", 8, 1, 10)
+	for i := 0; i < 4; i++ {
+		b.AddTask(s, fmt.Sprintf("ok%d", i), 8, 1, 10)
+	}
+	return dagio.Encode(b.MustBuild()), poison
+}
+
+// TestPoisonTaskQuarantine is the poison-task chaos certificate: a task whose
+// every attempt crashes (deterministic chaos.Plan.TaskCrashes stream) must be
+// retried exactly its attempt budget with backoff, then quarantined, and the
+// run must complete in an explicit degraded state instead of hanging.
+func TestPoisonTaskQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	reg := newTestRegistry(t, RegistryConfig{JournalDir: dir})
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+	client := NewLiveClient(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	doc, poison := poisonDoc()
+	info, err := client.CreateRun(ctx, &CreateRunRequest{
+		Workflow:         doc,
+		SlotsPerInstance: 2,
+		LagTimeS:         2,
+		ChargingUnitS:    30,
+		MaxInstances:     2,
+		Timescale:        200,
+		MaxWallMs:        30_000,
+		MaxTaskAttempts:  3,
+		RequeueBaseMs:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := chaos.Plan{Seed: 11, TaskCrash: 1}
+	var agents sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		agents.Add(1)
+		go func(i int) {
+			defer agents.Done()
+			err := RunAgent(ctx, AgentConfig{
+				BaseURL:  ts.URL,
+				RunID:    info.ID,
+				Name:     fmt.Sprintf("worker-%d", i),
+				Slots:    2,
+				PollWait: 200 * time.Millisecond,
+				CrashTask: func(task int64, attempt int) bool {
+					return task == int64(poison) && plan.TaskCrashes(task, attempt)
+				},
+			})
+			if err != nil && ctx.Err() == nil {
+				t.Errorf("agent %d: %v", i, err)
+			}
+		}(i)
+	}
+	if _, err := client.StartRun(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var status RunStatusResponse
+	waitFor(t, 45*time.Second, "degraded completion", func() bool {
+		status, err = client.RunStatus(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return status.State == Done || status.State == Failed
+	})
+	agents.Wait()
+	if status.State != Done || status.Result == nil {
+		t.Fatalf("run ended %v: %s", status.State, status.Error)
+	}
+	res := status.Result
+	if !res.Degraded || res.QuarantinedTasks != 1 {
+		t.Fatalf("degraded=%v quarantined=%d, want degraded with 1 quarantined task", res.Degraded, res.QuarantinedTasks)
+	}
+	if status.TasksCompleted != 4 {
+		t.Fatalf("completed %d tasks, want the 4 healthy ones", status.TasksCompleted)
+	}
+	if res.Counters.QuarantinedTasks != 1 || res.Counters.LeasesLost != 0 {
+		t.Fatalf("counters: %+v", res.Counters)
+	}
+	if got := res.Counters.LeasesGranted - res.Counters.LeasesCompleted -
+		res.Counters.LeasesReclaimed - res.Counters.LeasesSuperseded; got != 0 {
+		t.Fatalf("lease identity violated by %d: %+v", got, res.Counters)
+	}
+
+	// The journal records the quarantine at exactly the attempt budget.
+	recs, err := readJournalFile(filepath.Join(dir, info.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quarantined *Record
+	for i := range recs {
+		if recs[i].Kind == RecTaskQuarantined {
+			quarantined = &recs[i]
+		}
+	}
+	if quarantined == nil {
+		t.Fatal("no task-quarantined record in journal")
+	}
+	if quarantined.Task == nil || *quarantined.Task != int(poison) || quarantined.Attempt != 3 {
+		t.Fatalf("quarantine record %+v, want task %d at attempt 3", quarantined, poison)
+	}
+}
+
+// TestStragglerSpeculation is the slow-agent chaos certificate: a turtle agent
+// sits on its leases while a rabbit completes the rest of the stage; once the
+// online predictor has sibling observations, the dispatcher must issue
+// speculative duplicates to the rabbit, the duplicates must win, and the
+// turtle's primaries must be superseded — with the turtle's eventual late
+// report acked stale.
+func TestStragglerSpeculation(t *testing.T) {
+	d, err := NewDispatcher(Config{
+		Workflow:   flatWorkflow(6, 30),
+		Controller: keepPool{2},
+		Cloud: cloud.Config{
+			SlotsPerInstance: 2,
+			LagTime:          0.001,
+			ChargingUnit:     100,
+			MaxInstances:     2,
+		},
+		Interval:          5,
+		Timescale:         200, // simulated time races ahead of the wall clock
+		LeaseFactor:       400, // the straggler must be speculated, not reclaimed
+		HeartbeatTTL:      2 * time.Second,
+		SpeculationFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Abort("test cleanup")
+
+	turtle, err := d.Register("turtle", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rabbit, err := d.Register("rabbit", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// The turtle heartbeats but never completes; it remembers its first lease
+	// so it can file a late report after being superseded.
+	var turtleMu sync.Mutex
+	var turtleLeases []Lease
+	var loops sync.WaitGroup
+	loops.Add(2)
+	go func() {
+		defer loops.Done()
+		for ctx.Err() == nil {
+			resp, err := d.Poll(ctx, turtle.AgentID, 50*time.Millisecond)
+			if err != nil || resp.Done {
+				return
+			}
+			turtleMu.Lock()
+			turtleLeases = append(turtleLeases, resp.Leases...)
+			turtleMu.Unlock()
+		}
+	}()
+	// The rabbit completes everything it is handed, including speculative
+	// duplicates of the turtle's tasks.
+	go func() {
+		defer loops.Done()
+		for ctx.Err() == nil {
+			resp, err := d.Poll(ctx, rabbit.AgentID, 50*time.Millisecond)
+			if err != nil {
+				return
+			}
+			for _, l := range resp.Leases {
+				if _, err := d.Complete(rabbit.AgentID, l.ID, CompleteReport{ExecS: 30, InputMB: 1}); err != nil {
+					return
+				}
+			}
+			if resp.Done {
+				return
+			}
+		}
+	}()
+
+	res, err := d.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops.Wait()
+	c := res.Counters
+	if c.SpeculationsLaunched < 1 || c.SpeculationsWon < 1 {
+		t.Fatalf("speculation never fired: %+v", c)
+	}
+	if c.LeasesSuperseded < 1 {
+		t.Fatalf("straggler primary not superseded: %+v", c)
+	}
+	if c.LeasesLost != 0 || res.Degraded {
+		t.Fatalf("lost=%d degraded=%v: %+v", c.LeasesLost, res.Degraded, c)
+	}
+	if got := c.LeasesGranted - c.LeasesCompleted - c.LeasesReclaimed - c.LeasesSuperseded; got != 0 {
+		t.Fatalf("lease identity violated by %d: %+v", got, c)
+	}
+
+	// The turtle finally reports a superseded lease: acked stale, never
+	// re-applied.
+	turtleMu.Lock()
+	late := append([]Lease(nil), turtleLeases...)
+	turtleMu.Unlock()
+	if len(late) == 0 {
+		t.Fatal("turtle never received a lease")
+	}
+	ack, err := d.Complete(turtle.AgentID, late[0].ID, CompleteReport{ExecS: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Stale {
+		t.Fatal("late report on superseded lease not acked stale")
+	}
+}
+
+// slowDoc is a fanout workflow slow enough (at 200x) that a mid-run daemon
+// kill lands while most work is still outstanding.
+func slowDoc() *dagio.Document {
+	b := dag.NewBuilder("slow-fanout")
+	s0 := b.AddStage("split")
+	s1 := b.AddStage("work")
+	root := b.AddTask(s0, "split", 4, 1, 20)
+	for i := 0; i < 6; i++ {
+		b.AddTask(s1, fmt.Sprintf("w%d", i), 60, 1, 10, root)
+	}
+	return dagio.Encode(b.MustBuild())
+}
+
+// TestDispatcherCrashRecovery is the server-kill certificate at unit scale:
+// the daemon "crashes" mid-run (its listener dies and its journal is frozen at
+// that instant), a fresh registry recovers the run from the journal alone, the
+// HTTP surface comes back on the same address, and the same worker agents —
+// which rode out the outage on their poll backoff — finish the run with lease
+// identity intact and the decision stream verified by the simulator twin.
+func TestDispatcherCrashRecovery(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	reg1 := newTestRegistry(t, RegistryConfig{JournalDir: dir1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv1 := &http.Server{Handler: reg1.Handler()}
+	go srv1.Serve(ln)
+	base := "http://" + addr
+	client := NewLiveClient(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	info, err := client.CreateRun(ctx, &CreateRunRequest{
+		Workflow:         slowDoc(),
+		SlotsPerInstance: 2,
+		LagTimeS:         2,
+		ChargingUnitS:    30,
+		MaxInstances:     4,
+		Timescale:        200,
+		MaxWallMs:        50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var agents sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		agents.Add(1)
+		go func(i int) {
+			defer agents.Done()
+			err := RunAgent(ctx, AgentConfig{
+				BaseURL:  base,
+				RunID:    info.ID,
+				Name:     fmt.Sprintf("worker-%d", i),
+				Slots:    2,
+				PollWait: 200 * time.Millisecond,
+			})
+			if err != nil && ctx.Err() == nil {
+				t.Errorf("agent %d: %v", i, err)
+			}
+		}(i)
+	}
+	if _, err := client.StartRun(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "first completion", func() bool {
+		st, err := client.RunStatus(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.TasksCompleted >= 1
+	})
+
+	// Crash: the listener dies with leases in flight. Freezing a copy of the
+	// journal at this instant is the moment-of-death disk image (the original
+	// dispatcher keeps running against dir1, standing in for a process that
+	// was SIGKILLed — nothing it does after this point is visible to the
+	// recovered daemon).
+	srv1.Close()
+	raw, err := os.ReadFile(filepath.Join(dir1, info.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, info.ID+".jsonl"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh registry rebuilds the run from the journal…
+	reg2 := newTestRegistry(t, RegistryConfig{JournalDir: dir2})
+	n, err := reg2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d runs, want 1 (journal snapshot had %d bytes)", n, len(raw))
+	}
+	if m := reg2.Metrics(); m.RunsRecovered != 1 {
+		t.Fatalf("runs_recovered = %d, want 1", m.RunsRecovered)
+	}
+	// …and the HTTP surface returns on the same address the agents are
+	// already retrying against.
+	var ln2 net.Listener
+	waitFor(t, 10*time.Second, "address rebind", func() bool {
+		ln2, err = net.Listen("tcp", addr)
+		return err == nil
+	})
+	srv2 := &http.Server{Handler: reg2.Handler()}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	var status RunStatusResponse
+	waitFor(t, 45*time.Second, "post-recovery completion", func() bool {
+		status, err = client.RunStatus(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return status.State == Done || status.State == Failed
+	})
+	agents.Wait()
+	if status.State != Done || status.Result == nil {
+		t.Fatalf("run ended %v: %s", status.State, status.Error)
+	}
+	res := status.Result
+	if status.TasksCompleted != 7 {
+		t.Fatalf("completed %d/7 tasks", status.TasksCompleted)
+	}
+	if res.Counters.LeasesLost != 0 {
+		t.Fatalf("%d leases lost across the crash", res.Counters.LeasesLost)
+	}
+	if got := res.Counters.LeasesGranted - res.Counters.LeasesCompleted -
+		res.Counters.LeasesReclaimed - res.Counters.LeasesSuperseded; got != 0 {
+		t.Fatalf("lease identity violated by %d: %+v", got, res.Counters)
+	}
+
+	// The recovered journal must still fold to a consistent assignment state,
+	// and the full decision stream — pre-crash prefix plus post-recovery
+	// decisions — must replay byte-identical through a fresh controller.
+	recs, err := readJournalFile(filepath.Join(dir2, info.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayAssignments(recs); err != nil {
+		t.Fatalf("post-recovery journal does not replay: %v", err)
+	}
+	records, err := client.PlanStream(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no plan records")
+	}
+	twin, err := coreFactory("wire", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TwinVerify(records, twin); err != nil {
+		t.Fatalf("parity across restart: %v", err)
+	}
+}
+
+// TestDeleteVsCompleteRace: a run DELETE racing an in-flight lease completion
+// must never panic, resurrect run state, or lose the delete — the late report
+// is either acked (run still up), acked stale, or rejected not_found.
+func TestDeleteVsCompleteRace(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	b := dag.NewBuilder("race")
+	s := b.AddStage("work")
+	for i := 0; i < 2; i++ {
+		b.AddTask(s, fmt.Sprintf("t%d", i), 10_000, 0, 1)
+	}
+	doc := dagio.Encode(b.MustBuild())
+
+	for round := 0; round < 6; round++ {
+		reg := newTestRegistry(t, RegistryConfig{})
+		ts := httptest.NewServer(reg.Handler())
+		client := NewLiveClient(ts.URL, nil)
+		info, err := client.CreateRun(ctx, &CreateRunRequest{
+			Workflow:         doc,
+			SlotsPerInstance: 2,
+			LagTimeS:         0.001,
+			ChargingUnitS:    10,
+			MaxInstances:     1,
+			IntervalS:        0.05,
+			Timescale:        1,
+			Start:            true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regResp, err := client.Register(ctx, info.ID, "w", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var leases []Lease
+		waitFor(t, 10*time.Second, "leases granted", func() bool {
+			resp, err := client.Poll(ctx, info.ID, regResp.AgentID, 100*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leases = append(leases, resp.Leases...)
+			return len(leases) >= 2
+		})
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := client.DeleteRun(ctx, info.ID); err != nil {
+				t.Errorf("delete: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			_, err := client.Complete(ctx, info.ID, regResp.AgentID, leases[0].ID, CompleteReport{ExecS: 1})
+			if err != nil && !IsCode(err, "not_found") && !IsCode(err, "unknown_agent") {
+				t.Errorf("racing complete: %v", err)
+			}
+		}()
+		wg.Wait()
+
+		// The run is gone and stays gone: a straggling report cannot
+		// resurrect it.
+		if _, err := client.Complete(ctx, info.ID, regResp.AgentID, leases[1].ID, CompleteReport{ExecS: 1}); !IsCode(err, "not_found") {
+			t.Fatalf("report after delete: err = %v, want not_found", err)
+		}
+		if _, err := client.RunStatus(ctx, info.ID); !IsCode(err, "not_found") {
+			t.Fatalf("status after delete: err = %v, want not_found", err)
+		}
+		ts.Close()
+	}
+}
+
+// TestAgentBlacklistAndCooldown: enough failures trip the health score and the
+// agent is drained of new leases by name; after the cooldown it is quietly
+// reactivated and finishes the run.
+func TestAgentBlacklistAndCooldown(t *testing.T) {
+	d, err := NewDispatcher(Config{
+		Workflow:   flatWorkflow(2, 5),
+		Controller: keepPool{1},
+		Cloud: cloud.Config{
+			SlotsPerInstance: 2,
+			LagTime:          0.001,
+			ChargingUnit:     10,
+			MaxInstances:     2,
+		},
+		Interval:           0.05,
+		Timescale:          1,
+		RequeueBase:        5 * time.Millisecond,
+		HealthMinEvents:    2,
+		HealthFailureRatio: 0.5,
+		HealthCooldown:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Abort("test cleanup")
+
+	reg, err := d.Register("flaky", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	var held []Lease
+	for len(held) < 2 {
+		resp, err := d.Poll(ctx, reg.AgentID, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, resp.Leases...)
+	}
+	for _, l := range held {
+		if _, err := d.Complete(reg.AgentID, l.ID, CompleteReport{Failed: true, Error: "boom"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "blacklist decision", func() bool {
+		return d.Counters().AgentsBlacklisted == 1
+	})
+	st := d.Status()
+	if len(st.Agents) != 1 || !st.Agents[0].Blacklisted {
+		t.Fatalf("agent not reported blacklisted: %+v", st.Agents)
+	}
+
+	// Cooldown elapses; the requeued tasks flow back to the reactivated agent
+	// and the run completes clean.
+	for d.State() == Running && ctx.Err() == nil {
+		resp, err := d.Poll(ctx, reg.AgentID, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range resp.Leases {
+			if _, err := d.Complete(reg.AgentID, l.ID, CompleteReport{ExecS: 5, InputMB: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if resp.Done {
+			break
+		}
+	}
+	res, err := d.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.Counters.LeasesLost != 0 {
+		t.Fatalf("degraded=%v counters=%+v", res.Degraded, res.Counters)
+	}
+	if st := d.Status(); len(st.Agents) != 1 || st.Agents[0].Blacklisted {
+		t.Fatalf("agent still blacklisted after cooldown: %+v", st.Agents)
+	}
+}
+
+// TestAgentTypedRegisterError: terminal registration rejections surface as
+// RegisterError with a stable code, so wire-agent can exit non-zero instead of
+// retrying forever.
+func TestAgentTypedRegisterError(t *testing.T) {
+	reg := newTestRegistry(t, RegistryConfig{})
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	err := RunAgent(ctx, AgentConfig{BaseURL: ts.URL, RunID: "live-nope", Name: "w", Slots: 1})
+	var rerr *RegisterError
+	if !errors.As(err, &rerr) || rerr.Code != "not_found" {
+		t.Fatalf("unknown run: err = %v, want RegisterError{not_found}", err)
+	}
+
+	// A run that already failed (1 ms wall horizon) rejects registration as
+	// run_over.
+	client := NewLiveClient(ts.URL, nil)
+	info, err := client.CreateRun(ctx, &CreateRunRequest{
+		Workflow:         fanoutDoc(),
+		SlotsPerInstance: 2,
+		LagTimeS:         2,
+		ChargingUnitS:    30,
+		MaxInstances:     2,
+		Timescale:        200,
+		MaxWallMs:        1,
+		Start:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "wall-horizon failure", func() bool {
+		st, err := client.RunStatus(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.State == Failed
+	})
+	err = RunAgent(ctx, AgentConfig{BaseURL: ts.URL, RunID: info.ID, Name: "late", Slots: 1})
+	if !errors.As(err, &rerr) || rerr.Code != "run_over" {
+		t.Fatalf("finished run: err = %v, want RegisterError{run_over}", err)
+	}
+}
+
+// TestSelfHealingMetricsKeys pins the wire names of the self-healing counters:
+// operators' dashboards key on these strings in the /metrics live block.
+func TestSelfHealingMetricsKeys(t *testing.T) {
+	reg := newTestRegistry(t, RegistryConfig{})
+	b, err := json.Marshal(reg.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"runs_recovered",
+		"leases_superseded",
+		"quarantined_tasks_total",
+		"speculations_launched_total",
+		"speculations_won_total",
+		"speculations_wasted_total",
+		"blacklisted_agents",
+	} {
+		if !strings.Contains(string(b), `"`+key+`"`) {
+			t.Errorf("metrics dump missing %q: %s", key, b)
+		}
+	}
+}
+
+// TestOpenFileSinkTruncatesTornTail: reopening a journal that died mid-append
+// must drop the torn line and continue the sequence cleanly — the property
+// recovery relies on to share a file across daemon generations.
+func TestOpenFileSinkTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live-x.jsonl")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.Append(Record{Seq: 1, Kind: RecRunCreated, Detail: "wf"})
+	sink.Append(Record{Seq: 2, Kind: RecAgentRegistered, Agent: "a1"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"kind":"lease-gr`)
+	f.Close()
+
+	reopened, err := OpenFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened.Append(Record{Seq: 3, Kind: RecRunStarted})
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := readJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Kind != RecRunStarted || recs[2].Seq != 3 {
+		t.Fatalf("records after reopen: %+v", recs)
+	}
+}

@@ -33,6 +33,10 @@ const (
 	Running
 	// Completed: finished; observed times are final.
 	Completed
+	// Quarantined: retired after exhausting its live-plane attempt budget
+	// (poison task); never scheduled again. Terminal like Completed, but
+	// its successors stay Blocked forever and the run finishes degraded.
+	Quarantined
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +50,8 @@ func (s TaskState) String() string {
 		return "running"
 	case Completed:
 		return "completed"
+	case Quarantined:
+		return "quarantined"
 	default:
 		return "unknown"
 	}
@@ -55,7 +61,7 @@ func (s TaskState) String() string {
 // depend on the ordering of the lifecycle constants.
 func (s TaskState) MarshalJSON() ([]byte, error) {
 	switch s {
-	case Blocked, Ready, Running, Completed:
+	case Blocked, Ready, Running, Completed, Quarantined:
 		return []byte(`"` + s.String() + `"`), nil
 	default:
 		return nil, fmt.Errorf("monitor: cannot marshal unknown task state %d", int(s))
@@ -73,6 +79,8 @@ func (s *TaskState) UnmarshalJSON(b []byte) error {
 		*s = Running
 	case `"completed"`, "3":
 		*s = Completed
+	case `"quarantined"`, "4":
+		*s = Quarantined
 	default:
 		return fmt.Errorf("monitor: unknown task state %s", b)
 	}

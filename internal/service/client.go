@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/monitor"
 	"repro/internal/sim"
 )
@@ -68,16 +69,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// backoff returns the full-jitter sleep before attempt (attempt ≥ 2).
+// backoff returns the full-jitter sleep before attempt (attempt ≥ 2). The
+// arithmetic lives in the shared exec.Backoff helper so the service client,
+// the agent's report retry, and the agent reconnect loop all back off the
+// same way.
 func (p RetryPolicy) backoff(attempt int, u float64) time.Duration {
-	ceil := p.BaseDelay
-	for i := 2; i < attempt && ceil < p.MaxDelay; i++ {
-		ceil *= 2
-	}
-	if ceil > p.MaxDelay {
-		ceil = p.MaxDelay
-	}
-	return time.Duration(u * float64(ceil))
+	return exec.Backoff{Base: p.BaseDelay, Max: p.MaxDelay}.Delay(attempt-2, u)
 }
 
 // ClientOption customizes a Client.

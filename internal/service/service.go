@@ -144,6 +144,13 @@ func New(cfg Config) *Server {
 		}
 		live.Mount(mux)
 		s.live = live
+		if s.cfg.JournalDir != "" {
+			if n, err := live.Recover(); err != nil {
+				s.cfg.Logf("wire-serve: live run recovery: %v", err)
+			} else if n > 0 {
+				s.cfg.Logf("wire-serve: recovered %d live run(s) from journal", n)
+			}
+		}
 	}
 	s.mux = mux
 	return s

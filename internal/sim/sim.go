@@ -171,6 +171,10 @@ const (
 	EvOrderLost
 	EvOrderDuplicated
 	EvInstanceDOA
+	// Self-healing events (live execution plane).
+	EvTaskQuarantined
+	EvTaskSpeculated
+	EvAgentBlacklisted
 )
 
 // String implements fmt.Stringer.
@@ -198,6 +202,12 @@ func (k EventKind) String() string {
 		return "order-duplicated"
 	case EvInstanceDOA:
 		return "instance-doa"
+	case EvTaskQuarantined:
+		return "task-quarantined"
+	case EvTaskSpeculated:
+		return "task-speculated"
+	case EvAgentBlacklisted:
+		return "agent-blacklisted"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}

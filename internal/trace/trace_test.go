@@ -117,6 +117,7 @@ func TestEventKindStrings(t *testing.T) {
 		sim.EvTaskStart, sim.EvTaskComplete, sim.EvTaskKilled,
 		sim.EvInstanceLaunch, sim.EvInstanceActive, sim.EvInstanceTerminated, sim.EvDecision,
 		sim.EvInstanceFailed, sim.EvOrderLost, sim.EvOrderDuplicated, sim.EvInstanceDOA,
+		sim.EvTaskQuarantined, sim.EvTaskSpeculated, sim.EvAgentBlacklisted,
 	}
 	seen := map[string]bool{}
 	for _, k := range kinds {
