@@ -97,6 +97,9 @@ func main() {
 		PollWait:   *pollWait,
 		HTTPClient: &http.Client{Transport: pt},
 		Logf:       logf,
+		// The stream id keeps agents sharing a chaos seed on distinct
+		// jitter streams, mirroring plan.Transport's stream handling.
+		JitterSeed: *chaosSeed ^ (*chaosStream << 32),
 	}
 	if *chaosTaskCrash > 0 {
 		acfg.CrashTask = plan.TaskCrashes

@@ -131,6 +131,14 @@ func main() {
 	fmt.Printf("created %s: %s (%d tasks / %d stages) under %s at %g× timescale\n",
 		info.ID, info.Workflow, info.Tasks, info.Stages, info.Policy, info.Timescale)
 
+	status := func() wire.LiveRunStatus {
+		st, err := client.RunStatus(ctx, info.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+
 	// 3. The workers. With -agent-bin they are separate wire-agent
 	//    processes; otherwise goroutines running the identical loop.
 	var (
@@ -166,9 +174,28 @@ func main() {
 		}()
 	}
 	if *killAgent {
-		// The victim registers first, so it binds the bootstrap instance
-		// and is guaranteed to be holding leases when killed.
+		// The victim must register first so it binds the bootstrap
+		// instance and is guaranteed to be holding leases when killed.
+		// Spawn order alone does not guarantee that — the processes race
+		// to register over HTTP, and if a worker wins, the victim parks
+		// with zero leases forever and the kill loop below never fires.
+		// Hold the workers back until the dispatcher has seen the victim.
 		spawn("doomed")
+		for {
+			var seen bool
+			for _, a := range status().Agents {
+				if a.Name == "doomed" {
+					seen = true
+				}
+			}
+			if seen {
+				break
+			}
+			if ctx.Err() != nil {
+				log.Fatal("victim never registered")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
 	for i := 1; i <= *agentN; i++ {
 		spawn(fmt.Sprintf("worker-%d", i))
@@ -177,14 +204,6 @@ func main() {
 	// 4. Start the run clock.
 	if _, err := client.StartRun(ctx, info.ID); err != nil {
 		log.Fatal(err)
-	}
-
-	status := func() wire.LiveRunStatus {
-		st, err := client.RunStatus(ctx, info.ID)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return st
 	}
 
 	// 5. Chaos: once the victim holds active leases, kill -9 it. Its

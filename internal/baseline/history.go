@@ -46,6 +46,7 @@ func ProfileFromResult(res *sim.Result) StageProfile {
 // Observation 2 argument for online prediction.
 type HistoryBased struct {
 	profile StageProfile
+	proj    lookahead.Projector
 }
 
 var _ sim.Controller = (*HistoryBased)(nil)
@@ -78,7 +79,7 @@ func (h *HistoryBased) EstimateExec(stage dag.StageID) float64 {
 // Plan implements sim.Controller: identical Plan/Execute machinery to WIRE,
 // with the frozen estimator plugged into the lookahead.
 func (h *HistoryBased) Plan(snap *monitor.Snapshot) sim.Decision {
-	load := lookahead.Project(snap, h)
+	load := h.proj.Project(snap, h)
 	cands := make([]steer.Candidate, 0, len(snap.Instances))
 	for _, in := range snap.NonDrainingInstances() {
 		cands = append(cands, steer.Candidate{

@@ -55,6 +55,10 @@ type Controller struct {
 	cfg  Config
 	pred *predict.Predictor
 
+	// proj carries the lookahead projection state across the session's MAPE
+	// intervals (incremental wait-counts, memoized estimates, simulation
+	// buffers); see lookahead.Projector for the invalidation rules.
+	proj     lookahead.Projector
 	preStart map[dag.TaskID]Prediction
 	lastLoad *lookahead.Load
 	iters    int
@@ -120,8 +124,10 @@ func (c *Controller) Plan(snap *monitor.Snapshot) sim.Decision {
 	}
 
 	// Plan: project the upcoming load one interval ahead and size the
-	// pool for it.
-	load := lookahead.Project(snap, c.pred)
+	// pool for it. The projector double-buffers its output, so the Load
+	// stored here stays valid until the next-but-one iteration — long
+	// enough for LastLoad diagnostics, which always read the newest one.
+	load := c.proj.Project(snap, c.pred)
 	c.lastLoad = load
 
 	cands := make([]steer.Candidate, 0, len(snap.Instances))

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lookahead"
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -106,7 +105,7 @@ func (d *DeadlineController) Plan(snap *monitor.Snapshot) sim.Decision {
 		}
 	}
 
-	load := lookahead.Project(snap, pred)
+	load := d.base.proj.Project(snap, pred)
 	cands := make([]steer.Candidate, 0, len(snap.Instances))
 	for _, in := range snap.NonDrainingInstances() {
 		cands = append(cands, steer.Candidate{

@@ -2,12 +2,23 @@ package dag
 
 import "fmt"
 
+// builderChunk is the slab granularity of the builder's task arena: tasks
+// are allocated 256 at a time so building a workflow costs O(tasks/256)
+// allocations instead of one per task.
+const builderChunk = 256
+
 // Builder incrementally assembles a workflow. It assigns dense task and
 // stage IDs, derives Succs from Deps, and validates the result on Build.
+//
+// Tasks and dependency lists are carved out of builder-owned arenas; the
+// finished Workflow keeps them alive, so the arenas cost nothing beyond the
+// data itself.
 type Builder struct {
 	name   string
 	tasks  []*Task
 	stages []*Stage
+	arena  [][]Task
+	deps   []TaskID
 	err    error
 }
 
@@ -23,8 +34,22 @@ func (b *Builder) AddStage(name string) StageID {
 	return id
 }
 
+// takeDeps copies deps into the dependency arena and returns the stable
+// sub-slice. Growth reallocates the arena, but previously returned slices
+// keep pointing at the old backing array, so they stay valid; the capped
+// capacity keeps later appends from ever writing into a returned slice.
+func (b *Builder) takeDeps(deps []TaskID) []TaskID {
+	if len(deps) == 0 {
+		return nil
+	}
+	n := len(b.deps)
+	b.deps = append(b.deps, deps...)
+	return b.deps[n : n+len(deps) : n+len(deps)]
+}
+
 // AddTask creates a task in the given stage and returns its ID. Times are in
-// seconds, sizes in MB. Dependencies must reference already-created tasks.
+// seconds, sizes in MB. Dependencies must reference already-created tasks;
+// the deps slice is copied, so callers may reuse it.
 func (b *Builder) AddTask(stage StageID, name string, execTime, transferTime, inputSize float64, deps ...TaskID) TaskID {
 	if b.err != nil {
 		return -1
@@ -40,11 +65,15 @@ func (b *Builder) AddTask(stage StageID, name string, execTime, transferTime, in
 			return -1
 		}
 	}
-	t := &Task{
+	if int(id)/builderChunk == len(b.arena) {
+		b.arena = append(b.arena, make([]Task, builderChunk))
+	}
+	t := &b.arena[int(id)/builderChunk][int(id)%builderChunk]
+	*t = Task{
 		ID:           id,
 		Stage:        stage,
 		Name:         name,
-		Deps:         append([]TaskID(nil), deps...),
+		Deps:         b.takeDeps(deps),
 		ExecTime:     execTime,
 		TransferTime: transferTime,
 		InputSize:    inputSize,
@@ -63,16 +92,35 @@ func (b *Builder) SetOutputSize(id TaskID, size float64) {
 }
 
 // Build finalizes the workflow: derives successor lists and validates.
+// Successor lists are carved from one exactly-sized slab (two allocations
+// for the whole workflow, not one per edge).
 func (b *Builder) Build() (*Workflow, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
+	counts := make([]int32, len(b.tasks))
+	total := 0
 	for _, t := range b.tasks {
-		t.Succs = nil
+		total += len(t.Deps)
+		for _, d := range t.Deps {
+			counts[d]++
+		}
+	}
+	slab := make([]TaskID, total)
+	off := 0
+	for _, t := range b.tasks {
+		c := int(counts[t.ID])
+		if c == 0 {
+			t.Succs = nil // match the omitted-field shape of decoded workflows
+			continue
+		}
+		t.Succs = slab[off:off : off+c]
+		off += c
 	}
 	for _, t := range b.tasks {
 		for _, d := range t.Deps {
-			b.tasks[d].Succs = append(b.tasks[d].Succs, t.ID)
+			dt := b.tasks[d]
+			dt.Succs = append(dt.Succs, t.ID)
 		}
 	}
 	w := &Workflow{Name: b.name, Tasks: b.tasks, Stages: b.stages}

@@ -66,6 +66,45 @@ type Engine struct {
 	// MaxEvents bounds the number of events processed by Run as a guard
 	// against runaway simulations. Zero means no bound.
 	MaxEvents uint64
+
+	// Events are allocated from chunked slabs so a simulation costs one
+	// allocation per arenaChunk events instead of one per event, and a
+	// Reset() lets a long-lived engine recycle the slabs wholesale.
+	chunks [][]Event
+	inUse  int // events handed out since the last Reset
+}
+
+// arenaChunk is the slab granularity of the event arena.
+const arenaChunk = 256
+
+// alloc hands out the next event slot from the arena, growing it by one
+// chunk when exhausted. Slots are cleared on reuse so recycled events carry
+// no stale handler references.
+func (e *Engine) alloc() *Event {
+	ci := e.inUse / arenaChunk
+	if ci == len(e.chunks) {
+		e.chunks = append(e.chunks, make([]Event, arenaChunk))
+	}
+	ev := &e.chunks[ci][e.inUse%arenaChunk]
+	e.inUse++
+	*ev = Event{}
+	return ev
+}
+
+// Reset returns the engine to its initial state — clock at zero, empty
+// queue, zero fired count — while keeping the event slabs and heap capacity
+// for reuse. Every *Event handle obtained before the call is invalidated:
+// the engine owns that memory and will recycle it, so callers must drop
+// retained handles (Cancel on one after Reset corrupts the queue).
+func (e *Engine) Reset() {
+	for i := range e.queue {
+		e.queue[i] = nil
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.nextSeq = 0
+	e.fired = 0
+	e.inUse = 0
 }
 
 // New returns an engine whose clock starts at zero.
@@ -100,7 +139,8 @@ func (e *Engine) At(t simtime.Time, pri Priority, name string, h Handler) *Event
 	if t < e.now {
 		t = e.now // within tolerance: clamp to now
 	}
-	ev := &Event{time: t, priority: pri, seq: e.nextSeq, handler: h, name: name}
+	ev := e.alloc()
+	ev.time, ev.priority, ev.seq, ev.handler, ev.name = t, pri, e.nextSeq, h, name
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -134,7 +174,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.time
 		e.fired++
-		ev.handler(e, e.now)
+		h := ev.handler
+		ev.handler = nil // release the closure as soon as it has fired
+		h(e, e.now)
 		return true
 	}
 	return false

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -200,6 +201,13 @@ type AgentConfig struct {
 	// attempt so a poison task fails every retry deterministically).
 	CrashTask func(task int64, attempt int) bool
 
+	// JitterSeed seeds the retry-jitter RNG shared by the register,
+	// poll, and completion-report backoff loops. 0 derives a seed from
+	// the wall clock. wire-agent threads the chaos plan's seed (and
+	// stream) here so a fault-injection run reproduces its retry timing
+	// exactly.
+	JitterSeed int64
+
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -225,6 +233,7 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 		logf = func(string, ...any) {}
 	}
 	client := NewLiveClient(cfg.BaseURL, cfg.HTTPClient)
+	jitter := newJitterSeq(cfg.JitterSeed)
 
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -235,7 +244,7 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 	// (the dispatcher may be mid-restart, replaying its journal) and turns
 	// terminal API rejections into RegisterError.
 	register := func() error {
-		var rs retrySleeper
+		rs := retrySleeper{rng: jitter.next()}
 		for {
 			reg, err := client.Register(ctx, cfg.RunID, cfg.Name, cfg.Slots)
 			if err == nil {
@@ -275,7 +284,7 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 	// pollBackoff spaces retries of transient poll failures — including a
 	// dispatcher that is down for a restart — and resets on any success, so
 	// a recovered daemon sees the agent within one heartbeat TTL.
-	var pollBackoff retrySleeper
+	pollBackoff := retrySleeper{rng: jitter.next()}
 	for {
 		resp, err := client.Poll(ctx, cfg.RunID, agentID, wait)
 		switch {
@@ -307,10 +316,10 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 		pollBackoff.Reset()
 		for _, l := range resp.Leases {
 			wg.Add(1)
-			go func(l Lease) {
+			go func(l Lease, rng *rand.Rand) {
 				defer wg.Done()
-				runLease(ctx, client, cfg, agentID, l, logf)
-			}(l)
+				runLease(ctx, client, cfg, agentID, l, logf, rng)
+			}(l, jitter.next())
 		}
 		if resp.Done {
 			logf("agent %s: run finished; draining", agentID)
@@ -320,7 +329,7 @@ func RunAgent(ctx context.Context, cfg AgentConfig) error {
 }
 
 // runLease emulates one leased task and reports its measurements.
-func runLease(ctx context.Context, client *LiveClient, cfg AgentConfig, agentID string, l Lease, logf func(string, ...any)) {
+func runLease(ctx context.Context, client *LiveClient, cfg AgentConfig, agentID string, l Lease, logf func(string, ...any), jitterRNG *rand.Rand) {
 	runID := cfg.RunID
 	spec := l.Spec
 	if cfg.Stretch > 1 {
@@ -356,7 +365,7 @@ func runLease(ctx context.Context, client *LiveClient, cfg AgentConfig, agentID 
 	}
 	// The measurement must not be lost to a transient blip: retry with the
 	// shared jittered backoff, long enough to ride out a dispatcher restart.
-	var rs retrySleeper
+	rs := retrySleeper{rng: jitterRNG}
 	for {
 		ack, err := client.Complete(ctx, runID, agentID, l.ID, rep)
 		if err == nil {

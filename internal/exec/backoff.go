@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -38,10 +39,38 @@ func (b Backoff) Delay(retry int, u float64) time.Duration {
 	return time.Duration(u * float64(ceil))
 }
 
+// jitterSeq derives independent, reproducible jitter streams for an agent's
+// retry loops. rand.Rand is not goroutine-safe and lease completions retry
+// concurrently, so each retry loop gets its own rand.Rand seeded from this
+// shared sequence rather than sharing one (or mutating the global source,
+// which any other package could reseed or drain).
+type jitterSeq struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// newJitterSeq seeds the sequence; seed 0 falls back to the wall clock so
+// independently started agents do not draw identical jitter and retry in
+// lockstep (the thundering herd full jitter exists to break).
+func newJitterSeq(seed int64) *jitterSeq {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &jitterSeq{rng: rand.New(rand.NewSource(seed))}
+}
+
+// next returns a fresh jitter stream for one retry loop.
+func (q *jitterSeq) next() *rand.Rand {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return rand.New(rand.NewSource(q.rng.Int63()))
+}
+
 // retrySleeper tracks consecutive failures and sleeps the corresponding
 // jittered-exponential delay, honouring context cancellation.
 type retrySleeper struct {
 	b     Backoff
+	rng   *rand.Rand
 	retry int
 }
 
@@ -49,7 +78,10 @@ type retrySleeper struct {
 // draw cannot hot-spin) and advances the retry counter. It returns the
 // context error if cancelled mid-sleep.
 func (s *retrySleeper) Sleep(ctx context.Context) error {
-	d := s.b.Delay(s.retry, rand.Float64())
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := s.b.Delay(s.retry, s.rng.Float64())
 	if d < time.Millisecond {
 		d = time.Millisecond
 	}

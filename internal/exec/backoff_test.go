@@ -59,3 +59,52 @@ func TestRetrySleeperHonorsContext(t *testing.T) {
 		t.Fatal("Reset did not clear the streak")
 	}
 }
+
+// TestJitterSeqDeterministic pins the seeded-jitter contract: the same seed
+// reproduces the same delay sequence in every retry loop (chaos runs replay
+// their retry timing exactly), distinct streams from one sequence draw
+// independently, and seed 0 still yields a usable non-nil stream.
+func TestJitterSeqDeterministic(t *testing.T) {
+	delays := func(seed int64) [][]time.Duration {
+		q := newJitterSeq(seed)
+		var out [][]time.Duration
+		for loop := 0; loop < 3; loop++ {
+			s := retrySleeper{b: Backoff{Base: time.Second, Max: 32 * time.Second}, rng: q.next()}
+			var ds []time.Duration
+			for retry := 0; retry < 8; retry++ {
+				ds = append(ds, s.b.Delay(s.retry, s.rng.Float64()))
+				s.retry++
+			}
+			out = append(out, ds)
+		}
+		return out
+	}
+
+	a, b := delays(42), delays(42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("same seed diverged at loop %d retry %d: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	c := delays(43)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+	// Streams from one sequence must not mirror each other.
+	if a[0][0] == a[1][0] && a[0][1] == a[1][1] && a[0][2] == a[1][2] {
+		t.Fatal("two streams from one jitterSeq are correlated")
+	}
+	if newJitterSeq(0).next() == nil {
+		t.Fatal("seed 0 produced a nil stream")
+	}
+}

@@ -1,0 +1,90 @@
+package jsonlite
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendStringMatchesStock pins AppendString byte-identical to
+// encoding/json over escapes, HTML characters, control bytes, invalid
+// UTF-8, and the U+2028/U+2029 JavaScript hazards.
+func TestAppendStringMatchesStock(t *testing.T) {
+	cases := []string{
+		"", "plain", `qu"ote\back`, "a<b>&c", "tab\tnl\ncr\rbs\bff\f",
+		"ctl\x00\x01\x1f", "unicode ☃ 日本語", "bad\xffutf8\xfe",
+		"line sep ", "� already",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%q: stock marshal: %v", s, err)
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Fatalf("%q: AppendString = %s, stock = %s", s, got, want)
+		}
+	}
+}
+
+// TestAppendFloatMatchesStock pins the float formatting (including the
+// exponent-form thresholds and the e-09 -> e-9 trim) against encoding/json,
+// and the non-finite error behaviour.
+func TestAppendFloatMatchesStock(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.25, -36.22464037281123, 1e-6, 9.999e-7, 1e21,
+		9.999e20, 3.009118605852871e-8, 2.1855305259276428e21,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		cases = append(cases, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(40)-20)))
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("%v: stock marshal: %v", f, err)
+		}
+		got, err := AppendFloat(nil, f)
+		if err != nil {
+			t.Fatalf("%v: AppendFloat: %v", f, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%v: AppendFloat = %s, stock = %s", f, got, want)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := AppendFloat(nil, bad); err == nil {
+			t.Fatalf("AppendFloat accepted %v", bad)
+		}
+	}
+}
+
+// TestSkipValueSpans pins SkipValue's span extraction over every JSON kind,
+// nesting, and strings containing brackets.
+func TestSkipValueSpans(t *testing.T) {
+	cases := []string{
+		`null`, `true`, `false`, `-1.5e+3`, `"s"`, `"br]ack}et"`,
+		`[1,[2,{"a":"]"}],3]`, `{"k":{"n":[null]},"x":"{"}`,
+	}
+	for _, src := range cases {
+		p := Parser{Data: []byte(" " + src + " ")}
+		span, err := p.SkipValue()
+		if err != nil {
+			t.Fatalf("%q: SkipValue: %v", src, err)
+		}
+		if string(span) != src {
+			t.Fatalf("%q: span = %q", src, span)
+		}
+		if !p.AtEnd() {
+			t.Fatalf("%q: trailing input not consumed by AtEnd", src)
+		}
+	}
+	for _, bad := range []string{``, `[1`, `{"a":`, `"unterminated`, `tru`, `01`} {
+		p := Parser{Data: []byte(bad)}
+		if _, err := p.SkipValue(); err == nil && p.AtEnd() {
+			t.Fatalf("%q: SkipValue accepted malformed input", bad)
+		}
+	}
+}

@@ -17,12 +17,8 @@
 package lookahead
 
 import (
-	"container/heap"
-	"sort"
-
 	"repro/internal/cloud"
 	"repro/internal/dag"
-	"repro/internal/event"
 	"repro/internal/monitor"
 	"repro/internal/predict"
 	"repro/internal/simtime"
@@ -91,281 +87,24 @@ type projTask struct {
 	order     int
 }
 
-// projInst is the projection's per-instance state.
+// projInst is the projection's per-instance state. running is backed by a
+// per-Projector arena slice with capacity equal to the instance's slots.
 type projInst struct {
 	id       cloud.InstanceID
 	slots    int
 	free     int
 	activeAt simtime.Time
-	running  map[dag.TaskID]struct{}
+	running  []dag.TaskID
 }
 
-// Project simulates one interval ahead. It never mutates the snapshot.
+// Project simulates one interval ahead on a throwaway Projector. It never
+// mutates the snapshot. Long-lived callers (one projection per MAPE
+// interval over a session) should hold a Projector instead: it carries the
+// dependency wait-counts, memoized estimates, and simulation buffers across
+// calls, turning the per-interval cost from O(edges + tasks·estimates) into
+// O(tasks + invalidated work).
 func Project(snap *monitor.Snapshot, est Estimator) *Load {
-	now := snap.Now
-	horizon := now + snap.Interval
-	wf := snap.Workflow
-
-	tasks := make([]projTask, wf.NumTasks())
-	for _, t := range wf.Tasks {
-		rec := snap.Task(t.ID)
-		pt := &tasks[t.ID]
-		pt.state = rec.State
-		pt.order = int(t.ID)
-		pt.readyAt = rec.ReadyAt
-		if rec.State != monitor.Completed {
-			pt.est, pt.pol = est.EstimateOccupancy(snap, t.ID)
-			for _, d := range t.Deps {
-				if snap.Task(d).State != monitor.Completed {
-					pt.waiting++
-				}
-			}
-		}
-	}
-
-	// Capacity: non-draining instances, including pending ones that
-	// activate within the interval.
-	var insts []*projInst
-	instByID := make(map[cloud.InstanceID]*projInst)
-	for _, in := range snap.Instances {
-		if in.Draining {
-			continue
-		}
-		pi := &projInst{
-			id:       in.ID,
-			slots:    in.Slots,
-			free:     in.Slots - len(in.Running),
-			activeAt: in.ActiveAt,
-			running:  make(map[dag.TaskID]struct{}, len(in.Running)),
-		}
-		for _, tid := range in.Running {
-			pi.running[tid] = struct{}{}
-		}
-		insts = append(insts, pi)
-		instByID[in.ID] = pi
-	}
-	sort.Slice(insts, func(i, j int) bool { return insts[i].id < insts[j].id })
-
-	eng := event.New()
-	// The event engine clock starts at zero; shift all times by -now so we
-	// can schedule immediately.
-	shift := func(t simtime.Time) simtime.Time {
-		d := t - now
-		if d < 0 {
-			d = 0
-		}
-		return d
-	}
-
-	// Ready backlog, FIFO by (readyAt, id) — the controller's
-	// approximation of the framework queue.
-	queue := &readyHeap{tasks: tasks}
-	pushReady := func(id dag.TaskID, at simtime.Time) {
-		tasks[id].state = monitor.Ready
-		tasks[id].readyAt = at
-		heap.Push(queue, id)
-	}
-
-	var complete func(id dag.TaskID, at simtime.Time)
-	var dispatch func(at simtime.Time)
-
-	completions := 0
-	complete = func(id dag.TaskID, at simtime.Time) {
-		pt := &tasks[id]
-		if pt.state == monitor.Completed {
-			return
-		}
-		pt.state = monitor.Completed
-		completions++
-		if pi, ok := instByID[pt.inst]; ok {
-			delete(pi.running, id)
-			pi.free++
-		}
-		for _, s := range wf.Task(id).Succs {
-			st := &tasks[s]
-			if st.state != monitor.Blocked {
-				continue
-			}
-			st.waiting--
-			if st.waiting == 0 {
-				pushReady(s, at)
-			}
-		}
-		dispatch(at)
-	}
-
-	start := func(id dag.TaskID, pi *projInst, at simtime.Time) {
-		pt := &tasks[id]
-		pt.state = monitor.Running
-		pt.startedAt = at
-		pt.inst = pi.id
-		pi.free--
-		pi.running[id] = struct{}{}
-		end := at + pt.est
-		if simtime.AtOrBefore(end, horizon) {
-			eng.At(shift(end), event.PriTask, "complete", func(_ *event.Engine, tm simtime.Time) {
-				complete(id, tm+now)
-			})
-		}
-	}
-
-	dispatch = func(at simtime.Time) {
-		for queue.Len() > 0 {
-			var pick *projInst
-			for _, pi := range insts {
-				if pi.free > 0 && simtime.AtOrBefore(pi.activeAt, at) {
-					pick = pi
-					break
-				}
-			}
-			if pick == nil {
-				return
-			}
-			id := heap.Pop(queue).(dag.TaskID)
-			start(id, pick, at)
-		}
-	}
-
-	// Seed: running tasks complete when their predicted remaining
-	// occupancy elapses (conservative minimum — possibly immediately).
-	// Under Policy 2 (running peers only, nothing completed yet) the full
-	// estimate counts as remaining: with zero completions the median
-	// elapsed run time is the floor on future occupancy too, which is
-	// what drives the §III-E growth schedule.
-	for _, in := range snap.Instances {
-		if in.Draining {
-			continue
-		}
-		for _, tid := range in.Running {
-			rec := snap.Task(tid)
-			pt := &tasks[tid]
-			pt.state = monitor.Running
-			pt.startedAt = rec.StartedAt
-			pt.inst = in.ID
-			rem := pt.est - rec.Elapsed
-			if pt.pol == predict.PolicyRunningMedian {
-				rem = pt.est
-			}
-			if rem < 0 {
-				rem = 0
-			}
-			end := now + rem
-			if simtime.AtOrBefore(end, horizon) {
-				id := tid
-				eng.At(shift(end), event.PriTask, "complete", func(_ *event.Engine, tm simtime.Time) {
-					complete(id, tm+now)
-				})
-			}
-		}
-	}
-	// Ready tasks form the initial backlog.
-	for _, t := range wf.Tasks {
-		if tasks[t.ID].state == monitor.Ready {
-			heap.Push(queue, t.ID)
-		}
-	}
-	// Pending instances activating within the interval trigger dispatch.
-	for _, pi := range insts {
-		if simtime.After(pi.activeAt, now) && simtime.AtOrBefore(pi.activeAt, horizon) {
-			at := pi.activeAt
-			eng.At(shift(at), event.PriInstance, "activate", func(_ *event.Engine, tm simtime.Time) {
-				dispatch(tm + now)
-			})
-		}
-	}
-
-	dispatch(now)
-	// Drain all events inside the interval; completion handlers only
-	// schedule within the horizon, so the engine terminates.
-	_ = eng.Run()
-
-	// Harvest Q_task and restart costs at the horizon.
-	out := &Load{
-		At:          horizon,
-		RestartCost: make(map[cloud.InstanceID]float64),
-		// ProjectedCompletions set below.
-	}
-	out.ProjectedCompletions = completions
-	// Sunk costs are conservative: every task running at the snapshot is
-	// assumed to still hold its slot at the horizon. Trusting a predicted
-	// completion here would zero the restart cost of a busy instance and
-	// let the steering policy kill work that is merely *expected* to
-	// finish — with an optimistic early-stage estimate that causes
-	// release/relaunch flapping.
-	for _, in := range snap.Instances {
-		if in.Draining {
-			continue
-		}
-		c := 0.0
-		for _, tid := range in.Running {
-			if v := snap.Task(tid).Elapsed + snap.Interval; v > c {
-				c = v
-			}
-		}
-		out.RestartCost[in.ID] = c
-	}
-	// Running tasks first, in instance order.
-	for _, pi := range insts {
-		ids := make([]dag.TaskID, 0, len(pi.running))
-		for id := range pi.running {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			pt := &tasks[id]
-			var consumed, rem float64
-			if simtime.AtOrAfter(pt.startedAt, now) {
-				// Started during the projection.
-				consumed = horizon - pt.startedAt
-				rem = pt.est - consumed
-			} else {
-				rec := snap.Task(id)
-				consumed = rec.Elapsed + snap.Interval
-				rem = pt.est - rec.Elapsed - snap.Interval
-			}
-			if pt.pol == predict.PolicyRunningMedian {
-				rem = pt.est
-			}
-			if rem < 0 {
-				rem = 0
-			}
-			out.Tasks = append(out.Tasks, TaskLoad{Task: id, Remaining: rem, Running: true})
-			if _, ok := out.RestartCost[pi.id]; ok && consumed > out.RestartCost[pi.id] {
-				out.RestartCost[pi.id] = consumed
-			}
-		}
-	}
-	// Then the queued backlog in FIFO order.
-	for queue.Len() > 0 {
-		id := heap.Pop(queue).(dag.TaskID)
-		out.Tasks = append(out.Tasks, TaskLoad{Task: id, Remaining: tasks[id].est})
-	}
-	return out
+	var p Projector
+	return p.Project(snap, est)
 }
 
-// readyHeap orders task IDs by (readyAt, order).
-type readyHeap struct {
-	tasks []projTask
-	ids   []dag.TaskID
-}
-
-func (h *readyHeap) Len() int { return len(h.ids) }
-
-func (h *readyHeap) Less(i, j int) bool {
-	a, b := &h.tasks[h.ids[i]], &h.tasks[h.ids[j]]
-	if a.readyAt != b.readyAt {
-		return a.readyAt < b.readyAt
-	}
-	return a.order < b.order
-}
-
-func (h *readyHeap) Swap(i, j int) { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
-
-func (h *readyHeap) Push(x any) { h.ids = append(h.ids, x.(dag.TaskID)) }
-
-func (h *readyHeap) Pop() any {
-	n := len(h.ids)
-	id := h.ids[n-1]
-	h.ids = h.ids[:n-1]
-	return id
-}

@@ -164,6 +164,24 @@ type stageState struct {
 	completeMedian float64
 	hasRunning     bool
 	hasCompleted   bool
+
+	// aggEpoch advances whenever any aggregate feeding estimates other than
+	// the OGD model changed in an Update (presence flags, medians, or the
+	// ordered size-group list); modelEpoch advances whenever the model's
+	// coefficients moved. Together with the predictor's transfer epoch they
+	// are the cache-invalidation keys behind EstimateEpochs.
+	aggEpoch   uint64
+	modelEpoch uint64
+	// prevGroups is the (size, median) fingerprint of groups after the
+	// previous Update, in group order — order matters because Policy 4
+	// matches the first equivalent group.
+	prevGroups []groupKey
+}
+
+// groupKey is the estimate-relevant fingerprint of one size group.
+type groupKey struct {
+	size   float64
+	median float64
 }
 
 // Predictor holds the online models for one workflow run.
@@ -174,7 +192,11 @@ type Predictor struct {
 	transferMed  *stats.MovingMedian
 	lastTransfer float64
 	hasTransfer  bool
-	updates      int
+	// transferEpoch advances whenever (lastTransfer, hasTransfer) changes;
+	// it is folded into every stage's aggregate epoch since EstimateOccupancy
+	// adds the transfer estimate to every answer.
+	transferEpoch uint64
+	updates       int
 }
 
 // New returns a predictor with the given configuration.
@@ -202,6 +224,9 @@ func (p *Predictor) Update(snap *monitor.Snapshot) {
 	if med, ok := stats.Median(snap.RecentTransfers); ok {
 		p.transferMed.Push(med)
 		if m, ok := p.transferMed.Median(); ok {
+			if m != p.lastTransfer || !p.hasTransfer {
+				p.transferEpoch++
+			}
 			p.lastTransfer = m
 			p.hasTransfer = true
 		}
@@ -213,6 +238,9 @@ func (p *Predictor) Update(snap *monitor.Snapshot) {
 			ss = &stageState{}
 			p.stages[st.ID] = ss
 		}
+		prevHasRunning, prevHasCompleted := ss.hasRunning, ss.hasCompleted
+		prevRunMedian, prevCompleteMedian := ss.runMedian, ss.completeMedian
+		prevModel := ss.model
 		ss.runningElapsed = ss.runningElapsed[:0]
 		ss.completedExecs = ss.completedExecs[:0]
 		ss.groups = ss.groups[:0]
@@ -249,7 +277,52 @@ func (p *Predictor) Update(snap *monitor.Snapshot) {
 				ss.model.step(ss.groups, p.cfg.LearningRate)
 			}
 		}
+
+		// Advance the invalidation epochs only when an estimate input
+		// actually changed, so downstream caches (lookahead.Projector) stay
+		// warm across the long stretches where a stage's aggregates are
+		// stable between MAPE intervals.
+		aggChanged := ss.hasRunning != prevHasRunning ||
+			ss.hasCompleted != prevHasCompleted ||
+			ss.runMedian != prevRunMedian ||
+			ss.completeMedian != prevCompleteMedian ||
+			len(ss.groups) != len(ss.prevGroups)
+		if !aggChanged {
+			for i := range ss.groups {
+				if (groupKey{ss.groups[i].size, ss.groups[i].median}) != ss.prevGroups[i] {
+					aggChanged = true
+					break
+				}
+			}
+		}
+		if aggChanged {
+			ss.aggEpoch++
+			ss.prevGroups = ss.prevGroups[:0]
+			for i := range ss.groups {
+				ss.prevGroups = append(ss.prevGroups, groupKey{ss.groups[i].size, ss.groups[i].median})
+			}
+		}
+		if ss.model != prevModel {
+			ss.modelEpoch++
+		}
 	}
+}
+
+// EstimateEpochs returns the stage's cache-invalidation epochs: agg covers
+// every input to its estimates except the OGD coefficients (aggregates,
+// size groups, priors, the shared transfer estimate), model covers the
+// coefficients. A memoized estimate for a task whose state is unchanged
+// stays valid while agg matches (and, for Policy 5 answers, model). The
+// method makes *Predictor satisfy lookahead.EpochEstimator.
+func (p *Predictor) EstimateEpochs(stage dag.StageID) (agg, model uint64) {
+	ss := p.stages[stage]
+	if ss == nil {
+		// No per-stage state behaves exactly like all-zero state (Policy 1
+		// or a prior), so sharing epoch 0 with that case is sound.
+		return p.transferEpoch, 0
+	}
+	// Both terms only ever grow, so the sum changes whenever either does.
+	return ss.aggEpoch + p.transferEpoch, ss.modelEpoch
 }
 
 func (p *Predictor) addToGroup(ss *stageState, size, exec float64) {

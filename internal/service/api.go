@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
@@ -160,11 +162,58 @@ type ErrorBody struct {
 // stateDumper is satisfied by controllers exposing WIRE run state.
 type stateDumper interface{ State() core.StateDump }
 
+// bufPool recycles the scratch buffers of writeJSON and readJSON. Buffers
+// that grew past maxPooledBuf (a one-off giant state dump) are dropped rather
+// than pinned in the pool.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// jsonAppender is implemented by response types with a hand-rolled encoder
+// (PlanResponse); writeJSON uses it to append straight into the pooled
+// buffer, skipping the json.Encoder machinery entirely.
+type jsonAppender interface {
+	AppendJSON(dst []byte) ([]byte, error)
+}
+
+// writeJSON encodes v into a pooled buffer before touching the response, so
+// an encoding failure is reported as a proper 500 instead of a truncated
+// 200 with a committed status line.
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if a, ok := v.(jsonAppender); ok {
+		b, err := a.AppendJSON(buf.Bytes())
+		if err != nil {
+			s.metrics.EncodeError()
+			s.writeError(w, http.StatusInternalServerError, "encode_failed", "encoding response: %v", err)
+			return
+		}
+		// Trailing newline matches json.Encoder's framing.
+		*buf = *bytes.NewBuffer(append(b, '\n'))
+	} else if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// No recursion risk: ErrorBody is two plain strings and cannot
+		// fail to encode.
+		s.metrics.EncodeError()
+		s.writeError(w, http.StatusInternalServerError, "encode_failed", "encoding response: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -173,7 +222,32 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, format stri
 
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return false
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
+
+// readSnapshot is readJSON specialized to the plan body: it decodes through
+// monitor.UnmarshalSnapshot directly, skipping json.Unmarshal's separate
+// whole-input validation pass — snapshots are by far the largest and most
+// frequent bodies the daemon sees.
+func (s *Server) readSnapshot(w http.ResponseWriter, r *http.Request, snap *monitor.Snapshot) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return false
+	}
+	if err := monitor.UnmarshalSnapshot(buf.Bytes(), snap); err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
 		return false
 	}
@@ -299,24 +373,33 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		seq = v
 	}
-	var snap monitor.Snapshot
-	if !s.readJSON(w, r, &snap) {
+	// Decode into the session's scratch snapshot under sess.mu: plan
+	// requests for one session are serial anyway (the controller is), and
+	// the reused Tasks backing array saves the dominant per-plan allocation.
+	// Nothing downstream retains the snapshot past the request — planStep
+	// reads it, the journal marshals it synchronously in append.
+	sess.mu.Lock()
+	snap := sess.resetSnapScratch()
+	if !s.readSnapshot(w, r, snap) {
+		sess.mu.Unlock()
 		return
 	}
 	if snap.Workflow != nil && snap.Workflow.NumTasks() != sess.Workflow.NumTasks() {
+		n := snap.Workflow.NumTasks()
+		sess.mu.Unlock()
 		s.writeError(w, http.StatusBadRequest, "bad_request",
 			"snapshot workflow has %d tasks, session workflow has %d",
-			snap.Workflow.NumTasks(), sess.Workflow.NumTasks())
+			n, sess.Workflow.NumTasks())
 		return
 	}
 	// The session's DAG is authoritative; clients normally omit theirs.
 	snap.Workflow = sess.Workflow
-	if err := validateSnapshot(&snap, sess.Workflow); err != nil {
+	if err := validateSnapshot(snap, sess.Workflow); err != nil {
+		sess.mu.Unlock()
 		s.writeError(w, http.StatusBadRequest, "bad_request", "snapshot: %v", err)
 		return
 	}
 
-	sess.mu.Lock()
 	if seq > 0 {
 		// Exactly-once planning: a retry of the last interval is answered
 		// from the cache without advancing the controller; anything else
@@ -326,7 +409,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			resp := *sess.lastResp
 			sess.mu.Unlock()
 			s.metrics.PlanRetried()
-			s.writeJSON(w, http.StatusOK, resp)
+			s.writeJSON(w, http.StatusOK, &resp)
 			return
 		}
 		if seq != sess.lastSeq+1 {
@@ -337,7 +420,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	dec, degraded, preds, err := planStep(sess, &snap)
+	dec, degraded, preds, err := planStep(sess, snap)
 	if err != nil {
 		sess.mu.Unlock()
 		s.writeError(w, http.StatusUnprocessableEntity, "plan_failed", "%v", err)
@@ -354,7 +437,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	// Journal before releasing the response: any decision a client can
 	// have observed must be re-derivable after a crash.
-	lean := snap
+	lean := *snap
 	lean.Workflow = nil
 	if jerr := sess.wal.append(walRecord{Type: "plan", Seq: assigned, Snapshot: &lean, Response: resp}); jerr != nil {
 		s.cfg.Logf("wire-serve: journal append failed for session %s: %v", sess.ID, jerr)
@@ -364,7 +447,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if degraded {
 		s.metrics.PlanDegraded()
 	}
-	s.writeJSON(w, http.StatusOK, *resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // planStep advances the session's controller by one interval, degrading to

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// benchLoadgenSessions is the fixed session count of one benchmark
+// iteration; sessions/sec in BENCH_<n>.json is derived from it.
+const benchLoadgenSessions = 24
+
+// BenchmarkLoadgenSessions is the plan-path acceptance benchmark: a full
+// wire-serve loadgen run (genome-s catalogue workflows, WIRE policy,
+// twin verification on) against an in-process daemon. The reported
+// sessions/sec metric is the number gated in BENCH_<n>.json.
+func BenchmarkLoadgenSessions(b *testing.B) {
+	srv := New(Config{MaxSessions: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Loadgen(context.Background(), LoadgenConfig{
+			Client:      client,
+			Sessions:    benchLoadgenSessions,
+			Concurrency: 8,
+			Policy:      "wire",
+			WorkflowKey: "genome-s",
+			Cloud:       testCloud,
+			SeedBase:    int64(i) * benchLoadgenSessions,
+			Verify:      true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed != 0 || res.Mismatched != 0 {
+			b.Fatalf("failed %d / mismatched %d: %v", res.Failed, res.Mismatched, res.Errors)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*benchLoadgenSessions)/b.Elapsed().Seconds(), "sessions/sec")
+}
+
+// BenchmarkMetricsObserveParallel hammers Metrics.Observe from all procs —
+// the contention profile of the plan path's instrumentation middleware.
+func BenchmarkMetricsObserveParallel(b *testing.B) {
+	m := NewMetrics(time.Now())
+	endpoints := [...]string{"plan", "create_session", "session_state", "delete_session"}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.Observe(endpoints[i%len(endpoints)], time.Duration(i%1000)*time.Microsecond, false)
+			i++
+		}
+	})
+}

@@ -131,7 +131,20 @@ func NewClient(base string, opts ...ClientOption) *Client {
 		opt(c)
 	}
 	if c.hc == nil {
-		c.hc = &http.Client{Timeout: c.timeout, Transport: c.transport}
+		rt := c.transport
+		if rt == nil {
+			// One client fronts every concurrent session (the load
+			// generator, the chaos harness), all against a single host.
+			// http.DefaultTransport keeps only 2 idle connections per
+			// host, so anything beyond 2-way concurrency re-dials TCP on
+			// nearly every plan round trip; keep enough idle connections
+			// for the whole pool instead.
+			t := http.DefaultTransport.(*http.Transport).Clone()
+			t.MaxIdleConns = 256
+			t.MaxIdleConnsPerHost = 256
+			rt = t
+		}
+		c.hc = &http.Client{Timeout: c.timeout, Transport: rt}
 	}
 	if c.jitter == nil {
 		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -167,11 +180,27 @@ func (c *Client) do(ctx context.Context, method, path string, seq int64, in, out
 	}
 	var body []byte
 	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
-			return fmt.Errorf("wire-serve client: encode %s %s: %w", method, path, err)
+		// Encode into a pooled buffer; body stays valid across retry
+		// attempts because the buffer is only recycled when do returns.
+		buf := getBuf()
+		defer putBuf(buf)
+		if snap, ok := in.(*monitor.Snapshot); ok {
+			// The plan body is the hot path: append straight into the
+			// buffer instead of going through the json.Encoder machinery
+			// (which re-validates and copies the custom marshaler's
+			// output).
+			b, err := monitor.AppendSnapshotJSON(buf.Bytes(), snap)
+			if err != nil {
+				return fmt.Errorf("wire-serve client: encode %s %s: %w", method, path, err)
+			}
+			*buf = *bytes.NewBuffer(b)
+			body = b
+		} else {
+			if err := json.NewEncoder(buf).Encode(in); err != nil {
+				return fmt.Errorf("wire-serve client: encode %s %s: %w", method, path, err)
+			}
+			body = buf.Bytes()
 		}
-		body = b
 	}
 
 	var lastErr error
@@ -237,9 +266,23 @@ func (c *Client) attempt(ctx context.Context, method, path string, seq int64, bo
 		_, _ = io.Copy(io.Discard, resp.Body)
 		return false, nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		// A response truncated mid-body is a lost response; retry.
-		return true, fmt.Errorf("wire-serve client: decode %s %s: %w", method, path, err)
+		return true, fmt.Errorf("wire-serve client: read %s %s: %w", method, path, err)
+	}
+	// Targets with a hand-rolled unmarshaler (PlanResponse) are called
+	// directly, skipping json.Unmarshal's separate validation pass over
+	// the body.
+	var uerr error
+	if u, ok := out.(json.Unmarshaler); ok {
+		uerr = u.UnmarshalJSON(buf.Bytes())
+	} else {
+		uerr = json.Unmarshal(buf.Bytes(), out)
+	}
+	if uerr != nil {
+		return true, fmt.Errorf("wire-serve client: decode %s %s: %w", method, path, uerr)
 	}
 	return false, nil
 }

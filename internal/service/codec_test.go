@@ -1,0 +1,159 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// planNoMethods strips PlanResponse's hand-rolled codec so encoding/json
+// provides the reference bytes and reference decode semantics.
+type planNoMethods PlanResponse
+
+func randPlanString(rng *rand.Rand) string {
+	pool := []string{
+		"", "sess-1", "a<b>&c", `qu"ote\back`, "tab\tnl\nctl\x01",
+		"unicode ☃", "bad\xffutf8",
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+func randPlanFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(5) {
+	case 0:
+		return 0
+	case 1:
+		return rng.Float64() * 1e-7
+	case 2:
+		return rng.Float64() * 1e22
+	case 3:
+		return -rng.Float64() * 42
+	default:
+		return float64(rng.Intn(100000)) / 8
+	}
+}
+
+func randPlanResponse(rng *rand.Rand) *PlanResponse {
+	r := &PlanResponse{
+		SessionID: randPlanString(rng),
+		Iteration: rng.Int63n(1000),
+		Seq:       rng.Int63n(1000),
+		Decision:  sim.Decision{Launch: rng.Intn(10) - 2},
+		Degraded:  rng.Intn(3) == 0,
+	}
+	switch rng.Intn(3) {
+	case 0:
+	case 1:
+		r.Decision.Releases = []sim.ReleaseOrder{}
+	default:
+		for i := 0; i < rng.Intn(4)+1; i++ {
+			r.Decision.Releases = append(r.Decision.Releases, sim.ReleaseOrder{
+				Instance:   cloud.InstanceID(rng.Intn(20)),
+				AtBoundary: rng.Intn(2) == 0,
+			})
+		}
+	}
+	for i := 0; i < rng.Intn(6); i++ {
+		r.Predictions = append(r.Predictions, core.PredictionState{
+			Task:      dag.TaskID(i),
+			Stage:     dag.StageID(rng.Intn(5)),
+			Estimated: simtime.Duration(randPlanFloat(rng)),
+			Policy:    randPlanString(rng),
+			At:        simtime.Time(randPlanFloat(rng)),
+		})
+	}
+	return r
+}
+
+// TestPlanResponseCodecMatchesStock cross-checks the hand-rolled
+// PlanResponse codec against encoding/json on randomized values.
+func TestPlanResponseCodecMatchesStock(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := randPlanResponse(rng)
+
+		got, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("seed %d: custom marshal: %v", seed, err)
+		}
+		want, err := json.Marshal((*planNoMethods)(r))
+		if err != nil {
+			t.Fatalf("seed %d: stock marshal: %v", seed, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: encoding mismatch\ncustom: %s\nstock:  %s", seed, got, want)
+		}
+
+		var viaCustom PlanResponse
+		if err := viaCustom.UnmarshalJSON(want); err != nil {
+			t.Fatalf("seed %d: custom decode: %v", seed, err)
+		}
+		var viaStock planNoMethods
+		if err := json.Unmarshal(want, &viaStock); err != nil {
+			t.Fatalf("seed %d: stock decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(viaCustom, PlanResponse(viaStock)) {
+			t.Fatalf("seed %d: decode mismatch\ncustom: %#v\nstock:  %#v", seed, viaCustom, viaStock)
+		}
+	}
+}
+
+// TestPlanResponseMarshalRejectsNonFinite mirrors encoding/json: NaN and Inf
+// predictions are an encoding error, not silently emitted invalid JSON.
+func TestPlanResponseMarshalRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		r := &PlanResponse{Predictions: []core.PredictionState{{Estimated: simtime.Duration(bad)}}}
+		if _, err := json.Marshal(r); err == nil {
+			t.Fatalf("custom marshal accepted %v", bad)
+		}
+		if _, err := json.Marshal((*planNoMethods)(r)); err == nil {
+			t.Fatalf("stock marshal accepted %v", bad)
+		}
+	}
+}
+
+// TestPlanResponseDecodeOddJSON feeds awkward JSON through both decoders and
+// requires identical results, including error agreement.
+func TestPlanResponseDecodeOddJSON(t *testing.T) {
+	cases := []string{
+		`{}`,
+		` { "session_id" : "s" , "seq" : 3 } `,
+		`{"decision":{"launch":2,"releases":null}}`,
+		`{"decision":{"launch":0,"releases":[]}}`,
+		`{"decision":{"launch":1,"releases":[{"instance":3},{"instance":4,"at_boundary":true}]}}`,
+		`{"predictions":null}`,
+		`{"predictions":[]}`,
+		`{"predictions":[{"task":1,"estimated_exec_s":1e-9,"unknown":[{}]}]}`,
+		`{"seq":1,"seq":2}`,
+		`{"degraded":true,"extra":"x"}`,
+		`{"iteration":1.0}`,
+		`{"iteration":1.5}`,
+		`{"seq":"3"}`,
+		`{"decision":{"launch":1}`,
+		`{"seq":1} trailing`,
+	}
+	for i, src := range cases {
+		var viaCustom PlanResponse
+		errCustom := viaCustom.UnmarshalJSON([]byte(src))
+		var viaStock planNoMethods
+		errStock := json.Unmarshal([]byte(src), &viaStock)
+		if (errCustom == nil) != (errStock == nil) {
+			t.Fatalf("case %d %q: error mismatch: custom=%v stock=%v", i, src, errCustom, errStock)
+		}
+		if errCustom != nil {
+			continue
+		}
+		if !reflect.DeepEqual(viaCustom, PlanResponse(viaStock)) {
+			t.Fatalf("case %d %q: decode mismatch\ncustom: %#v\nstock:  %#v", i, src, viaCustom, viaStock)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -13,26 +14,37 @@ import (
 const latWindow = 4096
 
 // Metrics aggregates the daemon's operational counters. All methods are safe
-// for concurrent use.
+// for concurrent use. Counters are atomics and the latency rings take one
+// lock per endpoint, so requests to different endpoints never contend and
+// plan-path instrumentation stays off the global-lock profile (the original
+// implementation serialized every request on a single mutex).
 type Metrics struct {
-	mu    sync.Mutex
 	start time.Time
 
-	sessionsCreated  int64
-	sessionsDeleted  int64
-	sessionsEvicted  int64
-	sessionsRejected int64
+	sessionsCreated  atomic.Int64
+	sessionsDeleted  atomic.Int64
+	sessionsEvicted  atomic.Int64
+	sessionsRejected atomic.Int64
 
-	planRetries    int64
-	degradedPlans  int64
-	journalReplays int64
+	planRetries    atomic.Int64
+	degradedPlans  atomic.Int64
+	journalReplays atomic.Int64
+	encodeErrors   atomic.Int64
 
-	endpoints map[string]*endpointMetrics
+	// endpoints maps endpoint name → *endpointMetrics. It stops growing
+	// after every endpoint has been hit once, which is sync.Map's ideal
+	// case: steady-state lookups are plain atomic loads with no shared
+	// write, so Observe calls on different endpoints never touch a common
+	// cache line.
+	endpoints sync.Map
 }
 
 type endpointMetrics struct {
-	count  int64
-	errors int64
+	count  atomic.Int64
+	errors atomic.Int64
+
+	// mu guards the latency ring below.
+	mu sync.Mutex
 	// lat is a ring of the last latWindow request durations in ms.
 	lat  []float64
 	next int
@@ -41,62 +53,69 @@ type endpointMetrics struct {
 
 // NewMetrics returns zeroed metrics with the uptime clock started.
 func NewMetrics(now time.Time) *Metrics {
-	return &Metrics{start: now, endpoints: make(map[string]*endpointMetrics)}
+	return &Metrics{start: now}
 }
 
 // SessionCreated / SessionDeleted / SessionsEvicted / SessionRejected bump
 // the lifecycle counters.
-func (m *Metrics) SessionCreated() { m.mu.Lock(); m.sessionsCreated++; m.mu.Unlock() }
+func (m *Metrics) SessionCreated() { m.sessionsCreated.Add(1) }
 
 // SessionDeleted counts an explicit DELETE.
-func (m *Metrics) SessionDeleted() { m.mu.Lock(); m.sessionsDeleted++; m.mu.Unlock() }
+func (m *Metrics) SessionDeleted() { m.sessionsDeleted.Add(1) }
 
 // SessionsEvicted counts janitor TTL evictions.
 func (m *Metrics) SessionsEvicted(n int) {
-	if n == 0 {
-		return
+	if n != 0 {
+		m.sessionsEvicted.Add(int64(n))
 	}
-	m.mu.Lock()
-	m.sessionsEvicted += int64(n)
-	m.mu.Unlock()
 }
 
 // SessionRejected counts creates refused at the capacity cap.
-func (m *Metrics) SessionRejected() { m.mu.Lock(); m.sessionsRejected++; m.mu.Unlock() }
+func (m *Metrics) SessionRejected() { m.sessionsRejected.Add(1) }
 
 // PlanRetried counts plan requests answered from the exactly-once seq cache:
 // each one is a client retry the daemon deduplicated.
-func (m *Metrics) PlanRetried() { m.mu.Lock(); m.planRetries++; m.mu.Unlock() }
+func (m *Metrics) PlanRetried() { m.planRetries.Add(1) }
 
 // PlanDegraded counts decisions served by a session's fallback policy after
 // its controller panicked.
-func (m *Metrics) PlanDegraded() { m.mu.Lock(); m.degradedPlans++; m.mu.Unlock() }
+func (m *Metrics) PlanDegraded() { m.degradedPlans.Add(1) }
 
 // JournalReplayed counts sessions rebuilt from their write-ahead logs at
 // startup.
-func (m *Metrics) JournalReplayed() { m.mu.Lock(); m.journalReplays++; m.mu.Unlock() }
+func (m *Metrics) JournalReplayed() { m.journalReplays.Add(1) }
+
+// EncodeError counts responses whose JSON encoding failed (served as 500
+// encode_failed instead of a truncated 200).
+func (m *Metrics) EncodeError() { m.encodeErrors.Add(1) }
+
+// endpoint returns the per-endpoint state, creating it on first use.
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	if v, ok := m.endpoints.Load(name); ok {
+		return v.(*endpointMetrics)
+	}
+	v, _ := m.endpoints.LoadOrStore(name, &endpointMetrics{lat: make([]float64, 0, 64)})
+	return v.(*endpointMetrics)
+}
 
 // Observe records one request against an endpoint label.
 func (m *Metrics) Observe(endpoint string, d time.Duration, isError bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	em := m.endpoints[endpoint]
-	if em == nil {
-		em = &endpointMetrics{lat: make([]float64, 0, 64)}
-		m.endpoints[endpoint] = em
-	}
-	em.count++
+	em := m.endpoint(endpoint)
+	em.count.Add(1)
 	if isError {
-		em.errors++
+		em.errors.Add(1)
 	}
 	ms := float64(d) / float64(time.Millisecond)
+	em.mu.Lock()
 	if len(em.lat) < latWindow && !em.full {
 		em.lat = append(em.lat, ms)
+		em.mu.Unlock()
 		return
 	}
 	em.full = true
 	em.lat[em.next] = ms
 	em.next = (em.next + 1) % latWindow
+	em.mu.Unlock()
 }
 
 // LatencySummary reports quantiles over a latency sample, in milliseconds.
@@ -148,9 +167,12 @@ type FaultToleranceCounters struct {
 
 // MetricsDump is the GET /metrics response body.
 type MetricsDump struct {
-	UptimeS        float64                     `json:"uptime_s"`
-	Sessions       SessionCounters             `json:"sessions"`
-	FaultTolerance FaultToleranceCounters      `json:"fault_tolerance"`
+	UptimeS        float64                `json:"uptime_s"`
+	Sessions       SessionCounters        `json:"sessions"`
+	FaultTolerance FaultToleranceCounters `json:"fault_tolerance"`
+	// EncodeErrorsTotal counts responses that failed JSON encoding and were
+	// served as 500 encode_failed.
+	EncodeErrorsTotal int64 `json:"encode_errors_total"`
 	// Live aggregates the live execution plane (agents, leases, reclaims);
 	// present only when the server hosts a live-run registry.
 	Live      *exec.RegistryMetrics       `json:"live,omitempty"`
@@ -160,31 +182,34 @@ type MetricsDump struct {
 // Dump snapshots the counters. activeSessions is supplied by the caller
 // (the store owns that gauge).
 func (m *Metrics) Dump(now time.Time, activeSessions int) MetricsDump {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	d := MetricsDump{
 		UptimeS: now.Sub(m.start).Seconds(),
 		Sessions: SessionCounters{
 			Active:   activeSessions,
-			Created:  m.sessionsCreated,
-			Deleted:  m.sessionsDeleted,
-			Evicted:  m.sessionsEvicted,
-			Rejected: m.sessionsRejected,
+			Created:  m.sessionsCreated.Load(),
+			Deleted:  m.sessionsDeleted.Load(),
+			Evicted:  m.sessionsEvicted.Load(),
+			Rejected: m.sessionsRejected.Load(),
 		},
 		FaultTolerance: FaultToleranceCounters{
-			RetriesTotal:        m.planRetries,
-			DegradedPlansTotal:  m.degradedPlans,
-			JournalReplaysTotal: m.journalReplays,
+			RetriesTotal:        m.planRetries.Load(),
+			DegradedPlansTotal:  m.degradedPlans.Load(),
+			JournalReplaysTotal: m.journalReplays.Load(),
 		},
-		Endpoints: make(map[string]EndpointCounters, len(m.endpoints)),
+		EncodeErrorsTotal: m.encodeErrors.Load(),
 	}
-	for name, em := range m.endpoints {
-		ec := EndpointCounters{Count: em.count, Errors: em.errors}
+	d.Endpoints = make(map[string]EndpointCounters)
+	m.endpoints.Range(func(name, v any) bool {
+		em := v.(*endpointMetrics)
+		ec := EndpointCounters{Count: em.count.Load(), Errors: em.errors.Load()}
+		em.mu.Lock()
 		if len(em.lat) > 0 {
 			sum := SummarizeLatencies(em.lat)
 			ec.LatencyMs = &sum
 		}
-		d.Endpoints[name] = ec
-	}
+		em.mu.Unlock()
+		d.Endpoints[name.(string)] = ec
+		return true
+	})
 	return d
 }

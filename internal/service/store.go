@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dag"
+	"repro/internal/monitor"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,9 @@ type Session struct {
 	fallback sim.Controller
 	// wal is the session's crash-recovery journal (nil when disabled).
 	wal *journal
+	// snapScratch is the plan handler's decode target; reusing it keeps
+	// the per-plan task-record array out of the allocator. Guarded by mu.
+	snapScratch monitor.Snapshot
 
 	createdAt time.Time
 	// lastUsed is unix nanoseconds, written on every API touch; atomic so
@@ -57,6 +61,19 @@ func (s *Session) Controller(fn func(ctrl sim.Controller) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return fn(s.ctrl)
+}
+
+// resetSnapScratch returns the session's scratch snapshot zeroed for a fresh
+// decode. The Tasks backing array is kept (zeroed to full capacity first, so
+// json.Unmarshal's element reuse can never leak a previous interval's record
+// fields into one the new body leaves partial); everything else starts nil
+// because those fields are small and may hold inner slices of their own.
+// The caller must hold s.mu.
+func (s *Session) resetSnapScratch() *monitor.Snapshot {
+	tasks := s.snapScratch.Tasks[:cap(s.snapScratch.Tasks)]
+	clear(tasks)
+	s.snapScratch = monitor.Snapshot{Tasks: tasks[:0]}
+	return &s.snapScratch
 }
 
 // setWAL attaches the session's journal.

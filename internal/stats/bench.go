@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the benchmark regression gate's data layer: a parser for
+// `go test -bench` text output and a comparer against a checked-in baseline
+// document (BENCH_baseline.json / BENCH_<n>.json). It lives in stats because
+// the gate is a measurement tool, not part of the scheduler.
+
+// BenchResult is one benchmark's measurement, in the checked-in BENCH_*.json
+// shape.
+type BenchResult struct {
+	Name       string `json:"name"`
+	Package    string `json:"package"`
+	Iterations int64  `json:"iterations"`
+	// Metrics holds custom ReportMetric units (e.g. "sessions/sec").
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+}
+
+// BenchDoc is the trajectory document: one BENCH_<n>.json is checked in per
+// PR that moves a hot path, so the sequence of files records the perf
+// history alongside the code.
+type BenchDoc struct {
+	Description string            `json:"description"`
+	Date        string            `json:"date"`
+	Environment map[string]string `json:"environment,omitempty"`
+	Benchmarks  []BenchResult     `json:"benchmarks"`
+}
+
+// LoadBenchDoc reads one BENCH_*.json.
+func LoadBenchDoc(r io.Reader) (*BenchDoc, error) {
+	var d BenchDoc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("stats: parse bench doc: %w", err)
+	}
+	return &d, nil
+}
+
+// ParseBenchOutput parses `go test -bench -benchmem` text output. It tracks
+// pkg: headers, strips the -GOMAXPROCS suffix from names, and collects the
+// standard ns/op, B/op, allocs/op units plus any custom ReportMetric units.
+// Environment lines (goos/goarch/cpu) are returned separately.
+func ParseBenchOutput(r io.Reader) ([]BenchResult, map[string]string, error) {
+	var out []BenchResult
+	env := map[string]string{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, h := range []string{"goos", "goarch", "cpu", "pkg"} {
+			if v, ok := strings.CutPrefix(line, h+": "); ok {
+				if h == "pkg" {
+					pkg = v
+				} else {
+					env[h] = v
+				}
+				line = ""
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a FAIL/ok line that happens to start with Benchmark
+		}
+		b := BenchResult{Name: name, Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("stats: bench line %q: bad value %q", line, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = int64(val)
+			case "allocs/op":
+				b.AllocsPerOp = int64(val)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("stats: read bench output: %w", err)
+	}
+	return out, env, nil
+}
+
+// Regression is one gated metric that got worse than the baseline allows.
+type Regression struct {
+	Name   string  // benchmark name
+	Metric string  // "ns/op" or "allocs/op"
+	Base   float64 // baseline value
+	Got    float64 // measured value
+	Ratio  float64 // Got/Base
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.2fx (baseline %.0f, got %.0f)", r.Name, r.Metric, r.Ratio, r.Base, r.Got)
+}
+
+// CompareBench gates the named benchmarks: a result whose ns/op or
+// allocs/op exceeds the baseline by more than tolerance (0.15 = +15%) is a
+// regression. A gated name missing from either side is also flagged (as an
+// allocs/op regression with Base/Got zero), so a silently deleted benchmark
+// cannot sneak past the gate.
+func CompareBench(base, got []BenchResult, names []string, tolerance float64) []Regression {
+	idx := func(rs []BenchResult) map[string]BenchResult {
+		m := make(map[string]BenchResult, len(rs))
+		for _, r := range rs {
+			m[r.Name] = r
+		}
+		return m
+	}
+	bm, gm := idx(base), idx(got)
+	var regs []Regression
+	for _, name := range names {
+		b, okB := bm[name]
+		g, okG := gm[name]
+		if !okB || !okG {
+			regs = append(regs, Regression{Name: name, Metric: "missing"})
+			continue
+		}
+		if b.NsPerOp > 0 && g.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Base: b.NsPerOp, Got: g.NsPerOp, Ratio: g.NsPerOp / b.NsPerOp})
+		}
+		if b.AllocsPerOp > 0 && float64(g.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tolerance) {
+			regs = append(regs, Regression{Name: name, Metric: "allocs/op", Base: float64(b.AllocsPerOp), Got: float64(g.AllocsPerOp), Ratio: float64(g.AllocsPerOp) / float64(b.AllocsPerOp)})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchSample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1-4 	     256	 4798627 ns/op	 3893045 B/op	   67524 allocs/op
+BenchmarkFigure6 	   34101	   35371 ns/op	    7208 B/op	     139 allocs/op
+PASS
+ok  	repro	12.3s
+pkg: repro/internal/service
+BenchmarkLoadgenSessions 	       3	 783241319 ns/op	        30.64 sessions/sec	226179986 B/op	  507061 allocs/op
+PASS
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rs, env, err := ParseBenchOutput(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["cpu"] != "Intel(R) Xeon(R) Processor @ 2.10GHz" || env["goos"] != "linux" {
+		t.Fatalf("environment not captured: %v", env)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	tb := rs[0]
+	if tb.Name != "BenchmarkTable1" || tb.Package != "repro" || tb.Iterations != 256 ||
+		tb.NsPerOp != 4798627 || tb.BytesPerOp != 3893045 || tb.AllocsPerOp != 67524 {
+		t.Fatalf("Table1 parsed wrong: %+v", tb)
+	}
+	lg := rs[2]
+	if lg.Package != "repro/internal/service" || lg.Metrics["sessions/sec"] != 30.64 {
+		t.Fatalf("custom metric lost: %+v", lg)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := []BenchResult{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "C", NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	got := []BenchResult{
+		{Name: "A", NsPerOp: 1100, AllocsPerOp: 110},  // within 15%
+		{Name: "B", NsPerOp: 1200, AllocsPerOp: 1000}, // both regress
+	}
+	regs := CompareBench(base, got, []string{"A", "B", "C"}, 0.15)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions (B ns, B allocs, C missing), got %v", regs)
+	}
+	if regs[0].Name != "B" || regs[0].Metric != "ns/op" || regs[0].Ratio != 1.2 {
+		t.Fatalf("unexpected first regression: %+v", regs[0])
+	}
+	if regs[1].Metric != "allocs/op" || regs[1].Ratio != 10 {
+		t.Fatalf("unexpected second regression: %+v", regs[1])
+	}
+	if regs[2].Name != "C" || regs[2].Metric != "missing" {
+		t.Fatalf("missing benchmark not flagged: %+v", regs[2])
+	}
+	// An untracked benchmark never gates.
+	if regs := CompareBench(base, got, []string{"A"}, 0.15); len(regs) != 0 {
+		t.Fatalf("A is within tolerance, got %v", regs)
+	}
+}

@@ -16,6 +16,7 @@ package workloads
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/dag"
 	"repro/internal/dist"
@@ -117,6 +118,8 @@ func (s Spec) Generate(seed int64) (*dag.Workflow, error) {
 		}
 
 		cur := make([]dag.TaskID, 0, ss.Count)
+		var depBuf [1]dag.TaskID
+		nameBuf := make([]byte, 0, len(ss.Name)+12)
 		for i := 0; i < ss.Count; i++ {
 			g := i % groups
 			sf := sizeFactor(g)
@@ -128,8 +131,13 @@ func (s Spec) Generate(seed int64) (*dag.Workflow, error) {
 			if exec < 0.1 {
 				exec = 0.1
 			}
-			deps := linkDeps(ss.Link, i, ss.Count, prev)
-			id := b.AddTask(stID, fmt.Sprintf("%s-%d", ss.Name, i), exec, transfer(), size, deps...)
+			// deps is borrowed (it may alias prev or depBuf) and only valid
+			// until the next iteration; AddTask copies it.
+			deps := linkDeps(ss.Link, i, ss.Count, prev, &depBuf)
+			nameBuf = append(nameBuf[:0], ss.Name...)
+			nameBuf = append(nameBuf, '-')
+			nameBuf = strconv.AppendInt(nameBuf, int64(i), 10)
+			id := b.AddTask(stID, string(nameBuf), exec, transfer(), size, deps...)
 			b.SetOutputSize(id, size*0.8)
 			cur = append(cur, id)
 		}
@@ -157,12 +165,15 @@ func (s Spec) TotalTasks() int {
 	return n
 }
 
-func linkDeps(link Link, i, count int, prev []dag.TaskID) []dag.TaskID {
+// linkDeps returns task i's dependency list. The result is borrowed — it
+// may alias prev or scratch and is only valid until the next call; callers
+// hand it straight to Builder.AddTask, which copies.
+func linkDeps(link Link, i, count int, prev []dag.TaskID, scratch *[1]dag.TaskID) []dag.TaskID {
 	switch link {
 	case Roots:
 		return nil
 	case AllToAll:
-		return append([]dag.TaskID(nil), prev...)
+		return prev
 	case OneToOne:
 		if len(prev) == 0 {
 			return nil
@@ -170,11 +181,13 @@ func linkDeps(link Link, i, count int, prev []dag.TaskID) []dag.TaskID {
 		if count >= len(prev) {
 			// Fan-out (or 1:1): distribute successors over
 			// predecessors round-robin.
-			return []dag.TaskID{prev[i%len(prev)]}
+			scratch[0] = prev[i%len(prev)]
+		} else {
+			// Fan-in handled by Gather; OneToOne with narrower successor
+			// behaves like a strided pick.
+			scratch[0] = prev[i*len(prev)/count]
 		}
-		// Fan-in handled by Gather; OneToOne with narrower successor
-		// behaves like a strided pick.
-		return []dag.TaskID{prev[i*len(prev)/count]}
+		return scratch[:]
 	case Gather:
 		if len(prev) == 0 {
 			return nil
@@ -187,7 +200,7 @@ func linkDeps(link Link, i, count int, prev []dag.TaskID) []dag.TaskID {
 		if hi > len(prev) {
 			hi = len(prev)
 		}
-		return append([]dag.TaskID(nil), prev[lo:hi]...)
+		return prev[lo:hi]
 	default:
 		panic(fmt.Sprintf("workloads: unknown link %d", link))
 	}
