@@ -20,6 +20,24 @@
 //
 //	wire-serve loadgen -chaos -sessions 12 -concurrency 2 -kill-after 150ms
 //
+// Route mode runs the sharded control plane's stateless front end: it
+// consistent-hashes session IDs onto a static fleet of shard daemons
+// (ordinary `wire-serve serve -shard` processes), heartbeats them, and on
+// shard death hands the dead shard's journal directories to a surviving peer
+// which resurrects every session by WAL replay:
+//
+//	wire-serve serve -shard -journal /mnt/journals/s0 -addr 127.0.0.1:8081
+//	wire-serve serve -shard -journal /mnt/journals/s1 -addr 127.0.0.1:8082
+//	wire-serve route -addr 127.0.0.1:8080 \
+//	  -shard s0=http://127.0.0.1:8081=/mnt/journals/s0 \
+//	  -shard s1=http://127.0.0.1:8082=/mnt/journals/s1
+//
+// The cluster certificate (`loadgen -shards N -kill-shard`) hosts the whole
+// fleet in-process, SIGKILLs one shard mid-run, and requires zero dropped
+// sessions with every decision stream byte-identical to an in-process twin:
+//
+//	wire-serve loadgen -shards 3 -kill-shard -sessions 30 -concurrency 4
+//
 // The daemon exits cleanly on SIGINT/SIGTERM after draining in-flight
 // requests.
 package main
@@ -29,13 +47,16 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/cloud"
+	"repro/internal/cluster"
 	"repro/internal/report"
 	"repro/internal/service"
 )
@@ -43,7 +64,7 @@ import (
 func main() {
 	args := os.Args[1:]
 	mode := "serve"
-	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen") {
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" || args[0] == "route") {
 		mode, args = args[0], args[1:]
 	}
 	var err error
@@ -52,6 +73,8 @@ func main() {
 		err = runServe(args)
 	case "loadgen":
 		err = runLoadgen(args)
+	case "route":
+		err = runRoute(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wire-serve:", err)
@@ -69,9 +92,13 @@ func runServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain bound for in-flight agent leases")
 	journal := fs.String("journal", "", "crash-recovery journal directory (empty = journaling off)")
 	liveRuns := fs.Int("live-max-runs", 8, "concurrent live execution runs (-1 = live plane off)")
+	shardMode := fs.Bool("shard", false, "session-shard mode: honor router-assigned session IDs and serve /v1/admin/adopt")
 	quiet := fs.Bool("quiet", false, "suppress operational log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardMode && *journal == "" {
+		return fmt.Errorf("serve -shard requires -journal (the journal directory is the unit of failover handoff)")
 	}
 
 	logf := func(format string, fargs ...any) {
@@ -88,6 +115,7 @@ func runServe(args []string) error {
 		DrainTimeout:    *drainTimeout,
 		JournalDir:      *journal,
 		LiveMaxRuns:     *liveRuns,
+		ShardMode:       *shardMode,
 		Logf:            logf,
 	})
 
@@ -108,6 +136,92 @@ func runServe(args []string) error {
 	return nil
 }
 
+// stringList is a repeatable string flag (-shard a -shard b).
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func runRoute(args []string) error {
+	fs := flag.NewFlagSet("wire-serve route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+	var shardFlags stringList
+	fs.Var(&shardFlags, "shard", "shard as name=url=journal-dir (repeatable)")
+	shardMap := fs.String("shard-map", "", "JSON shard-map file (alternative to -shard)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the placement ring")
+	heartbeat := fs.Duration("heartbeat", time.Second, "shard liveness probe interval")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 0, "single probe timeout (0 = the interval)")
+	failAfter := fs.Int("fail-after", 3, "consecutive probe misses before a shard is declared dead")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 503 shard_recovering responses")
+	quiet := fs.Bool("quiet", false, "suppress operational log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var shards []cluster.Shard
+	if *shardMap != "" {
+		var err error
+		if shards, err = cluster.LoadShardMap(*shardMap); err != nil {
+			return err
+		}
+	}
+	for _, s := range shardFlags {
+		sh, err := cluster.ParseShard(s)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, sh)
+	}
+
+	logf := func(format string, fargs ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", fargs...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Shards:            shards,
+		VNodes:            *vnodes,
+		HeartbeatInterval: *heartbeat,
+		HeartbeatTimeout:  *heartbeatTimeout,
+		FailThreshold:     *failAfter,
+		RetryAfter:        *retryAfter,
+		Logf:              logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout so scripts (and the CI smoke test)
+	// can start on port 0 and discover the URL.
+	fmt.Printf("wire-serve: routing on http://%s\n", ln.Addr())
+	logf("wire-serve route: %d shard(s), 10k-key spread %v", len(shards), rt.Ring().Spread(10000))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx)
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(sctx)
+	logf("wire-serve route: shutdown complete")
+	return nil
+}
+
 func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("wire-serve loadgen", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "daemon base URL")
@@ -124,10 +238,16 @@ func runLoadgen(args []string) error {
 	seed := fs.Int64("seed", 1, "seed base; session i uses seed+i")
 	verify := fs.Bool("verify", true, "re-run each session in-process and require identical results")
 	chaosMode := fs.Bool("chaos", false, "chaos certificate: in-process daemon + injected faults (ignores -server)")
-	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed (chaos mode)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "fault-schedule seed (chaos and cluster modes)")
 	killAfter := fs.Duration("kill-after", 0, "kill and journal-restart the daemon this long into the run (chaos mode; 0 = no kill)")
+	shardCount := fs.Int("shards", 0, "cluster certificate: host this many in-process shards behind a router (ignores -server)")
+	killShard := fs.Bool("kill-shard", false, "cluster certificate: SIGKILL one shard mid-run and require journal-handoff failover")
+	withRetry := fs.Bool("retry", false, "retrying shared client (required to ride out a live failover)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosMode && *shardCount > 1 {
+		return fmt.Errorf("-chaos and -shards are separate certificates; pick one")
 	}
 
 	var spec *service.ControllerSpec
@@ -160,12 +280,41 @@ func runLoadgen(args []string) error {
 	}
 
 	var (
-		res  *service.LoadgenResult
-		cert *service.ChaosCertResult
-		via  = *server
-		err  error
+		res   *service.LoadgenResult
+		cert  *service.ChaosCertResult
+		ccert *cluster.ShardCertResult
+		via   = *server
+		err   error
 	)
-	if *chaosMode {
+	if *shardCount > 1 {
+		// The cluster certificate hosts the shard fleet and router itself and
+		// verifies every session against an in-process twin.
+		cfg.Verify = true
+		kill := time.Duration(0)
+		if *killShard {
+			kill = 500 * time.Millisecond
+			if *killAfter > 0 {
+				kill = *killAfter
+			}
+		}
+		ccert, err = cluster.ShardCertify(context.Background(), cluster.ShardCertConfig{
+			Loadgen: cfg,
+			Server: service.Config{Logf: func(format string, fargs ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", fargs...)
+			}},
+			Shards:        *shardCount,
+			KillAfter:     kill,
+			KillJitterMax: 200 * time.Millisecond,
+			Seed:          *chaosSeed,
+			Logf: func(format string, fargs ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", fargs...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		res, via = ccert.LoadgenResult, fmt.Sprintf("in-process %d-shard cluster", *shardCount)
+	} else if *chaosMode {
 		// The certificate hosts its own daemon, injects the default fault
 		// plan into every session, and verifies against fault-free twins.
 		cfg.Chaos = defaultChaosPlan(*chaosSeed, *lag)
@@ -182,7 +331,11 @@ func runLoadgen(args []string) error {
 		}
 		res, via = cert.LoadgenResult, "in-process chaos daemon"
 	} else {
-		cfg.Client = service.NewClient(*server)
+		var opts []service.ClientOption
+		if *withRetry {
+			opts = append(opts, service.WithRetry(service.DefaultChaosRetry()))
+		}
+		cfg.Client = service.NewClient(*server, opts...)
 		res, err = service.Loadgen(context.Background(), cfg)
 		if err != nil {
 			return err
@@ -221,6 +374,17 @@ func runLoadgen(args []string) error {
 		t.AddRow("daemon killed mid-run", cert.Killed)
 		t.AddRow("journal replays", cert.JournalReplays)
 	}
+	if ccert != nil {
+		if ccert.Killed {
+			t.AddRow("shard killed mid-run", ccert.Victim)
+		} else {
+			t.AddRow("shard killed mid-run", false)
+		}
+		t.AddRow("failovers", ccert.Failovers)
+		t.AddRow("sessions handed off", ccert.HandoffSessions)
+		t.AddRow("shards up at end", ccert.ShardsUp)
+		t.AddRow("503s during recovery", ccert.Recovering503)
+	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
@@ -232,6 +396,17 @@ func runLoadgen(args []string) error {
 	}
 	if *chaosMode {
 		fmt.Println("chaos certificate PASSED: decision streams byte-identical to fault-free twins")
+	}
+	if ccert != nil {
+		if *killShard {
+			if !ccert.Killed {
+				return fmt.Errorf("cluster certificate inconclusive: the run finished before the shard kill (raise -sessions or lower -kill-after)")
+			}
+			if ccert.Failovers == 0 {
+				return fmt.Errorf("cluster certificate failed: shard %s was killed but no failover happened", ccert.Victim)
+			}
+		}
+		fmt.Println("cluster certificate PASSED: zero dropped sessions, decision streams byte-identical to in-process twins")
 	}
 	return nil
 }

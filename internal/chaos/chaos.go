@@ -135,6 +135,7 @@ const (
 	streamStraggler = "chaos/cloud/straggler"
 	streamTask      = "chaos/task"
 	streamAgent     = "chaos/agent"
+	streamShard     = "chaos/shard-kill"
 )
 
 // splitmix64 is the SplitMix64 finalizer (Steele et al.): an invertible mix
@@ -183,6 +184,24 @@ func (p Plan) TaskCrashes(task int64, attempt int) bool {
 		return false
 	}
 	return p.rng2(streamTask, task, int64(attempt)).Float64() < p.TaskCrash
+}
+
+// ShardKillSchedule is the shard-kill fault stream of the sharded control
+// plane's certificate: among n session shards it selects the victim and a
+// kill-time jitter in (0, maxJitter]. Both are pure functions of the plan
+// seed with a fixed draw order (victim first, then jitter), so the same seed
+// fells the same shard at the same offset in every run — the property the
+// failover certificate pins its journal-handoff assertions on.
+func (p Plan) ShardKillSchedule(n int, maxJitter time.Duration) (victim int, jitter time.Duration) {
+	if n <= 0 {
+		return 0, 0
+	}
+	rng := p.rng(streamShard, 0)
+	victim = int(rng.Int63n(int64(n)))
+	if maxJitter > 0 {
+		jitter = time.Duration((1 - rng.Float64()) * float64(maxJitter))
+	}
+	return victim, jitter
 }
 
 // AgentSlowdown returns the duration stretch factor of one agent stream: 1

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/service"
+)
+
+// ShardCertConfig drives ShardCertify: the cluster certificate run behind
+// `wire-serve loadgen -shards N -kill-shard`.
+type ShardCertConfig struct {
+	// Loadgen configures the sessions. Client is filled in by the harness
+	// (a retrying client pointed at the router); Verify should be set — the
+	// certificate is the twin comparison.
+	Loadgen service.LoadgenConfig
+	// Server is the per-shard daemon config; ShardMode and JournalDir are
+	// overridden per shard.
+	Server service.Config
+	// Shards is the fleet size (default 3).
+	Shards int
+	// JournalRoot holds one journal directory per shard (default: a fresh
+	// temp dir, removed afterwards).
+	JournalRoot string
+
+	// KillAfter SIGKILLs one shard this long (plus a seeded jitter) into the
+	// run: its listener and every open connection die abruptly, no drain.
+	// Zero skips the kill.
+	KillAfter time.Duration
+	// KillJitterMax bounds the seeded jitter added to KillAfter.
+	KillJitterMax time.Duration
+	// Seed feeds the chaos plan's shard-kill schedule (victim + jitter).
+	Seed int64
+
+	// HeartbeatInterval is the router's probe period (default 50ms — the
+	// cert wants sub-second failover so the loadgen rides through it well
+	// inside its retry budget).
+	HeartbeatInterval time.Duration
+	// FailThreshold is the router's consecutive-miss death threshold
+	// (default 3).
+	FailThreshold int
+	// Retry overrides the loadgen client's retry policy (default
+	// DefaultChaosRetry — persistent enough to ride out the failover).
+	Retry *service.RetryPolicy
+
+	// Logf receives harness and router log lines.
+	Logf func(format string, args ...any)
+}
+
+// ShardCertResult is a cluster certificate run's outcome.
+type ShardCertResult struct {
+	*service.LoadgenResult
+	// Killed reports whether the mid-run shard kill actually happened (the
+	// run may finish first).
+	Killed bool
+	// Victim is the killed shard's name.
+	Victim string
+	// Failovers, HandoffSessions, ShardsUp, and Recovering503 are the
+	// router's counters at the end of the run.
+	Failovers       int64
+	HandoffSessions int64
+	ShardsUp        int
+	Recovering503   int64
+}
+
+// inflightHandler counts in-flight requests so the harness can wait out the
+// victim's already-running handlers after the abrupt kill: a real SIGKILL
+// stops WAL appends instantly, but an in-process http.Server.Close leaves
+// handler goroutines running, and the cert must not let one append to a WAL
+// a peer is mid-replay on.
+type inflightHandler struct {
+	h http.Handler
+	n atomic.Int64
+}
+
+func (ih *inflightHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ih.n.Add(1)
+	defer ih.n.Add(-1)
+	ih.h.ServeHTTP(w, r)
+}
+
+type certShard struct {
+	shard    Shard
+	srv      *service.Server
+	hs       *http.Server
+	inflight *inflightHandler
+}
+
+// ShardCertify hosts an N-shard wire-serve cluster in-process — N shard
+// daemons with private journal directories behind one router — drives
+// loadgen through the router, kills one shard abruptly mid-run, and returns
+// the loadgen report plus the router's failover counters. The certificate
+// passes when the kill happened, a failover completed, and no session
+// failed or mismatched its in-process twin: every session the dead shard
+// owned was resurrected on a peer by journal handoff with its exactly-once
+// plan cache intact.
+func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.JournalRoot == "" {
+		dir, err := os.MkdirTemp("", "wire-serve-cluster-*")
+		if err != nil {
+			return nil, fmt.Errorf("cluster cert: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.JournalRoot = dir
+	}
+
+	// Start the shard fleet.
+	shards := make([]*certShard, cfg.Shards)
+	defer func() {
+		for _, cs := range shards {
+			if cs != nil {
+				_ = cs.hs.Close()
+			}
+		}
+	}()
+	shardList := make([]Shard, cfg.Shards)
+	for i := range shards {
+		name := "s" + strconv.Itoa(i)
+		jdir := filepath.Join(cfg.JournalRoot, name)
+		if err := os.MkdirAll(jdir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster cert: %w", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster cert: %w", err)
+		}
+		scfg := cfg.Server
+		scfg.ShardMode = true
+		scfg.JournalDir = jdir
+		srv := service.New(scfg)
+		ih := &inflightHandler{h: srv.Handler()}
+		hs := &http.Server{Handler: ih}
+		go func() { _ = hs.Serve(ln) }()
+		sh := Shard{Name: name, URL: "http://" + ln.Addr().String(), JournalDir: jdir}
+		shards[i] = &certShard{shard: sh, srv: srv, hs: hs, inflight: ih}
+		shardList[i] = sh
+	}
+
+	// Start the router.
+	rt, err := NewRouter(RouterConfig{
+		Shards:            shardList,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		FailThreshold:     cfg.FailThreshold,
+		Logf:              logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster cert: %w", err)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go rt.Run(rctx)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster cert: %w", err)
+	}
+	rhs := &http.Server{Handler: rt.Handler()}
+	go func() { _ = rhs.Serve(rln) }()
+	defer rhs.Close()
+
+	retry := service.DefaultChaosRetry()
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	}
+	cfg.Loadgen.Client = service.NewClient("http://"+rln.Addr().String(), service.WithRetry(retry))
+
+	resc := make(chan *service.LoadgenResult, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := service.Loadgen(ctx, cfg.Loadgen)
+		if err != nil {
+			errc <- err
+			return
+		}
+		resc <- res
+	}()
+
+	out := &ShardCertResult{}
+	if cfg.KillAfter > 0 {
+		victim, jitter := chaos.Plan{Seed: cfg.Seed}.ShardKillSchedule(cfg.Shards, cfg.KillJitterMax)
+		select {
+		case res := <-resc:
+			// The run outpaced the kill; certify without it.
+			out.LoadgenResult = res
+		case err := <-errc:
+			return nil, err
+		case <-time.After(cfg.KillAfter + jitter):
+			cs := shards[victim]
+			out.Killed = true
+			out.Victim = cs.shard.Name
+			logf("cluster cert: killing shard %s at %s (abrupt, no drain)", cs.shard.Name, cs.shard.URL)
+			_ = cs.hs.Close() // kills the listener and open connections mid-flight
+			// Wait out already-running handlers (see inflightHandler) so no
+			// WAL append races the peer's adoption replay.
+			deadline := time.Now().Add(5 * time.Second)
+			for cs.inflight.n.Load() > 0 && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	if out.LoadgenResult == nil {
+		select {
+		case res := <-resc:
+			out.LoadgenResult = res
+		case err := <-errc:
+			return nil, err
+		}
+	}
+
+	rc := rt.Counters()
+	out.Failovers = rc.FailoversTotal
+	out.HandoffSessions = rc.HandoffSessionsTotal
+	out.ShardsUp = rc.ShardsUp
+	out.Recovering503 = rc.Recovering503Total
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/service"
+	"repro/internal/workloads"
+)
+
+// TestShardCertifyKill is the cluster certificate: a 3-shard fleet behind a
+// router, one shard killed abruptly mid-run, and every session required to
+// finish with a decision stream byte-identical to its in-process twin —
+// sessions on the victim only survive if the journal handoff resurrected
+// them with their exactly-once cache intact. With -race this doubles as the
+// concurrency certificate of the router, membership, and adoption paths.
+func TestShardCertifyKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster certificate is slow")
+	}
+	res, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			Sessions:    18,
+			Concurrency: 3, // stretches the wall clock so the kill lands mid-run
+			Policy:      "wire",
+			Workflow: func(seed int64) *dag.Workflow {
+				return workloads.Linear(40+int(seed%5), 300)
+			},
+			Cloud: cloud.Config{
+				SlotsPerInstance: 2,
+				LagTime:          60,
+				ChargingUnit:     300,
+				MaxInstances:     6,
+			},
+			Noise:    0.08,
+			SeedBase: 900,
+			Verify:   true,
+		},
+		Shards:    3,
+		KillAfter: 150 * time.Millisecond,
+		Seed:      11,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed {
+		t.Fatal("run outpaced the kill; the failover path was not exercised")
+	}
+	if res.Failed != 0 || res.Completed != res.Sessions {
+		t.Fatalf("completed %d / failed %d of %d: %v", res.Completed, res.Failed, res.Sessions, res.Errors)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d decision streams diverged from in-process twins: %v", res.Mismatched, res.Errors)
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("shard %s was killed but the router never failed it over", res.Victim)
+	}
+	if res.ShardsUp != 2 {
+		t.Errorf("shards_up = %d at end, want 2", res.ShardsUp)
+	}
+	if res.Retries == 0 {
+		t.Error("no client retries despite a mid-run shard kill")
+	}
+}
+
+// TestShardCertifyNoKill pins the healthy-cluster baseline: the fleet with
+// no fault injected must behave exactly like a single daemon — zero
+// failures, zero mismatches, zero failovers.
+func TestShardCertifyNoKill(t *testing.T) {
+	res, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			Sessions:    8,
+			Concurrency: 4,
+			Policy:      "wire",
+			Workflow: func(seed int64) *dag.Workflow {
+				return workloads.Linear(10, 120)
+			},
+			Cloud: cloud.Config{
+				SlotsPerInstance: 2,
+				LagTime:          60,
+				ChargingUnit:     300,
+				MaxInstances:     6,
+			},
+			SeedBase: 40,
+			Verify:   true,
+		},
+		Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed || res.Failovers != 0 {
+		t.Fatalf("healthy run reported killed=%v failovers=%d", res.Killed, res.Failovers)
+	}
+	if res.Failed != 0 || res.Mismatched != 0 {
+		t.Fatalf("failed %d mismatched %d: %v", res.Failed, res.Mismatched, res.Errors)
+	}
+	if res.ShardsUp != 3 {
+		t.Errorf("shards_up = %d, want 3", res.ShardsUp)
+	}
+}

@@ -1,0 +1,92 @@
+// Package cluster is the sharded multi-node control plane: a stateless
+// routing front end (`wire-serve route`) over a fleet of session-shard
+// daemons (ordinary `wire-serve serve -shard` processes), turning N
+// wire-serve processes into one logical controller-as-a-service API.
+//
+// Placement is consistent hashing: the router draws each new session's ID
+// itself, hashes it onto the ring of configured shards, and forwards the
+// create with the ID in the SessionIDHeader; every later request for that
+// session hashes to the same shard. The ring is static for a deployment —
+// shards do not join or leave at runtime — so the only membership event is
+// death, detected by the router's heartbeat loop.
+//
+// Failover is journal handoff. Every shard journals its sessions to its own
+// directory (the same per-session WALs single-node wire-serve writes). When
+// a shard misses enough heartbeats the router declares it dead, picks a
+// surviving peer, and POSTs the dead shard's journal directories to the
+// peer's /v1/admin/adopt endpoint; the peer resurrects every session by WAL
+// replay — the same recoverSession machinery a restarted daemon uses — and
+// the router re-routes the dead shard's sessions to it. While the handoff is
+// in flight the router answers 503 shard_recovering with a Retry-After hint
+// instead of routing into a half-recovered peer. Because the WAL replay
+// restores each session's exactly-once sequence cache, a plan request
+// retried across the failover is answered with the decision the dead shard
+// already released — Wire-Plan-Seq semantics hold fleet-wide.
+//
+// The certificate is ShardCertify (`wire-serve loadgen -shards N
+// -kill-shard`): an N-shard in-process cluster under loadgen with a mid-run
+// shard kill must finish with zero dropped sessions and every decision
+// stream byte-identical to a fault-free in-process twin.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Shard is one session-shard daemon in the static shard map.
+type Shard struct {
+	// Name is the shard's stable identity on the ring.
+	Name string `json:"name"`
+	// URL is the shard daemon's base URL (e.g. "http://10.0.0.2:8080").
+	URL string `json:"url"`
+	// JournalDir is the shard's session journal directory as reachable by
+	// its peers (shared filesystem): the unit of failover handoff.
+	JournalDir string `json:"journal_dir"`
+}
+
+// ParseShard parses one "name=url=journal-dir" flag value.
+func ParseShard(s string) (Shard, error) {
+	parts := strings.SplitN(s, "=", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return Shard{}, fmt.Errorf("cluster: shard %q: want name=url=journal-dir", s)
+	}
+	return Shard{
+		Name:       parts[0],
+		URL:        strings.TrimRight(parts[1], "/"),
+		JournalDir: parts[2],
+	}, nil
+}
+
+// LoadShardMap reads a static shard map: a JSON array of Shard objects.
+func LoadShardMap(path string) ([]Shard, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard map: %w", err)
+	}
+	var shards []Shard
+	if err := json.Unmarshal(b, &shards); err != nil {
+		return nil, fmt.Errorf("cluster: shard map %s: %w", path, err)
+	}
+	return shards, nil
+}
+
+// ValidateShards checks a shard map for emptiness and duplicates.
+func ValidateShards(shards []Shard) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("cluster: shard map is empty")
+	}
+	seen := make(map[string]bool, len(shards))
+	for _, sh := range shards {
+		if sh.Name == "" || sh.URL == "" || sh.JournalDir == "" {
+			return fmt.Errorf("cluster: shard %+v: name, url, and journal_dir are all required", sh)
+		}
+		if seen[sh.Name] {
+			return fmt.Errorf("cluster: duplicate shard name %q", sh.Name)
+		}
+		seen[sh.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// memberState is the lifecycle of one shard in the membership table. There
+// is no rejoin: the shard map is static, so the only transitions are
+// up → recovering (declared dead) → failed (journals handed off). A restarted
+// shard process re-enters service as the target of a *new* deployment's
+// shard map, not by resurrecting its old identity mid-run.
+type memberState int
+
+const (
+	memberUp memberState = iota
+	// memberRecovering: declared dead, journal handoff not yet complete.
+	// Requests for its sessions answer 503 shard_recovering.
+	memberRecovering
+	// memberFailed: handoff complete; requests follow the adopter pointer.
+	memberFailed
+)
+
+func (s memberState) String() string {
+	switch s {
+	case memberUp:
+		return "up"
+	case memberRecovering:
+		return "recovering"
+	case memberFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+type member struct {
+	shard   Shard
+	state   memberState
+	misses  int
+	adopter string
+	// dirs are the journal directories this member currently owns: its own,
+	// plus every directory it adopted. They move as a unit on failover, so a
+	// twice-failed-over session is still found by whoever holds its WAL.
+	dirs []string
+}
+
+// membership is the router's shard liveness table and failover engine. One
+// mutex guards the whole table — routing reads are a map lookup and a state
+// switch, far off any hot path the shards themselves wouldn't dominate.
+type membership struct {
+	cfg   RouterConfig
+	order []string
+
+	mu      sync.Mutex
+	members map[string]*member
+	ctx     context.Context
+
+	failovers       atomic.Int64
+	handoffSessions atomic.Int64
+}
+
+func newMembership(cfg RouterConfig) *membership {
+	ms := &membership{
+		cfg:     cfg,
+		order:   make([]string, 0, len(cfg.Shards)),
+		members: make(map[string]*member, len(cfg.Shards)),
+	}
+	for _, sh := range cfg.Shards {
+		ms.order = append(ms.order, sh.Name)
+		ms.members[sh.Name] = &member{shard: sh, dirs: []string{sh.JournalDir}}
+	}
+	return ms
+}
+
+// follow resolves a ring owner to the shard currently serving its sessions,
+// chasing adopter pointers across completed handoffs.
+func (ms *membership) follow(name string) (Shard, routeState) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for hops := 0; hops <= len(ms.order); hops++ {
+		m := ms.members[name]
+		if m == nil {
+			return Shard{}, routeRecovering
+		}
+		switch m.state {
+		case memberUp:
+			return m.shard, routeOK
+		case memberFailed:
+			name = m.adopter
+		default:
+			return m.shard, routeRecovering
+		}
+	}
+	return Shard{}, routeRecovering
+}
+
+// Run probes shard liveness until ctx is canceled. Failover goroutines it
+// spawns inherit ctx.
+func (rt *Router) Run(ctx context.Context) {
+	rt.members.run(ctx)
+}
+
+func (ms *membership) run(ctx context.Context) {
+	ms.mu.Lock()
+	ms.ctx = ctx
+	ms.mu.Unlock()
+	t := time.NewTicker(ms.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			ms.probeAll(ctx)
+		}
+	}
+}
+
+// probeAll heartbeats every live member concurrently and waits for the
+// round, so one slow shard cannot delay another's death detection by more
+// than the probe timeout.
+func (ms *membership) probeAll(ctx context.Context) {
+	ms.mu.Lock()
+	targets := make([]Shard, 0, len(ms.order))
+	for _, name := range ms.order {
+		if m := ms.members[name]; m.state == memberUp {
+			targets = append(targets, m.shard)
+		}
+	}
+	ms.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, sh := range targets {
+		wg.Add(1)
+		go func(sh Shard) {
+			defer wg.Done()
+			ms.probe(ctx, sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (ms *membership) probe(ctx context.Context, sh Shard) {
+	pctx, cancel := context.WithTimeout(ctx, ms.cfg.HeartbeatTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, sh.URL+"/healthz", nil)
+	if err != nil {
+		ms.noteFailure(sh.Name)
+		return
+	}
+	resp, err := ms.cfg.Client.Do(req)
+	if err != nil {
+		ms.noteFailure(sh.Name)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ms.noteFailure(sh.Name)
+		return
+	}
+	ms.noteSuccess(sh.Name)
+}
+
+func (ms *membership) noteSuccess(name string) {
+	ms.mu.Lock()
+	if m := ms.members[name]; m != nil && m.state == memberUp {
+		m.misses = 0
+	}
+	ms.mu.Unlock()
+}
+
+// noteFailure records one heartbeat miss (or proxy transport error) and
+// declares the shard dead at the threshold, spawning the failover.
+func (ms *membership) noteFailure(name string) {
+	ms.mu.Lock()
+	m := ms.members[name]
+	if m == nil || m.state != memberUp {
+		ms.mu.Unlock()
+		return
+	}
+	m.misses++
+	if m.misses < ms.cfg.FailThreshold {
+		ms.mu.Unlock()
+		return
+	}
+	m.state = memberRecovering
+	misses := m.misses
+	ctx := ms.ctx
+	ms.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ms.failovers.Add(1)
+	ms.cfg.Logf("wire-serve route: shard %s declared dead after %d consecutive failures; starting journal handoff", name, misses)
+	go ms.failover(ctx, name)
+}
+
+// pickAdopter chooses the surviving peer that inherits a dead shard's
+// journals: the first live shard after the dead one in shard-map order
+// (wrapping), so the choice is deterministic and spreads consecutive deaths
+// across the fleet. It also snapshots the dead member's directory list under
+// the same lock, so the handoff always moves a consistent set.
+func (ms *membership) pickAdopter(dead string) (adopter string, dirs []string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	idx := 0
+	for i, n := range ms.order {
+		if n == dead {
+			idx = i
+			break
+		}
+	}
+	for off := 1; off <= len(ms.order); off++ {
+		name := ms.order[(idx+off)%len(ms.order)]
+		if m := ms.members[name]; m != nil && m.state == memberUp {
+			return name, append([]string(nil), ms.members[dead].dirs...)
+		}
+	}
+	return "", nil
+}
+
+// failover hands the dead shard's journal directories to a surviving peer
+// and re-points routing at it. It retries (re-selecting the adopter each
+// attempt — the first choice may itself die) until the handoff lands or ctx
+// ends; until then the dead shard's sessions answer 503 shard_recovering.
+func (ms *membership) failover(ctx context.Context, dead string) {
+	for ctx.Err() == nil {
+		adopter, dirs := ms.pickAdopter(dead)
+		if adopter == "" {
+			ms.cfg.Logf("wire-serve route: no live peer to adopt %s; cluster is down, retrying", dead)
+			sleepCtx(ctx, ms.cfg.HeartbeatInterval)
+			continue
+		}
+		n, err := ms.adopt(ctx, adopter, dead, dirs)
+		if err != nil {
+			ms.cfg.Logf("wire-serve route: handoff %s -> %s failed: %v; retrying", dead, adopter, err)
+			sleepCtx(ctx, ms.cfg.HeartbeatInterval)
+			continue
+		}
+		ms.mu.Lock()
+		deadM, adM := ms.members[dead], ms.members[adopter]
+		adM.dirs = append(adM.dirs, deadM.dirs...)
+		deadM.dirs = nil
+		deadM.adopter = adopter
+		deadM.state = memberFailed
+		ms.mu.Unlock()
+		ms.handoffSessions.Add(int64(n))
+		ms.cfg.Logf("wire-serve route: handoff complete: %s adopted %d session(s) from %s", adopter, n, dead)
+		return
+	}
+}
+
+// adopt POSTs the handoff to the adopter's admin endpoint and returns how
+// many sessions it resurrected.
+func (ms *membership) adopt(ctx context.Context, adopter, dead string, dirs []string) (int, error) {
+	ms.mu.Lock()
+	url := ms.members[adopter].shard.URL
+	ms.mu.Unlock()
+	body, err := json.Marshal(service.AdoptRequest{JournalDirs: dirs, From: dead})
+	if err != nil {
+		return 0, err
+	}
+	actx, cancel := context.WithTimeout(ctx, ms.cfg.AdoptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url+"/v1/admin/adopt", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := ms.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("adopt: HTTP %d: %s", resp.StatusCode, b)
+	}
+	var ar service.AdoptResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return 0, err
+	}
+	return ar.Sessions, nil
+}
+
+// shardsUp counts live members.
+func (ms *membership) shardsUp() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	n := 0
+	for _, m := range ms.members {
+		if m.state == memberUp {
+			n++
+		}
+	}
+	return n
+}
+
+// status snapshots the membership table for /metrics and /healthz.
+func (ms *membership) status() map[string]ShardStatus {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make(map[string]ShardStatus, len(ms.members))
+	for name, m := range ms.members {
+		out[name] = ShardStatus{
+			URL:         m.shard.URL,
+			State:       m.state.String(),
+			Adopter:     m.adopter,
+			JournalDirs: append([]string(nil), m.dirs...),
+		}
+	}
+	return out
+}
+
+// upShards snapshots the live members' shards (metrics aggregation).
+func (ms *membership) upShards() []Shard {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]Shard, 0, len(ms.order))
+	for _, name := range ms.order {
+		if m := ms.members[name]; m.state == memberUp {
+			out = append(out, m.shard)
+		}
+	}
+	return out
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// RouterCounters are the router's own counters, separate from anything the
+// shards report.
+type RouterCounters struct {
+	ShardsUp             int   `json:"shards_up"`
+	FailoversTotal       int64 `json:"failovers_total"`
+	HandoffSessionsTotal int64 `json:"handoff_sessions_total"`
+	ProxiedTotal         int64 `json:"proxied_total"`
+	ProxyErrorsTotal     int64 `json:"proxy_errors_total"`
+	Recovering503Total   int64 `json:"recovering_503_total"`
+	UptimeS              int64 `json:"uptime_s"`
+}
+
+// ShardStatus is one membership-table row as exposed on /metrics.
+type ShardStatus struct {
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Adopter string `json:"adopter,omitempty"`
+	// JournalDirs are the directories this shard currently owns (its own plus
+	// adopted ones); empty once handed off.
+	JournalDirs []string `json:"journal_dirs,omitempty"`
+}
+
+// ClusterMetricsDump is the router's /metrics payload: router counters, the
+// membership table, and the fleet-wide aggregate of every live shard's
+// MetricsDump (counter sums plus a true latency-sample merge).
+type ClusterMetricsDump struct {
+	Router  RouterCounters         `json:"router"`
+	Shards  map[string]ShardStatus `json:"shards"`
+	Cluster service.MetricsDump    `json:"cluster"`
+}
+
+// Counters snapshots the router-side counters (certificates, tests).
+func (rt *Router) Counters() RouterCounters {
+	return RouterCounters{
+		ShardsUp:             rt.members.shardsUp(),
+		FailoversTotal:       rt.members.failovers.Load(),
+		HandoffSessionsTotal: rt.members.handoffSessions.Load(),
+		ProxiedTotal:         rt.proxied.Load(),
+		ProxyErrorsTotal:     rt.proxyErrors.Load(),
+		Recovering503Total:   rt.recovering503.Load(),
+		UptimeS:              int64(rt.cfg.Clock().Sub(rt.start) / time.Second),
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"shards_up": rt.members.shardsUp(),
+	})
+}
+
+// handleMetrics aggregates the fleet: it fetches every live shard's
+// /metrics?raw=1 (raw latency windows, so quantiles are recomputed over the
+// merged samples rather than averaged across shards), sums the counters, and
+// wraps the result with the router's own counters and the membership table.
+// A shard that fails to answer is skipped — the membership table shows which
+// rows are missing from the aggregate.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	shards := rt.members.upShards()
+	dumps := make([]*service.MetricsDump, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			dumps[i] = rt.fetchShardMetrics(r.Context(), sh)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var agg service.MetricsDump
+	first := true
+	for _, d := range dumps {
+		if d == nil {
+			continue
+		}
+		if first {
+			agg, first = *d, false
+			continue
+		}
+		agg.Merge(*d)
+	}
+	// Raw windows did their job during the merge; keep the wire payload to
+	// summaries like the single-node endpoint.
+	for name, ep := range agg.Endpoints {
+		ep.RawMs = nil
+		agg.Endpoints[name] = ep
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ClusterMetricsDump{
+		Router:  rt.Counters(),
+		Shards:  rt.members.status(),
+		Cluster: agg,
+	})
+}
+
+func (rt *Router) fetchShardMetrics(ctx context.Context, sh Shard) *service.MetricsDump {
+	fctx, cancel := context.WithTimeout(ctx, rt.cfg.HeartbeatTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet, sh.URL+"/metrics?raw=1", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var d service.MetricsDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil
+	}
+	return &d
+}

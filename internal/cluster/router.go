@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// RouterConfig tunes the routing front end.
+type RouterConfig struct {
+	// Shards is the static shard map. Required, immutable for the router's
+	// lifetime.
+	Shards []Shard
+	// VNodes is the ring's virtual-node count per shard (DefaultVNodes).
+	VNodes int
+
+	// HeartbeatInterval is the membership probe period (default 1s).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one /healthz probe (default: the interval).
+	HeartbeatTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures (heartbeat misses
+	// or proxy transport errors) declare a shard dead (default 3).
+	FailThreshold int
+
+	// RetryAfter is the Retry-After hint on 503 shard_recovering responses
+	// (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// AdoptTimeout bounds one journal-handoff request to a surviving peer;
+	// replay of a big shard takes real time (default 60s).
+	AdoptTimeout time.Duration
+
+	// Client issues proxied requests, heartbeats, and handoffs (default: a
+	// pooled transport sized for the fleet).
+	Client *http.Client
+	// Clock overrides the wall clock (tests).
+	Clock func() time.Time
+	// Logf receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = c.HeartbeatInterval
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.AdoptTimeout <= 0 {
+		c.AdoptTimeout = 60 * time.Second
+	}
+	if c.Client == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConns = 256
+		t.MaxIdleConnsPerHost = 256
+		c.Client = &http.Client{Transport: t}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Router is the stateless routing front end: it owns no session state, only
+// the ring, the membership table, and counters — everything it serves is
+// reconstructed by asking shards. Kill a router and start another on the
+// same shard map and nothing is lost.
+type Router struct {
+	cfg     RouterConfig
+	ring    *Ring
+	members *membership
+	mux     *http.ServeMux
+	start   time.Time
+
+	proxied       atomic.Int64
+	proxyErrors   atomic.Int64
+	recovering503 atomic.Int64
+}
+
+// NewRouter builds a router over a static shard map.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := ValidateShards(cfg.Shards); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	names := make([]string, len(cfg.Shards))
+	for i, sh := range cfg.Shards {
+		names[i] = sh.Name
+	}
+	ring, err := NewRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		members: newMembership(cfg),
+		start:   cfg.Clock(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
+	mux.HandleFunc("/v1/sessions/{id}/{verb}", rt.handleSession)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux = mux
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler; safe for concurrent use.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Ring exposes the placement ring (tests, startup logging).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// routeState is one resolution outcome.
+type routeState int
+
+const (
+	routeOK routeState = iota
+	// routeRecovering: the owning shard is dead and its journals have not
+	// finished replaying on a peer — the caller must answer 503.
+	routeRecovering
+)
+
+// resolve maps a session ID to the shard currently serving it: the ring
+// owner, then across journal handoffs (a failed shard's sessions follow its
+// adopter, transitively — the adopter may itself have failed over later).
+func (rt *Router) resolve(id string) (Shard, routeState) {
+	name := rt.ring.Owner(id)
+	return rt.members.follow(name)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(service.ErrorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// writeRecovering is the satellite contract: while a failed shard's journals
+// are replaying, clients get an explicit 503 + Retry-After + a distinct
+// error code instead of being routed into a half-recovered peer.
+func (rt *Router) writeRecovering(w http.ResponseWriter, shard string) {
+	rt.recovering503.Add(1)
+	secs := int(rt.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	rt.writeError(w, http.StatusServiceUnavailable, service.CodeShardRecovering,
+		"shard %s is failing over; its sessions are being recovered on a peer", shard)
+}
+
+// handleCreate places a new session: the router draws the ID so it can
+// consistent-hash placement before forwarding, and redraws (bounded) if the
+// drawn owner is mid-failover — new sessions should land on live shards
+// rather than wait out a recovery they have no stake in.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var (
+		id    string
+		shard Shard
+		state routeState
+	)
+	for attempt := 0; attempt < 16; attempt++ {
+		var err error
+		if id, err = service.NewSessionID(); err != nil {
+			rt.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+			return
+		}
+		if shard, state = rt.resolve(id); state == routeOK {
+			break
+		}
+	}
+	if state != routeOK {
+		rt.writeRecovering(w, rt.ring.Owner(id))
+		return
+	}
+	rt.proxy(w, r, shard, id)
+}
+
+func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	shard, state := rt.resolve(id)
+	if state != routeOK {
+		rt.writeRecovering(w, rt.ring.Owner(id))
+		return
+	}
+	rt.proxy(w, r, shard, "")
+}
+
+// hopHeaders are not forwarded in either direction.
+var hopHeaders = []string{"Connection", "Keep-Alive", "Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade"}
+
+// proxy forwards one request to a shard and relays the response verbatim. A
+// transport failure is reported as 502 shard_unreachable (retryable — the
+// client's backoff rides out the failover) and counted as a heartbeat miss,
+// so a busy cluster detects death faster than the probe loop alone.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard Shard, assignID string) {
+	rt.proxied.Add(1)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, shard.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	for _, h := range hopHeaders {
+		req.Header.Del(h)
+	}
+	if assignID != "" {
+		req.Header.Set(service.SessionIDHeader, assignID)
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.proxyErrors.Add(1)
+		rt.members.noteFailure(shard.Name)
+		rt.writeError(w, http.StatusBadGateway, "shard_unreachable",
+			"shard %s: %v", shard.Name, err)
+		return
+	}
+	defer resp.Body.Close()
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		hdr[k] = vs
+	}
+	for _, h := range hopHeaders {
+		hdr.Del(h)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

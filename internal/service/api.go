@@ -288,6 +288,25 @@ func resolveWorkflow(req *CreateSessionRequest) (*dag.Workflow, error) {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var assigned string
+	if s.cfg.ShardMode {
+		// The cluster router consistent-hashes sessions onto shards, so it
+		// draws the ID itself and forwards it here. An assigned-ID create is
+		// idempotent: the router only ever mints an ID once, so a duplicate
+		// is a retry of a create whose response was lost.
+		if h := r.Header.Get(SessionIDHeader); h != "" {
+			if !ValidSessionID(h) {
+				s.writeError(w, http.StatusBadRequest, "bad_request",
+					"invalid %s header %q", SessionIDHeader, h)
+				return
+			}
+			assigned = h
+			if sess, err := s.store.Get(assigned); err == nil {
+				s.writeJSON(w, http.StatusOK, s.sessionInfo(sess))
+				return
+			}
+		}
+	}
 	var req CreateSessionRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -306,7 +325,19 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	sess, err := s.store.Create(policy, wf, ctrl)
+	var sess *Session
+	if assigned != "" {
+		sess, err = s.store.CreateWithID(assigned, policy, wf, ctrl)
+		if errors.Is(err, ErrDuplicateID) {
+			// Lost the race against a concurrent retry of the same create.
+			if dup, derr := s.store.Get(assigned); derr == nil {
+				s.writeJSON(w, http.StatusOK, s.sessionInfo(dup))
+				return
+			}
+		}
+	} else {
+		sess, err = s.store.Create(policy, wf, ctrl)
+	}
 	if errors.Is(err, ErrMaxSessions) {
 		s.metrics.SessionRejected()
 		s.writeError(w, http.StatusTooManyRequests, "max_sessions",
@@ -531,11 +562,61 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	dump := s.metrics.Dump(s.now(), s.store.Len())
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var dump MetricsDump
+	if r.URL.Query().Get("raw") == "1" {
+		dump = s.metrics.DumpRaw(s.now(), s.store.Len())
+	} else {
+		dump = s.metrics.Dump(s.now(), s.store.Len())
+	}
 	if s.live != nil {
 		lm := s.live.Metrics()
 		dump.Live = &lm
 	}
 	s.writeJSON(w, http.StatusOK, dump)
+}
+
+// AdoptRequest is the POST /v1/admin/adopt body: the cluster handoff. The
+// router sends the journal directories a dead shard owned; this shard
+// resurrects every session found in them via WAL replay and keeps appending
+// to the same files, so a subsequent handoff can move them again.
+type AdoptRequest struct {
+	// JournalDirs are the directories to replay, in order.
+	JournalDirs []string `json:"journal_dirs"`
+	// From names the dead shard (log context only).
+	From string `json:"from,omitempty"`
+}
+
+// AdoptResponse reports an adoption's outcome.
+type AdoptResponse struct {
+	// Sessions is how many sessions were resurrected across all dirs.
+	Sessions int `json:"sessions"`
+}
+
+func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var req AdoptRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.JournalDirs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "journal_dirs is required")
+		return
+	}
+	total, fresh := 0, 0
+	for _, dir := range req.JournalDirs {
+		n, f, err := s.ReplayJournalDir(dir)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "adopt_failed",
+				"replaying %s: %v", dir, err)
+			return
+		}
+		total += n
+		fresh += f
+	}
+	// total (what the router's handoff accounting wants) includes sessions a
+	// retried adoption found already hosted; the adoption counter does not.
+	s.metrics.SessionsAdopted(fresh)
+	s.cfg.Logf("wire-serve: adopted %d session(s) from %s (%d journal dir(s))",
+		total, req.From, len(req.JournalDirs))
+	s.writeJSON(w, http.StatusOK, AdoptResponse{Sessions: total})
 }

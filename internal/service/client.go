@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,11 +27,27 @@ import (
 // server-assigned sequencing (one fresh interval per request).
 const PlanSeqHeader = "Wire-Plan-Seq"
 
+// SessionIDHeader carries a router-assigned session ID on a forwarded create
+// request. The cluster router draws the ID before forwarding so the session
+// lands on the shard its ID consistent-hashes to; a shard in ShardMode
+// honors it and treats a duplicate as an idempotent create retry.
+const SessionIDHeader = "Wire-Session-Id"
+
+// CodeShardRecovering is the error code a cluster router returns (as a 503
+// with Retry-After) while the shard owning the requested session is dead and
+// its journals are still being replayed on a surviving peer. Clients should
+// back off and retry; the session is not lost.
+const CodeShardRecovering = "shard_recovering"
+
 // APIError is a non-2xx response decoded from the daemon's error body.
 type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RetryAfter is the server's Retry-After hint, when present (503s from
+	// a cluster router during shard failover). The retry loop sleeps at
+	// least this long before the next attempt.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -207,8 +224,16 @@ func (c *Client) do(ctx context.Context, method, path string, seq int64, in, out
 	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			c.retries.Add(1)
+			sleep := c.retry.backoff(attempt, c.jitterU())
+			// A Retry-After hint (shard failover in progress) overrides a
+			// shorter backoff: retrying sooner only burns attempts while the
+			// surviving peer is still replaying journals.
+			var ae *APIError
+			if errors.As(lastErr, &ae) && ae.RetryAfter > sleep {
+				sleep = ae.RetryAfter
+			}
 			select {
-			case <-time.After(c.retry.backoff(attempt, c.jitterU())):
+			case <-time.After(sleep):
 			case <-ctx.Done():
 				return fmt.Errorf("wire-serve client: %s %s: %w (last attempt: %v)", method, path, ctx.Err(), lastErr)
 			}
@@ -256,6 +281,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, seq int64, bo
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		apiErr := &APIError{StatusCode: resp.StatusCode, Code: "unknown"}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 && secs <= 60 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var eb ErrorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil {
 			apiErr.Code, apiErr.Message = eb.Code, eb.Error

@@ -121,20 +121,41 @@ func (s *Server) openSessionJournal(sess *Session, req *CreateSessionRequest) {
 // recoverJournals rebuilds the session store from JournalDir. Called once
 // from New, before the daemon serves traffic.
 func (s *Server) recoverJournals() {
-	entries, err := os.ReadDir(s.cfg.JournalDir)
-	if err != nil {
+	if _, _, err := s.ReplayJournalDir(s.cfg.JournalDir); err != nil {
 		s.cfg.Logf("wire-serve: journal recovery: %v", err)
-		return
+	}
+}
+
+// ReplayJournalDir replays every session WAL in dir into the live store. It
+// backs both startup recovery (dir = the server's own JournalDir) and cluster
+// journal handoff, where a router hands a dead shard's journal directory to
+// this server via POST /v1/admin/adopt. Per-WAL failures are logged and
+// skipped — a session whose ID is already hosted (an adoption retried after
+// partial success) counts in total but not in fresh, so a retried handoff
+// reports the full session count without double-counting adoptions. The
+// returned error covers only an unreadable directory.
+func (s *Server) ReplayJournalDir(dir string) (total, fresh int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
 	}
 	for _, e := range entries {
 		if e.IsDir() || filepath.Ext(e.Name()) != ".wal" {
 			continue
 		}
-		path := filepath.Join(s.cfg.JournalDir, e.Name())
+		path := filepath.Join(dir, e.Name())
 		if err := s.recoverSession(path); err != nil {
+			if errors.Is(err, ErrDuplicateID) {
+				total++
+				continue
+			}
 			s.cfg.Logf("wire-serve: journal recovery: %s: %v", e.Name(), err)
+			continue
 		}
+		total++
+		fresh++
 	}
+	return total, fresh, nil
 }
 
 // recoverSession replays one WAL: it rebuilds the controller from the create
@@ -142,7 +163,9 @@ func (s *Server) recoverJournals() {
 // (skipping duplicate sequence numbers — a crash mid-append can leave the
 // same interval twice), restores the exactly-once cache from the last
 // record, and re-attaches the journal for appends. A torn trailing record is
-// truncated away.
+// truncated away. The session is replayed fully detached and only inserted
+// into the store at the end, so adoption while the daemon serves traffic can
+// never expose a half-replayed controller.
 func (s *Server) recoverSession(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -170,10 +193,7 @@ func (s *Server) recoverSession(path string) error {
 	if createdAt.IsZero() {
 		createdAt = s.now()
 	}
-	sess, err := s.store.Restore(create.ID, create.Policy, wf, ctrl, createdAt)
-	if err != nil {
-		return err
-	}
+	sess := s.store.NewDetached(create.ID, create.Policy, wf, ctrl, createdAt)
 
 	goodOffset := dec.InputOffset()
 	torn := false
@@ -221,7 +241,11 @@ func (s *Server) recoverSession(path string) error {
 	if err != nil {
 		s.cfg.Logf("wire-serve: journal disabled for recovered session %s: %v", sess.ID, err)
 	} else {
-		sess.setWAL(j)
+		sess.wal = j
+	}
+	if err := s.store.Insert(sess); err != nil {
+		sess.takeWAL().close(false)
+		return err
 	}
 	s.metrics.JournalReplayed()
 	s.cfg.Logf("wire-serve: recovered session %s (%s, %d plan(s)) from journal", sess.ID, sess.Policy, sess.lastSeq)

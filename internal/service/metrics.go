@@ -26,10 +26,11 @@ type Metrics struct {
 	sessionsEvicted  atomic.Int64
 	sessionsRejected atomic.Int64
 
-	planRetries    atomic.Int64
-	degradedPlans  atomic.Int64
-	journalReplays atomic.Int64
-	encodeErrors   atomic.Int64
+	planRetries     atomic.Int64
+	degradedPlans   atomic.Int64
+	journalReplays  atomic.Int64
+	sessionsAdopted atomic.Int64
+	encodeErrors    atomic.Int64
 
 	// endpoints maps endpoint name → *endpointMetrics. It stops growing
 	// after every endpoint has been hit once, which is sync.Map's ideal
@@ -84,6 +85,14 @@ func (m *Metrics) PlanDegraded() { m.degradedPlans.Add(1) }
 // JournalReplayed counts sessions rebuilt from their write-ahead logs at
 // startup.
 func (m *Metrics) JournalReplayed() { m.journalReplays.Add(1) }
+
+// SessionsAdopted counts sessions resurrected from a dead peer's journal
+// directory via the cluster handoff endpoint.
+func (m *Metrics) SessionsAdopted(n int) {
+	if n != 0 {
+		m.sessionsAdopted.Add(int64(n))
+	}
+}
 
 // EncodeError counts responses whose JSON encoding failed (served as 500
 // encode_failed instead of a truncated 200).
@@ -151,6 +160,12 @@ type EndpointCounters struct {
 	Count     int64           `json:"count"`
 	Errors    int64           `json:"errors,omitempty"`
 	LatencyMs *LatencySummary `json:"latency_ms,omitempty"`
+	// RawMs is the endpoint's raw latency window (most recent samples, ms).
+	// Present only when the dump was taken with raw samples enabled
+	// (GET /metrics?raw=1): the cluster router merges the windows of every
+	// shard sample-by-sample before summarizing, which no quantile merge of
+	// the per-shard summaries could reproduce.
+	RawMs []float64 `json:"latency_raw_ms,omitempty"`
 }
 
 // FaultToleranceCounters is the fault-tolerance block of the metrics
@@ -163,6 +178,9 @@ type FaultToleranceCounters struct {
 	DegradedPlansTotal int64 `json:"degraded_plans_total"`
 	// JournalReplaysTotal counts sessions rebuilt from WALs at startup.
 	JournalReplaysTotal int64 `json:"journal_replays_total"`
+	// SessionsAdoptedTotal counts sessions resurrected from a dead peer's
+	// journal directory via the cluster handoff endpoint.
+	SessionsAdoptedTotal int64 `json:"sessions_adopted_total,omitempty"`
 }
 
 // MetricsDump is the GET /metrics response body.
@@ -182,6 +200,16 @@ type MetricsDump struct {
 // Dump snapshots the counters. activeSessions is supplied by the caller
 // (the store owns that gauge).
 func (m *Metrics) Dump(now time.Time, activeSessions int) MetricsDump {
+	return m.dump(now, activeSessions, false)
+}
+
+// DumpRaw is Dump with each endpoint's raw latency window included — the
+// form the cluster router aggregates across shards.
+func (m *Metrics) DumpRaw(now time.Time, activeSessions int) MetricsDump {
+	return m.dump(now, activeSessions, true)
+}
+
+func (m *Metrics) dump(now time.Time, activeSessions int, raw bool) MetricsDump {
 	d := MetricsDump{
 		UptimeS: now.Sub(m.start).Seconds(),
 		Sessions: SessionCounters{
@@ -192,9 +220,10 @@ func (m *Metrics) Dump(now time.Time, activeSessions int) MetricsDump {
 			Rejected: m.sessionsRejected.Load(),
 		},
 		FaultTolerance: FaultToleranceCounters{
-			RetriesTotal:        m.planRetries.Load(),
-			DegradedPlansTotal:  m.degradedPlans.Load(),
-			JournalReplaysTotal: m.journalReplays.Load(),
+			RetriesTotal:         m.planRetries.Load(),
+			DegradedPlansTotal:   m.degradedPlans.Load(),
+			JournalReplaysTotal:  m.journalReplays.Load(),
+			SessionsAdoptedTotal: m.sessionsAdopted.Load(),
 		},
 		EncodeErrorsTotal: m.encodeErrors.Load(),
 	}
@@ -206,10 +235,50 @@ func (m *Metrics) Dump(now time.Time, activeSessions int) MetricsDump {
 		if len(em.lat) > 0 {
 			sum := SummarizeLatencies(em.lat)
 			ec.LatencyMs = &sum
+			if raw {
+				ec.RawMs = append([]float64(nil), em.lat...)
+			}
 		}
 		em.mu.Unlock()
 		d.Endpoints[name.(string)] = ec
 		return true
 	})
 	return d
+}
+
+// Merge folds another daemon's metrics dump into this one: counters sum,
+// endpoint raw latency windows concatenate and are re-summarized, and uptime
+// takes the maximum. The cluster router uses it to present one logical
+// /metrics document over a shard fleet. The Live block is not merged (the
+// live execution plane is not routed through the cluster front end).
+func (d *MetricsDump) Merge(o MetricsDump) {
+	if o.UptimeS > d.UptimeS {
+		d.UptimeS = o.UptimeS
+	}
+	d.Sessions.Active += o.Sessions.Active
+	d.Sessions.Created += o.Sessions.Created
+	d.Sessions.Deleted += o.Sessions.Deleted
+	d.Sessions.Evicted += o.Sessions.Evicted
+	d.Sessions.Rejected += o.Sessions.Rejected
+	d.FaultTolerance.RetriesTotal += o.FaultTolerance.RetriesTotal
+	d.FaultTolerance.DegradedPlansTotal += o.FaultTolerance.DegradedPlansTotal
+	d.FaultTolerance.JournalReplaysTotal += o.FaultTolerance.JournalReplaysTotal
+	d.FaultTolerance.SessionsAdoptedTotal += o.FaultTolerance.SessionsAdoptedTotal
+	d.EncodeErrorsTotal += o.EncodeErrorsTotal
+	if d.Endpoints == nil {
+		d.Endpoints = make(map[string]EndpointCounters)
+	}
+	for name, oc := range o.Endpoints {
+		ec := d.Endpoints[name]
+		ec.Count += oc.Count
+		ec.Errors += oc.Errors
+		ec.RawMs = append(ec.RawMs, oc.RawMs...)
+		if len(ec.RawMs) > 0 {
+			sum := SummarizeLatencies(ec.RawMs)
+			ec.LatencyMs = &sum
+		} else if ec.LatencyMs == nil {
+			ec.LatencyMs = oc.LatencyMs
+		}
+		d.Endpoints[name] = ec
+	}
 }

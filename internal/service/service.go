@@ -52,6 +52,12 @@ type Config struct {
 	// LiveMaxRuns caps concurrently tracked live execution runs
 	// (default 8; negative disables the live plane entirely).
 	LiveMaxRuns int
+	// ShardMode runs this daemon as one session shard of a cluster behind a
+	// wire-serve router: create requests may carry a router-assigned session
+	// ID (SessionIDHeader, idempotent on retry) and the journal-adoption
+	// endpoint POST /v1/admin/adopt is mounted so the router can hand this
+	// shard a dead peer's journal directory for failover.
+	ShardMode bool
 	// DrainTimeout bounds how long shutdown waits for in-flight agent
 	// leases to complete or be reclaimed before the HTTP server is torn
 	// down (default 30s). HTTP connection draining alone would abandon
@@ -131,6 +137,9 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	if cfg.ShardMode {
+		mux.Handle("POST /v1/admin/adopt", s.instrument("adopt", s.handleAdopt))
+	}
 	if cfg.LiveMaxRuns > 0 {
 		live, err := exec.NewRegistry(exec.RegistryConfig{
 			Factory:    LiveControllerFactory,

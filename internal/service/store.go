@@ -22,6 +22,9 @@ var (
 	// ErrNotFound is returned for unknown session IDs; the API maps it
 	// to 404.
 	ErrNotFound = errors.New("service: session not found")
+	// ErrDuplicateID is returned by CreateWithID and Insert when the ID is
+	// already hosted; shard mode treats it as an idempotent-create signal.
+	ErrDuplicateID = errors.New("service: session id already exists")
 )
 
 // Session is one hosted controller with its workflow. The session mutex
@@ -129,6 +132,28 @@ func newSessionID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
+// NewSessionID returns a fresh opaque session ID in the store's format. The
+// cluster router draws IDs itself so it can consistent-hash a session onto a
+// shard before the create request is forwarded.
+func NewSessionID() (string, error) { return newSessionID() }
+
+// ValidSessionID reports whether id is acceptable as an externally assigned
+// session ID: non-empty, bounded, and safe to embed in a journal file name.
+func ValidSessionID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // Create registers a new session hosting ctrl for wf. It fails with
 // ErrMaxSessions when the store is at capacity.
 func (st *Store) Create(policy string, wf *dag.Workflow, ctrl sim.Controller) (*Session, error) {
@@ -158,21 +183,39 @@ func (st *Store) Create(policy string, wf *dag.Workflow, ctrl sim.Controller) (*
 	return s, nil
 }
 
-// Restore re-inserts a session recovered from its journal under its original
-// ID. It fails with ErrMaxSessions at capacity and rejects duplicate IDs.
-func (st *Store) Restore(id, policy string, wf *dag.Workflow, ctrl sim.Controller, createdAt time.Time) (*Session, error) {
+// NewDetached builds a session that is NOT yet visible in the store: journal
+// recovery and adoption replay the WAL into a detached session first, then
+// Insert it, so a half-replayed controller can never answer live requests.
+func (st *Store) NewDetached(id, policy string, wf *dag.Workflow, ctrl sim.Controller, createdAt time.Time) *Session {
 	s := &Session{ID: id, Policy: policy, Workflow: wf, ctrl: ctrl, createdAt: createdAt}
 	s.lastUsed.Store(st.now().UnixNano())
+	return s
+}
 
+// Insert makes a detached session routable. It fails with ErrMaxSessions at
+// capacity and ErrDuplicateID when the ID is already hosted.
+func (st *Store) Insert(s *Session) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.max > 0 && len(st.sessions) >= st.max {
-		return nil, ErrMaxSessions
+		return ErrMaxSessions
 	}
-	if _, taken := st.sessions[id]; taken {
-		return nil, fmt.Errorf("service: restore: session %s already exists", id)
+	if _, taken := st.sessions[s.ID]; taken {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, s.ID)
 	}
-	st.sessions[id] = s
+	st.sessions[s.ID] = s
+	return nil
+}
+
+// CreateWithID registers a session under an externally assigned ID (the
+// cluster router's consistent-hash placement). It fails with ErrDuplicateID
+// when the ID is already hosted — the caller decides whether that is an
+// idempotent retry or a protocol violation.
+func (st *Store) CreateWithID(id, policy string, wf *dag.Workflow, ctrl sim.Controller) (*Session, error) {
+	s := st.NewDetached(id, policy, wf, ctrl, st.now())
+	if err := st.Insert(s); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/chaos"
 	"repro/internal/cloud"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/dagio"
@@ -312,3 +313,29 @@ func Gantt(res *RunResult, width int) string { return trace.Gantt(res, width) }
 
 // WriteDOT renders a workflow as a Graphviz DOT document.
 var WriteDOT = dot.Write
+
+// Sharded control plane: a stateless router consistent-hashes sessions onto
+// a fleet of shard daemons and fails dead shards over by journal handoff.
+type (
+	// ClusterShard is one session-shard daemon in the static shard map.
+	ClusterShard = cluster.Shard
+	// ClusterRouterConfig tunes the routing front end (`wire-serve route`).
+	ClusterRouterConfig = cluster.RouterConfig
+	// ClusterRouter is the stateless routing front end; run its heartbeat
+	// loop with Run and mount Handler on a listener.
+	ClusterRouter = cluster.Router
+	// ShardCertConfig drives the cluster certificate
+	// (`wire-serve loadgen -shards N -kill-shard`).
+	ShardCertConfig = cluster.ShardCertConfig
+)
+
+// NewClusterRouter builds a router over a static shard map.
+func NewClusterRouter(cfg ClusterRouterConfig) (*ClusterRouter, error) {
+	return cluster.NewRouter(cfg)
+}
+
+// ShardCertify hosts an N-shard cluster in-process, kills one shard mid-run,
+// and certifies zero dropped sessions with twin-identical decision streams.
+func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*cluster.ShardCertResult, error) {
+	return cluster.ShardCertify(ctx, cfg)
+}
