@@ -38,14 +38,32 @@
 //
 //	wire-serve loadgen -shards 3 -kill-shard -sessions 30 -concurrency 4
 //
+// The elastic variants drain, restart, and rejoin every shard in sequence
+// (the rolling-restart certificate) or apply a seeded random schedule of
+// kill/drain/join churn events, with the same zero-drop bar:
+//
+//	wire-serve loadgen -shards 3 -rolling-restart -sessions 30 -concurrency 4
+//	wire-serve loadgen -shards 3 -churn 8 -sessions 30 -concurrency 4
+//
+// Admin mode drives the router's elastic membership endpoints from the
+// command line:
+//
+//	wire-serve admin -router http://127.0.0.1:8080 -drain s1
+//	wire-serve admin -router http://127.0.0.1:8080 -join s1=http://127.0.0.1:8082=/mnt/journals/s1
+//
 // The daemon exits cleanly on SIGINT/SIGTERM after draining in-flight
-// requests.
+// requests. A shard started with -name and -router additionally drains
+// itself out of the ring on SIGTERM (migrating its sessions to live peers)
+// before shutting down.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -64,7 +82,7 @@ import (
 func main() {
 	args := os.Args[1:]
 	mode := "serve"
-	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" || args[0] == "route") {
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" || args[0] == "route" || args[0] == "admin") {
 		mode, args = args[0], args[1:]
 	}
 	var err error
@@ -75,6 +93,8 @@ func main() {
 		err = runLoadgen(args)
 	case "route":
 		err = runRoute(args)
+	case "admin":
+		err = runAdmin(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wire-serve:", err)
@@ -92,13 +112,18 @@ func runServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain bound for in-flight agent leases")
 	journal := fs.String("journal", "", "crash-recovery journal directory (empty = journaling off)")
 	liveRuns := fs.Int("live-max-runs", 8, "concurrent live execution runs (-1 = live plane off)")
-	shardMode := fs.Bool("shard", false, "session-shard mode: honor router-assigned session IDs and serve /v1/admin/adopt")
+	shardMode := fs.Bool("shard", false, "session-shard mode: honor router-assigned session IDs and serve the /v1/admin handoff endpoints")
+	selfName := fs.String("name", "", "this shard's name on the router's ring (enables SIGTERM self-drain with -router)")
+	routerURL := fs.String("router", "", "router base URL; with -name, SIGTERM drains this shard out of the ring before shutdown")
 	quiet := fs.Bool("quiet", false, "suppress operational log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shardMode && *journal == "" {
 		return fmt.Errorf("serve -shard requires -journal (the journal directory is the unit of failover handoff)")
+	}
+	if (*selfName == "") != (*routerURL == "") {
+		return fmt.Errorf("serve -name and -router go together (both identify this shard to the router for SIGTERM self-drain)")
 	}
 
 	logf := func(format string, fargs ...any) {
@@ -127,12 +152,96 @@ func runServe(args []string) error {
 	// can start on port 0 and discover the URL.
 	fmt.Printf("wire-serve: listening on http://%s\n", ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		signal.Stop(sigc) // a second signal kills outright
+		// Self-drain BEFORE tearing the server down: the drain migrates this
+		// shard's sessions to live peers, and this shard must keep serving
+		// (it is the export donor) until the router says the drain is done.
+		if *selfName != "" {
+			logf("wire-serve: SIGTERM: draining shard %s out of the ring via %s", *selfName, *routerURL)
+			dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			if body, err := postJSON(dctx, *routerURL+"/v1/admin/drain", map[string]string{"shard": *selfName}); err != nil {
+				logf("wire-serve: self-drain failed (shutting down anyway; the router will fail this shard over): %v", err)
+			} else {
+				logf("wire-serve: self-drain complete: %s", strings.TrimSpace(string(body)))
+			}
+			dcancel()
+		}
+		cancel()
+	}()
 	if err := srv.Serve(ctx, ln); err != nil {
 		return err
 	}
 	logf("wire-serve: shutdown complete")
+	return nil
+}
+
+// postJSON POSTs one JSON body and returns the response body, treating any
+// non-200 as an error.
+func postJSON(ctx context.Context, url string, body any) ([]byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(rb)))
+	}
+	return rb, nil
+}
+
+// runAdmin drives the router's elastic membership endpoints: -drain moves a
+// shard's sessions to its peers and removes it from the ring; -join adds (or
+// re-adds after a restart) a shard, migrating the minimally-remapped key
+// ranges onto it. Both block until the operation commits.
+func runAdmin(args []string) error {
+	fs := flag.NewFlagSet("wire-serve admin", flag.ExitOnError)
+	router := fs.String("router", "http://127.0.0.1:8080", "router base URL")
+	drain := fs.String("drain", "", "gracefully drain this shard out of the ring")
+	join := fs.String("join", "", "join a shard as name=url=journal-dir")
+	timeout := fs.Duration("timeout", 2*time.Minute, "operation timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*drain == "") == (*join == "") {
+		return fmt.Errorf("admin wants exactly one of -drain or -join")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if *drain != "" {
+		body, err := postJSON(ctx, *router+"/v1/admin/drain", map[string]string{"shard": *drain})
+		if err != nil {
+			return fmt.Errorf("drain %s: %w", *drain, err)
+		}
+		fmt.Printf("wire-serve admin: drained: %s\n", strings.TrimSpace(string(body)))
+		return nil
+	}
+	sh, err := cluster.ParseShard(*join)
+	if err != nil {
+		return err
+	}
+	body, err := postJSON(ctx, *router+"/v1/admin/join", map[string]string{
+		"name": sh.Name, "url": sh.URL, "journal_dir": sh.JournalDir,
+	})
+	if err != nil {
+		return fmt.Errorf("join %s: %w", sh.Name, err)
+	}
+	fmt.Printf("wire-serve admin: joined: %s\n", strings.TrimSpace(string(body)))
 	return nil
 }
 
@@ -207,7 +316,7 @@ func runRoute(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go rt.Run(ctx)
-	hs := &http.Server{Handler: rt.Handler()}
+	hs := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -242,12 +351,20 @@ func runLoadgen(args []string) error {
 	killAfter := fs.Duration("kill-after", 0, "kill and journal-restart the daemon this long into the run (chaos mode; 0 = no kill)")
 	shardCount := fs.Int("shards", 0, "cluster certificate: host this many in-process shards behind a router (ignores -server)")
 	killShard := fs.Bool("kill-shard", false, "cluster certificate: SIGKILL one shard mid-run and require journal-handoff failover")
+	rolling := fs.Bool("rolling-restart", false, "cluster certificate: drain, restart, and rejoin every shard in sequence under live traffic")
+	churn := fs.Int("churn", 0, "cluster certificate: apply this many seeded kill/drain/join churn events, then heal the fleet")
 	withRetry := fs.Bool("retry", false, "retrying shared client (required to ride out a live failover)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaosMode && *shardCount > 1 {
 		return fmt.Errorf("-chaos and -shards are separate certificates; pick one")
+	}
+	if (*rolling || *churn > 0) && *shardCount <= 1 {
+		return fmt.Errorf("-rolling-restart and -churn need -shards N (the fleet to churn)")
+	}
+	if *rolling && *churn > 0 {
+		return fmt.Errorf("-rolling-restart and -churn are separate certificates; pick one")
 	}
 
 	var spec *service.ControllerSpec
@@ -302,10 +419,12 @@ func runLoadgen(args []string) error {
 			Server: service.Config{Logf: func(format string, fargs ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", fargs...)
 			}},
-			Shards:        *shardCount,
-			KillAfter:     kill,
-			KillJitterMax: 200 * time.Millisecond,
-			Seed:          *chaosSeed,
+			Shards:         *shardCount,
+			KillAfter:      kill,
+			KillJitterMax:  200 * time.Millisecond,
+			Seed:           *chaosSeed,
+			RollingRestart: *rolling,
+			ChurnEvents:    *churn,
 			Logf: func(format string, fargs ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", fargs...)
 			},
@@ -384,6 +503,17 @@ func runLoadgen(args []string) error {
 		t.AddRow("sessions handed off", ccert.HandoffSessions)
 		t.AddRow("shards up at end", ccert.ShardsUp)
 		t.AddRow("503s during recovery", ccert.Recovering503)
+		if *rolling || *churn > 0 {
+			t.AddRow("drains", ccert.Drains)
+			t.AddRow("joins", ccert.Joins)
+			t.AddRow("sessions migrated", ccert.Migrated)
+		}
+		if *rolling {
+			t.AddRow("shards rolled", strings.Join(ccert.Restarted, ", "))
+		}
+		if *churn > 0 {
+			t.AddRow("churn events applied", ccert.ChurnApplied)
+		}
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
@@ -405,6 +535,18 @@ func runLoadgen(args []string) error {
 			if ccert.Failovers == 0 {
 				return fmt.Errorf("cluster certificate failed: shard %s was killed but no failover happened", ccert.Victim)
 			}
+		}
+		if *rolling {
+			if len(ccert.Restarted) != *shardCount || ccert.Drains < int64(*shardCount) || ccert.Joins < int64(*shardCount) {
+				return fmt.Errorf("rolling-restart certificate failed: %d/%d shards rolled (%d drains, %d joins)",
+					len(ccert.Restarted), *shardCount, ccert.Drains, ccert.Joins)
+			}
+			if ccert.ShardsUp != *shardCount {
+				return fmt.Errorf("rolling-restart certificate failed: only %d/%d shards up at end", ccert.ShardsUp, *shardCount)
+			}
+		}
+		if *churn > 0 && ccert.ShardsUp != *shardCount {
+			return fmt.Errorf("churn certificate failed: only %d/%d shards up after healing", ccert.ShardsUp, *shardCount)
 		}
 		fmt.Println("cluster certificate PASSED: zero dropped sessions, decision streams byte-identical to in-process twins")
 	}

@@ -136,6 +136,7 @@ const (
 	streamTask      = "chaos/task"
 	streamAgent     = "chaos/agent"
 	streamShard     = "chaos/shard-kill"
+	streamChurn     = "chaos/churn"
 )
 
 // splitmix64 is the SplitMix64 finalizer (Steele et al.): an invertible mix
@@ -202,6 +203,83 @@ func (p Plan) ShardKillSchedule(n int, maxJitter time.Duration) (victim int, jit
 		jitter = time.Duration((1 - rng.Float64()) * float64(maxJitter))
 	}
 	return victim, jitter
+}
+
+// ChurnAction is one membership-churn event kind.
+type ChurnAction int
+
+// Churn event kinds: an abrupt kill (no drain), a graceful drain, and a
+// (re)join of a previously killed or drained shard.
+const (
+	ChurnKill ChurnAction = iota
+	ChurnDrain
+	ChurnJoin
+)
+
+// String implements fmt.Stringer.
+func (a ChurnAction) String() string {
+	switch a {
+	case ChurnKill:
+		return "kill"
+	case ChurnDrain:
+		return "drain"
+	case ChurnJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("churn(%d)", int(a))
+	}
+}
+
+// ChurnEvent is one entry in a membership-churn schedule.
+type ChurnEvent struct {
+	// At is the event's offset from the start of the run.
+	At time.Duration
+	// Action is what happens to the shard.
+	Action ChurnAction
+	// Shard indexes the fleet [0, n).
+	Shard int
+}
+
+// ChurnSchedule is the elastic control plane's churn fault stream: `events`
+// membership events (kill / drain / join) over an n-shard fleet, spaced by
+// uniform gaps in [minGap, maxGap]. The schedule is a pure function of the
+// plan seed with a fixed draw order per event (gap, then action, then
+// shard), so a churn certificate replays the exact same interleavings —
+// including the nasty ones (kill-during-drain, join-during-failover) — on
+// every run with the same seed. The harness applies each event best-effort:
+// a drain of an already-dead shard or a join of a live one is itself a
+// wanted interleaving, not an error.
+func (p Plan) ChurnSchedule(n, events int, minGap, maxGap time.Duration) []ChurnEvent {
+	if n <= 0 || events <= 0 {
+		return nil
+	}
+	if minGap < 0 {
+		minGap = 0
+	}
+	if maxGap < minGap {
+		maxGap = minGap
+	}
+	rng := p.rng(streamChurn, 0)
+	out := make([]ChurnEvent, events)
+	at := time.Duration(0)
+	for i := range out {
+		gap := minGap
+		if maxGap > minGap {
+			gap += time.Duration(rng.Int63n(int64(maxGap - minGap + 1)))
+		}
+		at += gap
+		var action ChurnAction
+		switch u := rng.Float64(); {
+		case u < 0.4:
+			action = ChurnKill
+		case u < 0.7:
+			action = ChurnDrain
+		default:
+			action = ChurnJoin
+		}
+		out[i] = ChurnEvent{At: at, Action: action, Shard: int(rng.Int63n(int64(n)))}
+	}
+	return out
 }
 
 // AgentSlowdown returns the duration stretch factor of one agent stream: 1

@@ -302,3 +302,60 @@ func TestSelfHealingPlanValidate(t *testing.T) {
 		t.Error("self-healing faults not reported active")
 	}
 }
+
+// TestChurnScheduleDeterministic pins the topology-churn schedule: the same
+// seed reproduces the same event sequence, a different seed reshuffles it,
+// gaps stay within the configured bounds, and the guard rails on degenerate
+// arguments hold.
+func TestChurnScheduleDeterministic(t *testing.T) {
+	p := Plan{Seed: 42}
+	const minGap, maxGap = 50 * time.Millisecond, 400 * time.Millisecond
+	a := p.ChurnSchedule(3, 12, minGap, maxGap)
+	b := p.ChurnSchedule(3, 12, minGap, maxGap)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("churn schedule differs between runs of the same seed")
+	}
+	if len(a) != 12 {
+		t.Fatalf("schedule has %d events, want 12", len(a))
+	}
+	prev := time.Duration(0)
+	actions := map[ChurnAction]int{}
+	for i, ev := range a {
+		gap := ev.At - prev
+		if gap < minGap || gap > maxGap {
+			t.Errorf("event %d: gap %v outside [%v, %v]", i, gap, minGap, maxGap)
+		}
+		prev = ev.At
+		if ev.Shard < 0 || ev.Shard >= 3 {
+			t.Errorf("event %d targets shard %d of a 3-shard fleet", i, ev.Shard)
+		}
+		actions[ev.Action]++
+	}
+	for _, act := range []ChurnAction{ChurnKill, ChurnDrain, ChurnJoin} {
+		if act.String() == "" {
+			t.Errorf("action %d has no name", act)
+		}
+	}
+	if len(actions) < 2 {
+		t.Errorf("12 events drew only %d distinct actions: %v", len(actions), actions)
+	}
+
+	q := Plan{Seed: 43}
+	if reflect.DeepEqual(a, q.ChurnSchedule(3, 12, minGap, maxGap)) {
+		t.Error("seeds 42 and 43 share a churn schedule")
+	}
+
+	// Guard rails: degenerate arguments yield an empty schedule or clamp.
+	if p.ChurnSchedule(0, 5, minGap, maxGap) != nil {
+		t.Error("zero shards produced a schedule")
+	}
+	if p.ChurnSchedule(3, 0, minGap, maxGap) != nil {
+		t.Error("zero events produced a schedule")
+	}
+	fixed := p.ChurnSchedule(3, 4, minGap, minGap) // maxGap == minGap: fixed cadence
+	for i, ev := range fixed {
+		if want := minGap * time.Duration(i+1); ev.At != want {
+			t.Errorf("fixed-gap event %d at %v, want %v", i, ev.At, want)
+		}
+	}
+}

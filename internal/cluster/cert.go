@@ -1,13 +1,18 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,7 +21,8 @@ import (
 )
 
 // ShardCertConfig drives ShardCertify: the cluster certificate run behind
-// `wire-serve loadgen -shards N -kill-shard`.
+// `wire-serve loadgen -shards N -kill-shard` and its elastic variants
+// `-rolling-restart` and `-churn N`.
 type ShardCertConfig struct {
 	// Loadgen configures the sessions. Client is filled in by the harness
 	// (a retrying client pointed at the router); Verify should be set — the
@@ -37,8 +43,26 @@ type ShardCertConfig struct {
 	KillAfter time.Duration
 	// KillJitterMax bounds the seeded jitter added to KillAfter.
 	KillJitterMax time.Duration
-	// Seed feeds the chaos plan's shard-kill schedule (victim + jitter).
+	// Seed feeds the chaos plan's shard-kill and churn schedules.
 	Seed int64
+
+	// RollingRestart drains, restarts, and rejoins every shard in sequence
+	// while the loadgen runs: the rolling-restart certificate. The run ends
+	// only after the full cycle completes and shards_up has returned to N.
+	RollingRestart bool
+	// RollingDelay is the pause between a shard's restart and the next
+	// shard's drain (default 100ms).
+	RollingDelay time.Duration
+
+	// ChurnEvents, when positive, applies a seeded random schedule of
+	// kill/drain/join events (chaos.Plan.ChurnSchedule) during the run,
+	// then heals the fleet back to N shards. Exercises the nasty
+	// interleavings: kill-during-drain, join-during-failover.
+	ChurnEvents int
+	// ChurnMinGap and ChurnMaxGap bound the gaps between churn events
+	// (defaults 100ms and 400ms).
+	ChurnMinGap time.Duration
+	ChurnMaxGap time.Duration
 
 	// HeartbeatInterval is the router's probe period (default 50ms — the
 	// cert wants sub-second failover so the loadgen rides through it well
@@ -69,6 +93,16 @@ type ShardCertResult struct {
 	HandoffSessions int64
 	ShardsUp        int
 	Recovering503   int64
+	// Drains, Joins, and Migrated are the elastic-operation counters at the
+	// end of the run (rolling-restart and churn certificates).
+	Drains   int64
+	Joins    int64
+	Migrated int64
+	// Restarted lists the shards the rolling-restart cycle completed, in
+	// order.
+	Restarted []string
+	// ChurnApplied counts churn events that were actually applied.
+	ChurnApplied int
 }
 
 // inflightHandler counts in-flight requests so the harness can wait out the
@@ -87,21 +121,168 @@ func (ih *inflightHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ih.h.ServeHTTP(w, r)
 }
 
+// certShard is one restartable in-process shard daemon. stop tears down the
+// listener abruptly (the in-process analogue of SIGKILL); start brings up a
+// FRESH service.Server on the same journal directory and a new port —
+// startup recovery skips fenced WALs, so a restarted shard whose sessions
+// were adopted elsewhere comes back empty, exactly like a restarted real
+// process would.
 type certShard struct {
+	name string
+	jdir string
+	scfg service.Config
+
+	mu       sync.Mutex
 	shard    Shard
 	srv      *service.Server
 	hs       *http.Server
 	inflight *inflightHandler
+	down     bool
+}
+
+func (cs *certShard) start() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := service.New(cs.scfg)
+	ih := &inflightHandler{h: srv.Handler()}
+	hs := &http.Server{Handler: ih, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	cs.shard = Shard{Name: cs.name, URL: "http://" + ln.Addr().String(), JournalDir: cs.jdir}
+	cs.srv, cs.hs, cs.inflight = srv, hs, ih
+	cs.down = false
+	return nil
+}
+
+// stop kills the shard's listener and open connections, then waits out
+// already-running handlers so no WAL append races a peer's adoption replay.
+func (cs *certShard) stop() {
+	cs.mu.Lock()
+	hs, ih := cs.hs, cs.inflight
+	cs.down = true
+	cs.mu.Unlock()
+	if hs != nil {
+		_ = hs.Close()
+	}
+	if ih != nil {
+		deadline := time.Now().Add(5 * time.Second)
+		for ih.n.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func (cs *certShard) current() (Shard, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.shard, cs.down
+}
+
+// postAdmin POSTs one JSON body to a router admin endpoint.
+func postAdmin(ctx context.Context, url string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, rb)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// joinWithRetry re-POSTs a join until it lands: a just-killed shard's
+// membership entry passes through recovering (join refused, 409) before
+// failover completes and rejoin-by-name becomes possible.
+func joinWithRetry(ctx context.Context, routerURL string, sh Shard, logf func(string, ...any)) error {
+	var last error
+	for i := 0; i < 200; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = postAdmin(ctx, routerURL+"/v1/admin/join", map[string]string{
+			"name": sh.Name, "url": sh.URL, "journal_dir": sh.JournalDir,
+		})
+		if last == nil {
+			return nil
+		}
+		if strings.Contains(last.Error(), "is up;") {
+			// A concurrent join (e.g. the churn schedule's own) beat us to it.
+			return nil
+		}
+		logf("cluster cert: join %s: %v; retrying", sh.Name, last)
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("join %s: %w", sh.Name, last)
+}
+
+// drainWithRetry re-POSTs a drain until it lands. Transient 409s are part of
+// normal operation — an auto-rejoin may hold the topology-op lock, or the
+// target may momentarily be joining/recovering after a heartbeat flap — and
+// resolve within a few probe rounds. A target already left the ring counts
+// as drained.
+func drainWithRetry(ctx context.Context, routerURL, name string, logf func(string, ...any)) error {
+	var last error
+	for i := 0; i < 200; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = postAdmin(ctx, routerURL+"/v1/admin/drain", map[string]string{"shard": name})
+		if last == nil {
+			return nil
+		}
+		if strings.Contains(last.Error(), "is left;") {
+			return nil
+		}
+		logf("cluster cert: drain %s: %v; retrying", name, last)
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("drain %s: %w", name, last)
+}
+
+// waitShardsUp polls the router until shards_up reaches want.
+func waitShardsUp(ctx context.Context, rt *Router, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if rt.members.shardsUp() >= want {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("shards_up did not reach %d within %v (at %d)", want, timeout, rt.members.shardsUp())
 }
 
 // ShardCertify hosts an N-shard wire-serve cluster in-process — N shard
 // daemons with private journal directories behind one router — drives
-// loadgen through the router, kills one shard abruptly mid-run, and returns
-// the loadgen report plus the router's failover counters. The certificate
-// passes when the kill happened, a failover completed, and no session
-// failed or mismatched its in-process twin: every session the dead shard
-// owned was resurrected on a peer by journal handoff with its exactly-once
-// plan cache intact.
+// loadgen through the router while injecting the configured faults, and
+// returns the loadgen report plus the router's counters. Fault modes:
+//
+//   - KillAfter: one abrupt shard kill mid-run; the certificate passes when
+//     a failover completed and no session failed or mismatched its
+//     in-process twin.
+//   - RollingRestart: every shard in sequence is drained (graceful — its
+//     sessions migrate while it serves), stopped, restarted fresh, and
+//     rejoined; the fleet must end back at full strength with zero drops.
+//   - ChurnEvents: a seeded random kill/drain/join schedule, then the fleet
+//     is healed; the nasty interleavings (kill-during-drain,
+//     join-during-failover) come free with the right seeds.
 func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -119,6 +300,15 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 3
 	}
+	if cfg.RollingDelay <= 0 {
+		cfg.RollingDelay = 100 * time.Millisecond
+	}
+	if cfg.ChurnMinGap <= 0 {
+		cfg.ChurnMinGap = 100 * time.Millisecond
+	}
+	if cfg.ChurnMaxGap <= 0 {
+		cfg.ChurnMaxGap = 400 * time.Millisecond
+	}
 	if cfg.JournalRoot == "" {
 		dir, err := os.MkdirTemp("", "wire-serve-cluster-*")
 		if err != nil {
@@ -133,7 +323,12 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	defer func() {
 		for _, cs := range shards {
 			if cs != nil {
-				_ = cs.hs.Close()
+				cs.mu.Lock()
+				hs := cs.hs
+				cs.mu.Unlock()
+				if hs != nil {
+					_ = hs.Close()
+				}
 			}
 		}
 	}()
@@ -144,28 +339,28 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 		if err := os.MkdirAll(jdir, 0o755); err != nil {
 			return nil, fmt.Errorf("cluster cert: %w", err)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, fmt.Errorf("cluster cert: %w", err)
-		}
 		scfg := cfg.Server
 		scfg.ShardMode = true
 		scfg.JournalDir = jdir
-		srv := service.New(scfg)
-		ih := &inflightHandler{h: srv.Handler()}
-		hs := &http.Server{Handler: ih}
-		go func() { _ = hs.Serve(ln) }()
-		sh := Shard{Name: name, URL: "http://" + ln.Addr().String(), JournalDir: jdir}
-		shards[i] = &certShard{shard: sh, srv: srv, hs: hs, inflight: ih}
-		shardList[i] = sh
+		cs := &certShard{name: name, jdir: jdir, scfg: scfg}
+		if err := cs.start(); err != nil {
+			return nil, fmt.Errorf("cluster cert: %w", err)
+		}
+		shards[i] = cs
+		shardList[i], _ = cs.current()
 	}
 
 	// Start the router.
 	rt, err := NewRouter(RouterConfig{
 		Shards:            shardList,
 		HeartbeatInterval: cfg.HeartbeatInterval,
-		FailThreshold:     cfg.FailThreshold,
-		Logf:              logf,
+		// A dead listener refuses connections instantly, so a generous
+		// probe timeout costs nothing for death detection — but it keeps a
+		// merely-slow shard (fsync under load, race-detector scheduling)
+		// from flapping into spurious failovers mid-certificate.
+		HeartbeatTimeout: 2 * time.Second,
+		FailThreshold:    cfg.FailThreshold,
+		Logf:             logf,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster cert: %w", err)
@@ -177,15 +372,16 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	if err != nil {
 		return nil, fmt.Errorf("cluster cert: %w", err)
 	}
-	rhs := &http.Server{Handler: rt.Handler()}
+	rhs := &http.Server{Handler: rt.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() { _ = rhs.Serve(rln) }()
 	defer rhs.Close()
+	routerURL := "http://" + rln.Addr().String()
 
 	retry := service.DefaultChaosRetry()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
 	}
-	cfg.Loadgen.Client = service.NewClient("http://"+rln.Addr().String(), service.WithRetry(retry))
+	cfg.Loadgen.Client = service.NewClient(routerURL, service.WithRetry(retry))
 
 	resc := make(chan *service.LoadgenResult, 1)
 	errc := make(chan error, 1)
@@ -199,35 +395,84 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	}()
 
 	out := &ShardCertResult{}
-	if cfg.KillAfter > 0 {
+
+	// Fault drivers run concurrently with the loadgen; faultc reports the
+	// driver's completion (the rolling and churn certs require the full
+	// cycle to finish even if the loadgen outpaces it).
+	faultc := make(chan error, 1)
+	switch {
+	case cfg.RollingRestart:
+		go func() {
+			faultc <- rollingRestartDriver(rctx, cfg, rt, routerURL, shards, out, logf)
+		}()
+	case cfg.ChurnEvents > 0:
+		go func() {
+			faultc <- churnDriver(rctx, cfg, rt, routerURL, shards, out, logf)
+		}()
+	case cfg.KillAfter > 0:
 		victim, jitter := chaos.Plan{Seed: cfg.Seed}.ShardKillSchedule(cfg.Shards, cfg.KillJitterMax)
-		select {
-		case res := <-resc:
-			// The run outpaced the kill; certify without it.
-			out.LoadgenResult = res
-		case err := <-errc:
-			return nil, err
-		case <-time.After(cfg.KillAfter + jitter):
-			cs := shards[victim]
-			out.Killed = true
-			out.Victim = cs.shard.Name
-			logf("cluster cert: killing shard %s at %s (abrupt, no drain)", cs.shard.Name, cs.shard.URL)
-			_ = cs.hs.Close() // kills the listener and open connections mid-flight
-			// Wait out already-running handlers (see inflightHandler) so no
-			// WAL append races the peer's adoption replay.
-			deadline := time.Now().Add(5 * time.Second)
-			for cs.inflight.n.Load() > 0 && time.Now().Before(deadline) {
-				time.Sleep(2 * time.Millisecond)
+		timer := time.NewTimer(cfg.KillAfter + jitter)
+		armed := false
+		tick := time.NewTicker(5 * time.Millisecond)
+	killLoop:
+		for {
+			select {
+			case res := <-resc:
+				// The run outpaced the kill; certify without it.
+				out.LoadgenResult = res
+				break killLoop
+			case err := <-errc:
+				timer.Stop()
+				tick.Stop()
+				return nil, err
+			case <-timer.C:
+				armed = true
+			case <-tick.C:
+				// Kill only once the victim actually hosts a session: a kill
+				// landing on an empty shard exercises nothing (and on a slow
+				// -race run the fixed delay can outpace session placement).
+				if !armed {
+					continue
+				}
+				cs := shards[victim]
+				cs.mu.Lock()
+				hosted := cs.srv.Store().Len()
+				cs.mu.Unlock()
+				if hosted == 0 {
+					continue
+				}
+				sh, _ := cs.current()
+				out.Killed = true
+				out.Victim = sh.Name
+				logf("cluster cert: killing shard %s at %s (abrupt, no drain; %d session(s) aboard)", sh.Name, sh.URL, hosted)
+				cs.stop()
+				break killLoop
 			}
 		}
+		timer.Stop()
+		tick.Stop()
+		faultc <- nil
+	default:
+		faultc <- nil
 	}
-	if out.LoadgenResult == nil {
+
+	var faultErr error
+	needLoad := out.LoadgenResult == nil
+	needFault := true
+	for needLoad || needFault {
 		select {
 		case res := <-resc:
 			out.LoadgenResult = res
+			needLoad = false
 		case err := <-errc:
 			return nil, err
+		case ferr := <-faultc:
+			faultErr = ferr
+			needFault = false
 		}
+	}
+	if faultErr != nil {
+		return nil, fmt.Errorf("cluster cert: fault driver: %w", faultErr)
 	}
 
 	rc := rt.Counters()
@@ -235,5 +480,134 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	out.HandoffSessions = rc.HandoffSessionsTotal
 	out.ShardsUp = rc.ShardsUp
 	out.Recovering503 = rc.Recovering503Total
+	out.Drains = rc.DrainsTotal
+	out.Joins = rc.JoinsTotal
+	out.Migrated = rc.MigratedSessionsTotal
 	return out, nil
+}
+
+// rollingRestartDriver drains, restarts, and rejoins every shard in
+// sequence: the in-process form of a rolling fleet upgrade. Each shard's
+// sessions migrate off gracefully, the process is torn down and a fresh one
+// started on the same journal directory (and a new port), and a join pulls
+// its minimally-remapped key ranges back. The driver returns only when
+// shards_up is back to the full fleet size.
+func rollingRestartDriver(ctx context.Context, cfg ShardCertConfig, rt *Router, routerURL string, shards []*certShard, out *ShardCertResult, logf func(string, ...any)) error {
+	for _, cs := range shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sh, _ := cs.current()
+		logf("cluster cert: rolling restart: draining %s", sh.Name)
+		if err := drainWithRetry(ctx, routerURL, sh.Name, logf); err != nil {
+			return err
+		}
+		cs.stop()
+		if err := cs.start(); err != nil {
+			return fmt.Errorf("restart %s: %w", sh.Name, err)
+		}
+		nsh, _ := cs.current()
+		logf("cluster cert: rolling restart: rejoining %s at %s", nsh.Name, nsh.URL)
+		if err := joinWithRetry(ctx, routerURL, nsh, logf); err != nil {
+			return err
+		}
+		if err := waitShardsUp(ctx, rt, len(shards), 30*time.Second); err != nil {
+			return fmt.Errorf("after rejoining %s: %w", nsh.Name, err)
+		}
+		out.Restarted = append(out.Restarted, nsh.Name)
+		time.Sleep(cfg.RollingDelay)
+	}
+	return nil
+}
+
+// churnDriver applies a seeded schedule of kill/drain/join events
+// best-effort — a drain refused because the shard is already dead, or a
+// join refused because it is still failing over, is itself a wanted
+// interleaving — then heals the fleet (restart + rejoin every down shard)
+// and waits for full strength.
+func churnDriver(ctx context.Context, cfg ShardCertConfig, rt *Router, routerURL string, shards []*certShard, out *ShardCertResult, logf func(string, ...any)) error {
+	schedule := chaos.Plan{Seed: cfg.Seed}.ChurnSchedule(len(shards), cfg.ChurnEvents, cfg.ChurnMinGap, cfg.ChurnMaxGap)
+	start := time.Now()
+	for _, ev := range schedule {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		cs := shards[ev.Shard]
+		sh, down := cs.current()
+		out.ChurnApplied++
+		switch ev.Action {
+		case chaos.ChurnKill:
+			if down {
+				logf("cluster cert: churn: kill %s: already down", sh.Name)
+				continue
+			}
+			logf("cluster cert: churn: killing %s", sh.Name)
+			cs.stop()
+		case chaos.ChurnDrain:
+			logf("cluster cert: churn: draining %s", sh.Name)
+			// Async on purpose: a kill landing mid-drain is one of the
+			// interleavings this certificate exists to exercise.
+			go func(name string) {
+				if err := postAdmin(ctx, routerURL+"/v1/admin/drain", map[string]string{"shard": name}); err != nil {
+					logf("cluster cert: churn: drain %s: %v", name, err)
+				}
+			}(sh.Name)
+		case chaos.ChurnJoin:
+			if !down {
+				// Live shard: a join is a no-op interleaving unless it had
+				// drained out, in which case rejoin it.
+				go func(sh Shard) {
+					if err := postAdmin(ctx, routerURL+"/v1/admin/join", map[string]string{
+						"name": sh.Name, "url": sh.URL, "journal_dir": sh.JournalDir,
+					}); err != nil {
+						logf("cluster cert: churn: join %s: %v", sh.Name, err)
+					}
+				}(sh)
+				continue
+			}
+			if err := cs.start(); err != nil {
+				return fmt.Errorf("churn: restart %s: %w", sh.Name, err)
+			}
+			nsh, _ := cs.current()
+			logf("cluster cert: churn: restarting and joining %s at %s", nsh.Name, nsh.URL)
+			go func(sh Shard) {
+				if err := joinWithRetry(ctx, routerURL, sh, logf); err != nil {
+					logf("cluster cert: churn: %v", err)
+				}
+			}(nsh)
+		}
+	}
+	// Heal: bring every down shard back and rejoin until full strength.
+	logf("cluster cert: churn: schedule applied; healing the fleet")
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if rt.members.shardsUp() >= len(shards) {
+			return nil
+		}
+		for _, cs := range shards {
+			sh, down := cs.current()
+			if down {
+				if err := cs.start(); err != nil {
+					return fmt.Errorf("churn heal: restart %s: %w", sh.Name, err)
+				}
+				sh, _ = cs.current()
+			}
+			// Rejoin is idempotent-ish: an up member answers 409, which is
+			// fine; a left/failed one comes back.
+			if err := postAdmin(ctx, routerURL+"/v1/admin/join", map[string]string{
+				"name": sh.Name, "url": sh.URL, "journal_dir": sh.JournalDir,
+			}); err != nil {
+				logf("cluster cert: churn heal: join %s: %v", sh.Name, err)
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("churn heal: shards_up stuck at %d < %d", rt.members.shardsUp(), len(shards))
 }

@@ -103,3 +103,103 @@ func TestShardCertifyNoKill(t *testing.T) {
 		t.Errorf("shards_up = %d, want 3", res.ShardsUp)
 	}
 }
+
+// TestShardCertifyRollingRestart is the elastic certificate: every shard in
+// turn is drained, restarted as a fresh process on the same journal
+// directory, and rejoined by name — all under live traffic. Zero sessions may
+// drop and every decision stream must stay byte-identical to its in-process
+// twin. With -race this certifies the drain/join/migrate paths end to end.
+func TestShardCertifyRollingRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster certificate is slow")
+	}
+	res, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			Sessions:    18,
+			Concurrency: 3,
+			Policy:      "wire",
+			Workflow: func(seed int64) *dag.Workflow {
+				return workloads.Linear(40+int(seed%5), 300)
+			},
+			Cloud: cloud.Config{
+				SlotsPerInstance: 2,
+				LagTime:          60,
+				ChargingUnit:     300,
+				MaxInstances:     6,
+			},
+			Noise:    0.08,
+			SeedBase: 1200,
+			Verify:   true,
+		},
+		Shards:         3,
+		RollingRestart: true,
+		Seed:           23,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Sessions {
+		t.Fatalf("completed %d / failed %d of %d: %v", res.Completed, res.Failed, res.Sessions, res.Errors)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d decision streams diverged from in-process twins: %v", res.Mismatched, res.Errors)
+	}
+	if len(res.Restarted) != 3 {
+		t.Fatalf("rolled %d shards %v, want all 3", len(res.Restarted), res.Restarted)
+	}
+	if res.Drains < 3 || res.Joins < 3 {
+		t.Errorf("drains=%d joins=%d, want at least 3 of each", res.Drains, res.Joins)
+	}
+	if res.ShardsUp != 3 {
+		t.Errorf("shards_up = %d at end, want the full fleet back", res.ShardsUp)
+	}
+}
+
+// TestShardCertifyChurn runs a seeded deterministic churn schedule — kills,
+// drains, and joins interleaved at random offsets — against live traffic and
+// requires the fleet to heal back to full strength with zero lost sessions
+// and byte-identical twins.
+func TestShardCertifyChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster certificate is slow")
+	}
+	res, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			Sessions:    18,
+			Concurrency: 3,
+			Policy:      "wire",
+			Workflow: func(seed int64) *dag.Workflow {
+				return workloads.Linear(40+int(seed%5), 300)
+			},
+			Cloud: cloud.Config{
+				SlotsPerInstance: 2,
+				LagTime:          60,
+				ChargingUnit:     300,
+				MaxInstances:     6,
+			},
+			Noise:    0.08,
+			SeedBase: 1500,
+			Verify:   true,
+		},
+		Shards:      3,
+		ChurnEvents: 6,
+		Seed:        7, // interleaves a kill with a join mid-failover
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Completed != res.Sessions {
+		t.Fatalf("completed %d / failed %d of %d: %v", res.Completed, res.Failed, res.Sessions, res.Errors)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d decision streams diverged from in-process twins: %v", res.Mismatched, res.Errors)
+	}
+	if res.ChurnApplied != 6 {
+		t.Errorf("applied %d churn events, want 6", res.ChurnApplied)
+	}
+	if res.ShardsUp != 3 {
+		t.Errorf("shards_up = %d at end, want the fleet healed to 3", res.ShardsUp)
+	}
+}

@@ -6,9 +6,15 @@
 // Placement is consistent hashing: the router draws each new session's ID
 // itself, hashes it onto the ring of configured shards, and forwards the
 // create with the ID in the SessionIDHeader; every later request for that
-// session hashes to the same shard. The ring is static for a deployment —
-// shards do not join or leave at runtime — so the only membership event is
-// death, detected by the router's heartbeat loop.
+// session hashes to the same shard. The ring is elastic: shards drain out
+// gracefully (POST /v1/admin/drain migrates every hosted session to its
+// post-drain owner while the shard keeps serving, then removes it from the
+// ring), join or rejoin at runtime (POST /v1/admin/join migrates only the
+// minimally-remapped key ranges onto the newcomer), and still fail over on
+// unplanned death, detected by the router's heartbeat loop. Each topology
+// operation carries a monotone fencing epoch so a stale restarted shard
+// cannot double-serve sessions a peer has already adopted (see
+// service/handoff.go).
 //
 // Failover is journal handoff. Every shard journals its sessions to its own
 // directory (the same per-session WALs single-node wire-serve writes). When
@@ -26,7 +32,11 @@
 // The certificate is ShardCertify (`wire-serve loadgen -shards N
 // -kill-shard`): an N-shard in-process cluster under loadgen with a mid-run
 // shard kill must finish with zero dropped sessions and every decision
-// stream byte-identical to a fault-free in-process twin.
+// stream byte-identical to a fault-free in-process twin. The elastic plane
+// adds two harder runs: `-rolling-restart` drains, restarts, and rejoins
+// every shard in sequence under live traffic, and `-churn N` applies a
+// seeded random schedule of kill/drain/join events (internal/chaos) — both
+// with the same zero-drop, byte-identical bar.
 package cluster
 
 import (

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/service"
+)
+
+// postAdminT POSTs one admin request and decodes the JSON response into out.
+func postAdminT(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// planAll seeds every session's exactly-once cache at seq and records the
+// released decision bytes.
+func planAll(t *testing.T, client *service.Client, ids []string, seq int64) map[string]string {
+	t.Helper()
+	snap := readySnapshot(smallWorkflow(3))
+	out := make(map[string]string, len(ids))
+	for _, id := range ids {
+		pr, err := client.Plan(context.Background(), id, seq, snap)
+		if err != nil {
+			t.Fatalf("plan %s: %v", id, err)
+		}
+		b, _ := json.Marshal(pr.Decision)
+		out[id] = string(b)
+	}
+	return out
+}
+
+// requireCachedDecisions replays seq for every session through the router and
+// requires the byte-identical decision the original shard released.
+func requireCachedDecisions(t *testing.T, client *service.Client, want map[string]string, seq int64) {
+	t.Helper()
+	snap := readySnapshot(smallWorkflow(3))
+	for id, decision := range want {
+		pr, err := client.Plan(context.Background(), id, seq, snap)
+		if err != nil {
+			t.Fatalf("replay %s: %v", id, err)
+		}
+		b, _ := json.Marshal(pr.Decision)
+		if string(b) != decision {
+			t.Fatalf("session %s: decision changed across the topology change:\n got %s\nwant %s", id, b, decision)
+		}
+	}
+}
+
+// TestDrainMovesSessions is the graceful-decommission test: draining a shard
+// migrates every session it hosts to the surviving peers, removes it from
+// the ring, and preserves each session's exactly-once plan cache
+// byte-identically.
+func TestDrainMovesSessions(t *testing.T) {
+	rt, rts, fleet := startFleet(t, 3, RouterConfig{})
+	client := service.NewClient(rts.URL)
+	ids := createSessions(t, client, 24)
+	decisions := planAll(t, client, ids, 1)
+
+	// Drain a shard that actually hosts sessions.
+	var donor *testShard
+	for _, f := range fleet {
+		if f.srv.Store().Len() > 0 {
+			donor = f
+			break
+		}
+	}
+	if donor == nil {
+		t.Fatal("no shard hosts a session")
+	}
+	hosted := donor.srv.Store().Len()
+
+	var dr DrainResult
+	resp := postAdminT(t, rts.URL+"/v1/admin/drain", map[string]string{"shard": donor.shard.Name}, &dr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain answered %d", resp.StatusCode)
+	}
+	if dr.SessionsMoved < hosted {
+		t.Errorf("drain moved %d sessions, donor hosted %d", dr.SessionsMoved, hosted)
+	}
+	if got := donor.srv.Store().Len(); got != 0 {
+		t.Errorf("drained shard still hosts %d sessions", got)
+	}
+	if c := rt.Counters(); c.DrainsTotal != 1 || c.ShardsUp != 2 {
+		t.Errorf("counters after drain: drains=%d shards_up=%d, want 1 and 2", c.DrainsTotal, c.ShardsUp)
+	}
+	for _, name := range rt.Ring().Shards() {
+		if name == donor.shard.Name {
+			t.Errorf("drained shard %s still on the ring", name)
+		}
+	}
+
+	// Every session answers with its cached decision, and new creates avoid
+	// the departed member.
+	requireCachedDecisions(t, client, decisions, 1)
+	for _, id := range createSessions(t, client, 8) {
+		if sh, st := rt.resolve(id); st != routeOK || sh.Name == donor.shard.Name {
+			t.Errorf("new session %s resolved to %s (state %v)", id, sh.Name, st)
+		}
+	}
+
+	// Draining a shard that is not up is refused.
+	resp = postAdminT(t, rts.URL+"/v1/admin/drain", map[string]string{"shard": donor.shard.Name}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("re-drain answered %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestDrainLastShardRefused pins that the final live shard cannot drain out:
+// there is nowhere for its sessions to go.
+func TestDrainLastShardRefused(t *testing.T) {
+	_, rts, fleet := startFleet(t, 1, RouterConfig{})
+	resp := postAdminT(t, rts.URL+"/v1/admin/drain", map[string]string{"shard": fleet[0].shard.Name}, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("draining the last shard answered %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestJoinRebalances is the join-time rebalancing test: a brand-new shard
+// joins a live 2-shard cluster, only the minimally-remapped key ranges
+// migrate onto it, and every moved session's exactly-once cache survives.
+func TestJoinRebalances(t *testing.T) {
+	rt, rts, _ := startFleet(t, 2, RouterConfig{})
+	client := service.NewClient(rts.URL)
+	ids := createSessions(t, client, 24)
+	decisions := planAll(t, client, ids, 1)
+
+	// A third shard, started out-of-band (as an operator would).
+	jdir := filepath.Join(t.TempDir(), "s9")
+	newSrv := service.New(service.Config{ShardMode: true, JournalDir: jdir})
+	ts := httptest.NewServer(newSrv.Handler())
+	t.Cleanup(ts.Close)
+
+	var jr JoinResult
+	resp := postAdminT(t, rts.URL+"/v1/admin/join", map[string]string{
+		"name": "s9", "url": ts.URL, "journal_dir": jdir,
+	}, &jr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join answered %d", resp.StatusCode)
+	}
+	if jr.Rejoined {
+		t.Error("a brand-new shard reported rejoined=true")
+	}
+	if c := rt.Counters(); c.JoinsTotal != 1 || c.ShardsUp != 3 {
+		t.Errorf("counters after join: joins=%d shards_up=%d, want 1 and 3", c.JoinsTotal, c.ShardsUp)
+	}
+
+	// The ring now includes the newcomer, and the minimally-remapped
+	// sessions actually moved there.
+	onRing := false
+	for _, name := range rt.Ring().Shards() {
+		onRing = onRing || name == "s9"
+	}
+	if !onRing {
+		t.Fatal("joined shard not on the ring")
+	}
+	if got := newSrv.Store().Len(); got == 0 {
+		t.Error("no session migrated to the joined shard (24 sessions over a 2→3 rebalance should remap some)")
+	} else if got != jr.SessionsMoved {
+		t.Errorf("joined shard hosts %d sessions, join reported %d moved", got, jr.SessionsMoved)
+	}
+
+	requireCachedDecisions(t, client, decisions, 1)
+}
+
+// TestRejoinAfterFailoverFencing is the acceptance fencing test: a shard is
+// killed, its sessions fail over to a peer, and a RESTARTED process on the
+// same journal directory must come up empty (its WALs are fenced) while the
+// STALE still-running process is refused when it tries to release a decision
+// — no double-serve from either incarnation. The restarted process then
+// rejoins by name and serves again through the authoritative path.
+func TestRejoinAfterFailoverFencing(t *testing.T) {
+	rt, rts, fleet := startFleet(t, 3, RouterConfig{
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailThreshold:     2,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	client := service.NewClient(rts.URL)
+	ids := createSessions(t, client, 18)
+	decisions := planAll(t, client, ids, 1)
+
+	victim := -1
+	for i, f := range fleet {
+		if f.srv.Store().Len() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		t.Fatal("no shard hosts a session")
+	}
+	staleSrv := fleet[victim].srv // keeps running in-process: the stale incarnation
+	victimName := fleet[victim].shard.Name
+	var victimSession string
+	for _, id := range ids {
+		if _, err := staleSrv.Store().Get(id); err == nil {
+			victimSession = id
+			break
+		}
+	}
+
+	go rt.Run(ctx)
+	fleet[victim].ts.CloseClientConnections()
+	fleet[victim].ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Counters().HandoffSessionsTotal == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rt.Counters().HandoffSessionsTotal == 0 {
+		t.Fatal("failover never completed")
+	}
+
+	// A restarted process on the same journal dir comes up EMPTY: every WAL
+	// was fenced by the adoption.
+	freshSrv := service.New(service.Config{ShardMode: true, JournalDir: fleet[victim].shard.JournalDir})
+	if got := freshSrv.Store().Len(); got != 0 {
+		t.Fatalf("restarted shard resurrected %d fenced sessions", got)
+	}
+
+	// The STALE incarnation must withhold new decisions: a direct plan at a
+	// fresh seq against its still-live handler is refused with
+	// session_fenced, not answered.
+	snap := readySnapshot(smallWorkflow(3))
+	body, err := monitor.AppendSnapshotJSON(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/sessions/"+victimSession+"/plan", bytes.NewReader(body))
+	req.Header.Set(service.PlanSeqHeader, "2")
+	rec := httptest.NewRecorder()
+	staleSrv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stale shard answered plan with %d, want 503 (double-serve!)", rec.Code)
+	}
+	var eb service.ErrorBody
+	if err := json.NewDecoder(rec.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != service.CodeSessionFenced {
+		t.Errorf("stale shard error code %q, want %q", eb.Code, service.CodeSessionFenced)
+	}
+
+	// Rejoin-by-name: the fresh process takes the victim's place on the ring
+	// (new URL), and the cluster serves every session again — cached
+	// decisions intact.
+	fts := httptest.NewServer(freshSrv.Handler())
+	t.Cleanup(fts.Close)
+	var jr JoinResult
+	var resp *http.Response
+	for i := 0; i < 100; i++ { // the member may still be mid-failover
+		resp = postAdminT(t, rts.URL+"/v1/admin/join", map[string]string{
+			"name": victimName, "url": fts.URL, "journal_dir": fleet[victim].shard.JournalDir,
+		}, &jr)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rejoin answered %d", resp.StatusCode)
+	}
+	if !jr.Rejoined {
+		t.Error("rejoin-by-name reported rejoined=false")
+	}
+	if up := rt.Counters().ShardsUp; up != 3 {
+		t.Errorf("shards_up = %d after rejoin, want 3", up)
+	}
+	requireCachedDecisions(t, client, decisions, 1)
+}
+
+// TestFailoverRetryPicksNewAdopter pins that a failover whose chosen adopter
+// is itself dead re-selects a live peer: with both s0 and s1 killed, both
+// failovers must terminate on s2 — whichever order the deaths are detected,
+// an adoption attempt against the dead next-in-order peer fails and the
+// retry walks on.
+func TestFailoverRetryPicksNewAdopter(t *testing.T) {
+	rt, rts, fleet := startFleet(t, 3, RouterConfig{
+		HeartbeatInterval: 10 * time.Millisecond,
+		FailThreshold:     2,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	client := service.NewClient(rts.URL)
+	ids := createSessions(t, client, 18)
+	decisions := planAll(t, client, ids, 1)
+
+	go rt.Run(ctx)
+	for _, i := range []int{0, 1} {
+		fleet[i].ts.CloseClientConnections()
+		fleet[i].ts.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rt.members.mu.Lock()
+		done := rt.members.members["s0"].state == memberFailed && rt.members.members["s1"].state == memberFailed
+		rt.members.mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, name := range []string{"s0", "s1"} {
+		sh, st := rt.members.follow(name)
+		if st != routeOK || sh.Name != "s2" {
+			t.Fatalf("%s routes to %q (state %v), want the sole survivor s2", name, sh.Name, st)
+		}
+	}
+	// Every session answers from the survivor with its cache intact.
+	retryClient := service.NewClient(rts.URL, service.WithRetry(service.DefaultChaosRetry()))
+	snap := readySnapshot(smallWorkflow(3))
+	for id, want := range decisions {
+		pr, err := retryClient.Plan(context.Background(), id, 1, snap)
+		if err != nil {
+			t.Fatalf("session %s lost in double failover: %v", id, err)
+		}
+		b, _ := json.Marshal(pr.Decision)
+		if string(b) != want {
+			t.Fatalf("session %s: decision changed: %s != %s", id, b, want)
+		}
+	}
+}
+
+// TestPickAdopterUnknownDead pins the explicit error for a dead shard that is
+// missing from the membership order — a table-corruption-class bug must not
+// silently adopt from position zero.
+func TestPickAdopterUnknownDead(t *testing.T) {
+	rt, _, _ := startFleet(t, 2, RouterConfig{})
+	_, _, err := rt.members.pickAdopter("ghost")
+	if err == nil || !strings.Contains(err.Error(), "not in the membership order") {
+		t.Fatalf("pickAdopter(ghost) = %v, want a membership-order error", err)
+	}
+}

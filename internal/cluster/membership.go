@@ -14,11 +14,11 @@ import (
 	"repro/internal/service"
 )
 
-// memberState is the lifecycle of one shard in the membership table. There
-// is no rejoin: the shard map is static, so the only transitions are
-// up → recovering (declared dead) → failed (journals handed off). A restarted
-// shard process re-enters service as the target of a *new* deployment's
-// shard map, not by resurrecting its old identity mid-run.
+// memberState is the lifecycle of one shard in the membership table. PR 7's
+// one-way up → recovering → failed lifecycle is now a full elastic state
+// machine: shards drain out gracefully (up → draining → left), join or
+// rejoin by name (unknown/left/failed → joining → up), and still fail over
+// on unplanned death (any serving state → recovering → failed).
 type memberState int
 
 const (
@@ -28,6 +28,17 @@ const (
 	memberRecovering
 	// memberFailed: handoff complete; requests follow the adopter pointer.
 	memberFailed
+	// memberDraining: being decommissioned. Takes no new sessions; existing
+	// sessions keep answering here until the drain migration moves each to
+	// its post-drain owner.
+	memberDraining
+	// memberLeft: drained out. Off the placement ring, owns nothing; the
+	// table keeps the entry so the name can rejoin later.
+	memberLeft
+	// memberJoining: being added (or re-added) to the ring. Serves whatever
+	// sessions the join migration has already handed it, but takes no new
+	// creates until the join commits.
+	memberJoining
 )
 
 func (s memberState) String() string {
@@ -38,64 +49,136 @@ func (s memberState) String() string {
 		return "recovering"
 	case memberFailed:
 		return "failed"
+	case memberDraining:
+		return "draining"
+	case memberLeft:
+		return "left"
+	case memberJoining:
+		return "joining"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
 }
 
-type member struct {
-	shard   Shard
-	state   memberState
-	misses  int
-	adopter string
-	// dirs are the journal directories this member currently owns: its own,
-	// plus every directory it adopted. They move as a unit on failover, so a
-	// twice-failed-over session is still found by whoever holds its WAL.
-	dirs []string
+// serving reports whether a member in this state answers session traffic
+// (and is therefore heartbeat-probed and eligible to fail over).
+func (s memberState) serving() bool {
+	return s == memberUp || s == memberDraining || s == memberJoining
 }
 
-// membership is the router's shard liveness table and failover engine. One
-// mutex guards the whole table — routing reads are a map lookup and a state
-// switch, far off any hot path the shards themselves wouldn't dominate.
-type membership struct {
-	cfg   RouterConfig
-	order []string
+type member struct {
+	shard  Shard
+	state  memberState
+	misses int
+	// adopter points at the member now serving this member's sessions after
+	// a death failover (state memberFailed). Chains are followed
+	// transitively — the adopter may itself have failed over later.
+	adopter string
+	// comebacks counts consecutive successful probes of a failed member —
+	// its process answering again at the recorded URL. At FailThreshold the
+	// prober auto-rejoins it; rejoining guards against spawning twice.
+	comebacks int
+	rejoining bool
+}
 
-	mu      sync.Mutex
+// membership is the router's shard liveness table, failover engine, and —
+// since the control plane went elastic — the owner of the placement ring and
+// of the per-session routing overrides a planned migration leaves behind.
+// One mutex guards the whole table; routing reads are a map lookup and a
+// state switch, far off any hot path the shards themselves wouldn't
+// dominate.
+type membership struct {
+	cfg RouterConfig
+
+	mu    sync.Mutex
+	order []string
+	// members holds every name ever seen, including left and failed ones
+	// (their entries keep adopter pointers and allow rejoin-by-name).
 	members map[string]*member
-	ctx     context.Context
+	// ring is the current placement ring; drain and join swap it. ringNames
+	// tracks the names it was built from, in construction order.
+	ring      *Ring
+	ringNames []string
+	// overrides maps session ID → member name for sessions a planned
+	// migration moved off their ring resolution. Resolved through the same
+	// adopter-chasing as ring owners, so an override target that later dies
+	// still routes to its adopter. Compacted when ring resolution catches
+	// up (after the op's ring swap) and on session deletion.
+	overrides map[string]string
+	// migrating holds session IDs mid-handoff: exported from their donor
+	// but not yet adopted by their target. Requests answer 503 and retry.
+	migrating map[string]bool
+	// epoch is the cluster fencing epoch, bumped once per topology
+	// operation (failover, drain, join) and carried on every adopt/export
+	// so shards can reject requests from a stale view of the world.
+	epoch int64
+	// graceUntil extends the elastic 404 grace window (see inGrace) past
+	// the end of an operation, covering the repair pass.
+	graceUntil time.Time
+	ctx        context.Context
+
+	// opMu serializes drain/join operations; concurrent admin requests get
+	// 409 rather than interleaved migrations.
+	opMu     sync.Mutex
+	opActive atomic.Bool
 
 	failovers       atomic.Int64
 	handoffSessions atomic.Int64
+	drains          atomic.Int64
+	joins           atomic.Int64
+	migrated        atomic.Int64
 }
 
-func newMembership(cfg RouterConfig) *membership {
+func newMembership(cfg RouterConfig, ring *Ring, names []string) *membership {
 	ms := &membership{
-		cfg:     cfg,
-		order:   make([]string, 0, len(cfg.Shards)),
-		members: make(map[string]*member, len(cfg.Shards)),
+		cfg:       cfg,
+		order:     make([]string, 0, len(cfg.Shards)),
+		members:   make(map[string]*member, len(cfg.Shards)),
+		ring:      ring,
+		ringNames: append([]string(nil), names...),
+		overrides: make(map[string]string),
+		migrating: make(map[string]bool),
 	}
 	for _, sh := range cfg.Shards {
 		ms.order = append(ms.order, sh.Name)
-		ms.members[sh.Name] = &member{shard: sh, dirs: []string{sh.JournalDir}}
+		ms.members[sh.Name] = &member{shard: sh}
 	}
 	return ms
 }
 
-// follow resolves a ring owner to the shard currently serving its sessions,
+// currentRing returns the placement ring (swapped by drain/join).
+func (ms *membership) currentRing() *Ring {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.ring
+}
+
+// nextEpoch issues a fresh fencing epoch for one topology operation.
+func (ms *membership) nextEpoch() int64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.epoch++
+	return ms.epoch
+}
+
+// follow resolves a member name to the shard currently serving its sessions,
 // chasing adopter pointers across completed handoffs.
 func (ms *membership) follow(name string) (Shard, routeState) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
+	return ms.followLocked(name)
+}
+
+func (ms *membership) followLocked(name string) (Shard, routeState) {
 	for hops := 0; hops <= len(ms.order); hops++ {
 		m := ms.members[name]
 		if m == nil {
 			return Shard{}, routeRecovering
 		}
-		switch m.state {
-		case memberUp:
+		switch {
+		case m.state.serving():
 			return m.shard, routeOK
-		case memberFailed:
+		case m.state == memberFailed && m.adopter != "":
 			name = m.adopter
 		default:
 			return m.shard, routeRecovering
@@ -104,8 +187,61 @@ func (ms *membership) follow(name string) (Shard, routeState) {
 	return Shard{}, routeRecovering
 }
 
-// Run probes shard liveness until ctx is canceled. Failover goroutines it
-// spawns inherit ctx.
+// resolveSession maps a session ID to the shard currently serving it: a
+// migration override when one exists, else the ring owner, then across
+// adopter chains. A session mid-migration answers routeRecovering until its
+// adopt lands.
+func (ms *membership) resolveSession(id string) (Shard, routeState) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.resolveSessionLocked(id)
+}
+
+func (ms *membership) resolveSessionLocked(id string) (Shard, routeState) {
+	if ms.migrating[id] {
+		return Shard{}, routeRecovering
+	}
+	name, ok := ms.overrides[id]
+	if !ok {
+		name = ms.ring.Owner(id)
+	}
+	return ms.followLocked(name)
+}
+
+// resolveCreate places a NEW session: the ring owner followed across
+// adopters, but only a fully-up terminal accepts creates — draining members
+// are leaving and joining members aren't committed yet, so the router
+// redraws the ID instead.
+func (ms *membership) resolveCreate(id string) (Shard, routeState) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	sh, st := ms.followLocked(ms.ring.Owner(id))
+	if st != routeOK {
+		return Shard{}, routeRecovering
+	}
+	if m := ms.members[sh.Name]; m == nil || m.state != memberUp {
+		return Shard{}, routeRecovering
+	}
+	return sh, routeOK
+}
+
+// ownerName reports the ring owner's name for error messages.
+func (ms *membership) ownerName(id string) string {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.ring.Owner(id)
+}
+
+// dropOverride forgets a session's migration override (deleted or truly
+// gone sessions must not pin table entries forever).
+func (ms *membership) dropOverride(id string) {
+	ms.mu.Lock()
+	delete(ms.overrides, id)
+	ms.mu.Unlock()
+}
+
+// Run probes shard liveness until ctx is canceled. Failover goroutines and
+// admin-triggered migrations inherit ctx.
 func (rt *Router) Run(ctx context.Context) {
 	rt.members.run(ctx)
 }
@@ -126,14 +262,28 @@ func (ms *membership) run(ctx context.Context) {
 	}
 }
 
-// probeAll heartbeats every live member concurrently and waits for the
+// opCtx is the context long-running elastic operations run under: the
+// router's Run context when available (migrations must survive the admin
+// HTTP request that triggered them), else Background.
+func (ms *membership) opCtx() context.Context {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.ctx != nil {
+		return ms.ctx
+	}
+	return context.Background()
+}
+
+// probeAll heartbeats every serving member concurrently and waits for the
 // round, so one slow shard cannot delay another's death detection by more
-// than the probe timeout.
+// than the probe timeout. Failed members are probed too: a process that
+// comes back at its recorded URL (supervisor restart, healed partition)
+// earns an automatic rejoin after FailThreshold consecutive answers.
 func (ms *membership) probeAll(ctx context.Context) {
 	ms.mu.Lock()
 	targets := make([]Shard, 0, len(ms.order))
 	for _, name := range ms.order {
-		if m := ms.members[name]; m.state == memberUp {
+		if m := ms.members[name]; m.state.serving() || m.state == memberFailed {
 			targets = append(targets, m.shard)
 		}
 	}
@@ -174,18 +324,64 @@ func (ms *membership) probe(ctx context.Context, sh Shard) {
 
 func (ms *membership) noteSuccess(name string) {
 	ms.mu.Lock()
-	if m := ms.members[name]; m != nil && m.state == memberUp {
+	m := ms.members[name]
+	if m == nil {
+		ms.mu.Unlock()
+		return
+	}
+	if m.state.serving() {
 		m.misses = 0
+		ms.mu.Unlock()
+		return
+	}
+	if m.state != memberFailed {
+		ms.mu.Unlock()
+		return
+	}
+	// A failed member answering again: require a full threshold of
+	// consecutive answers (hysteresis against flap) before rejoining it.
+	m.comebacks++
+	if m.comebacks < ms.cfg.FailThreshold || m.rejoining {
+		ms.mu.Unlock()
+		return
+	}
+	m.rejoining = true
+	sh := m.shard
+	ms.mu.Unlock()
+	ms.cfg.Logf("wire-serve route: failed shard %s is answering health probes again; auto-rejoining", name)
+	go ms.autoRejoin(sh)
+}
+
+// autoRejoin puts a recovered failed member back on the ring via the normal
+// join path (minimal migration, fresh fencing epoch). Errors are expected —
+// another topology op may hold the lock, or an operator may have joined it
+// first — and simply leave the member eligible for the next probe round.
+func (ms *membership) autoRejoin(sh Shard) {
+	res, err := ms.join(ms.opCtx(), sh)
+	ms.mu.Lock()
+	if m := ms.members[sh.Name]; m != nil {
+		m.rejoining = false
+		m.comebacks = 0
 	}
 	ms.mu.Unlock()
+	if err != nil {
+		ms.cfg.Logf("wire-serve route: auto-rejoin of %s failed: %v; will retry while it keeps answering", sh.Name, err)
+		return
+	}
+	ms.cfg.Logf("wire-serve route: auto-rejoined %s: %d session(s) moved back (epoch %d)", sh.Name, res.SessionsMoved, res.Epoch)
 }
 
 // noteFailure records one heartbeat miss (or proxy transport error) and
-// declares the shard dead at the threshold, spawning the failover.
+// declares the shard dead at the threshold, spawning the failover. Draining
+// and joining members die like up ones — kill-during-drain falls back to
+// the unplanned-death path.
 func (ms *membership) noteFailure(name string) {
 	ms.mu.Lock()
 	m := ms.members[name]
-	if m == nil || m.state != memberUp {
+	if m == nil || !m.state.serving() {
+		if m != nil && m.state == memberFailed {
+			m.comebacks = 0
+		}
 		ms.mu.Unlock()
 		return
 	}
@@ -194,6 +390,7 @@ func (ms *membership) noteFailure(name string) {
 		ms.mu.Unlock()
 		return
 	}
+	was := m.state
 	m.state = memberRecovering
 	misses := m.misses
 	ctx := ms.ctx
@@ -202,72 +399,153 @@ func (ms *membership) noteFailure(name string) {
 		ctx = context.Background()
 	}
 	ms.failovers.Add(1)
-	ms.cfg.Logf("wire-serve route: shard %s declared dead after %d consecutive failures; starting journal handoff", name, misses)
+	ms.cfg.Logf("wire-serve route: shard %s (%s) declared dead after %d consecutive failures; starting journal handoff", name, was, misses)
 	go ms.failover(ctx, name)
 }
 
 // pickAdopter chooses the surviving peer that inherits a dead shard's
-// journals: the first live shard after the dead one in shard-map order
-// (wrapping), so the choice is deterministic and spreads consecutive deaths
-// across the fleet. It also snapshots the dead member's directory list under
-// the same lock, so the handoff always moves a consistent set.
-func (ms *membership) pickAdopter(dead string) (adopter string, dirs []string) {
+// journal directory: the first live shard after the dead one in membership
+// order (wrapping), so the choice is deterministic and spreads consecutive
+// deaths across the fleet. The dead shard missing from the order is a
+// table-corruption-class bug, reported as an explicit error rather than
+// silently adopting from position zero.
+func (ms *membership) pickAdopter(dead string) (adopter string, dirs []string, err error) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
-	idx := 0
+	idx := -1
 	for i, n := range ms.order {
 		if n == dead {
 			idx = i
 			break
 		}
 	}
+	if idx == -1 {
+		return "", nil, fmt.Errorf("cluster: dead shard %q is not in the membership order %v", dead, ms.order)
+	}
+	deadM := ms.members[dead]
+	if deadM == nil {
+		return "", nil, fmt.Errorf("cluster: dead shard %q has no membership entry", dead)
+	}
 	for off := 1; off <= len(ms.order); off++ {
 		name := ms.order[(idx+off)%len(ms.order)]
+		if name == dead {
+			continue
+		}
 		if m := ms.members[name]; m != nil && m.state == memberUp {
-			return name, append([]string(nil), ms.members[dead].dirs...)
+			return name, []string{deadM.shard.JournalDir}, nil
 		}
 	}
-	return "", nil
+	return "", nil, nil
 }
 
-// failover hands the dead shard's journal directories to a surviving peer
-// and re-points routing at it. It retries (re-selecting the adopter each
+// failover hands the dead shard's journal directory to a surviving peer and
+// re-points routing at it. It retries (re-selecting the adopter each
 // attempt — the first choice may itself die) until the handoff lands or ctx
 // ends; until then the dead shard's sessions answer 503 shard_recovering.
+// Adoption copies each WAL into the adopter's own journal directory and
+// fences the source, so a later failover of the adopter moves everything it
+// holds, and a stale process still appending to the source is rejected.
 func (ms *membership) failover(ctx context.Context, dead string) {
+	epoch := ms.nextEpoch()
+	attempted := false
 	for ctx.Err() == nil {
-		adopter, dirs := ms.pickAdopter(dead)
+		// A join (operator, auto-rejoin, or cluster-down bootstrap) may have
+		// taken the member over while this goroutine slept; adopting its
+		// journal now would fence a live writer. Stand down.
+		ms.mu.Lock()
+		dm := ms.members[dead]
+		stillDead := dm != nil && dm.state == memberRecovering
+		ms.mu.Unlock()
+		if !stillDead {
+			ms.cfg.Logf("wire-serve route: failover of %s stood down: member no longer awaiting handoff", dead)
+			return
+		}
+		// Re-probe the "dead" shard once more before touching its journal:
+		// a scheduling stall can push a perfectly healthy member past the
+		// fail threshold (it can even flap every member at once, and with
+		// no recovering→up path the fleet would wedge in "no live peer"
+		// forever). A shard that answers here was declared spuriously —
+		// revive it instead of fencing it out. Only safe while no adoption
+		// was attempted: a timed-out attempt may have fenced part of the
+		// journal mid-copy, after which the member must stay down until a
+		// full handoff lands.
+		if !attempted && ms.reviveIfHealthy(ctx, dead) {
+			return
+		}
+		adopter, dirs, err := ms.pickAdopter(dead)
+		if err != nil {
+			ms.cfg.Logf("wire-serve route: failover of %s aborted: %v", dead, err)
+			return
+		}
 		if adopter == "" {
 			ms.cfg.Logf("wire-serve route: no live peer to adopt %s; cluster is down, retrying", dead)
 			sleepCtx(ctx, ms.cfg.HeartbeatInterval)
 			continue
 		}
-		n, err := ms.adopt(ctx, adopter, dead, dirs)
+		attempted = true
+		n, err := ms.adopt(ctx, adopter, service.AdoptRequest{JournalDirs: dirs, From: dead, Epoch: epoch})
 		if err != nil {
 			ms.cfg.Logf("wire-serve route: handoff %s -> %s failed: %v; retrying", dead, adopter, err)
 			sleepCtx(ctx, ms.cfg.HeartbeatInterval)
+			// A drain or join that ran since we started may have advanced
+			// the cluster past our epoch, which makes it permanently stale
+			// (adopters reject it with 409). Claim a fresh one per retry.
+			epoch = ms.nextEpoch()
 			continue
 		}
 		ms.mu.Lock()
-		deadM, adM := ms.members[dead], ms.members[adopter]
-		adM.dirs = append(adM.dirs, deadM.dirs...)
-		deadM.dirs = nil
-		deadM.adopter = adopter
-		deadM.state = memberFailed
+		deadM := ms.members[dead]
+		if deadM.state == memberRecovering {
+			deadM.adopter = adopter
+			deadM.state = memberFailed
+		}
 		ms.mu.Unlock()
 		ms.handoffSessions.Add(int64(n))
-		ms.cfg.Logf("wire-serve route: handoff complete: %s adopted %d session(s) from %s", adopter, n, dead)
+		ms.cfg.Logf("wire-serve route: handoff complete: %s adopted %d session(s) from %s (epoch %d)", adopter, n, dead, epoch)
 		return
 	}
 }
 
-// adopt POSTs the handoff to the adopter's admin endpoint and returns how
-// many sessions it resurrected.
-func (ms *membership) adopt(ctx context.Context, adopter, dead string, dirs []string) (int, error) {
+// reviveIfHealthy re-probes a member declared dead and, if it answers its
+// health check while still awaiting an adopter, restores it to up. A member
+// that was draining or joining when it flapped comes back as plain up; if
+// the interrupted op left it off the ring, a retried join repairs that. The
+// caller must ensure no adoption was ever attempted for this declaration.
+func (ms *membership) reviveIfHealthy(ctx context.Context, dead string) bool {
 	ms.mu.Lock()
-	url := ms.members[adopter].shard.URL
+	m := ms.members[dead]
+	if m == nil || m.state != memberRecovering {
+		ms.mu.Unlock()
+		return false
+	}
+	sh := m.shard
 	ms.mu.Unlock()
-	body, err := json.Marshal(service.AdoptRequest{JournalDirs: dirs, From: dead})
+	if err := ms.checkHealth(ctx, sh); err != nil {
+		return false
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if m := ms.members[dead]; m != nil && m.state == memberRecovering {
+		m.state = memberUp
+		m.misses = 0
+		ms.cfg.Logf("wire-serve route: shard %s answered its health probe with no adopter available; reviving it (spurious death declaration)", dead)
+		return true
+	}
+	return false
+}
+
+// adopt POSTs a handoff to the adopter's admin endpoint and returns how
+// many sessions it now hosts of the offered set.
+func (ms *membership) adopt(ctx context.Context, adopter string, areq service.AdoptRequest) (int, error) {
+	ms.mu.Lock()
+	m := ms.members[adopter]
+	if m == nil {
+		ms.mu.Unlock()
+		return 0, fmt.Errorf("adopt: unknown shard %q", adopter)
+	}
+	url := m.shard.URL
+	ms.mu.Unlock()
+	body, err := json.Marshal(areq)
 	if err != nil {
 		return 0, err
 	}
@@ -294,7 +572,9 @@ func (ms *membership) adopt(ctx context.Context, adopter, dead string, dirs []st
 	return ar.Sessions, nil
 }
 
-// shardsUp counts live members.
+// shardsUp counts fully-up members (draining and joining are transitional
+// and excluded — shards_up regaining its full count is the rolling-restart
+// smoke's completion signal).
 func (ms *membership) shardsUp() int {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
@@ -313,23 +593,27 @@ func (ms *membership) status() map[string]ShardStatus {
 	defer ms.mu.Unlock()
 	out := make(map[string]ShardStatus, len(ms.members))
 	for name, m := range ms.members {
+		var dirs []string
+		if m.state.serving() || m.state == memberRecovering {
+			dirs = []string{m.shard.JournalDir}
+		}
 		out[name] = ShardStatus{
 			URL:         m.shard.URL,
 			State:       m.state.String(),
 			Adopter:     m.adopter,
-			JournalDirs: append([]string(nil), m.dirs...),
+			JournalDirs: dirs,
 		}
 	}
 	return out
 }
 
-// upShards snapshots the live members' shards (metrics aggregation).
+// upShards snapshots the serving members' shards (metrics aggregation).
 func (ms *membership) upShards() []Shard {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	out := make([]Shard, 0, len(ms.order))
 	for _, name := range ms.order {
-		if m := ms.members[name]; m.state == memberUp {
+		if m := ms.members[name]; m.state.serving() {
 			out = append(out, m.shard)
 		}
 	}

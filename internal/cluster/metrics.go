@@ -14,13 +14,17 @@ import (
 // RouterCounters are the router's own counters, separate from anything the
 // shards report.
 type RouterCounters struct {
-	ShardsUp             int   `json:"shards_up"`
-	FailoversTotal       int64 `json:"failovers_total"`
-	HandoffSessionsTotal int64 `json:"handoff_sessions_total"`
-	ProxiedTotal         int64 `json:"proxied_total"`
-	ProxyErrorsTotal     int64 `json:"proxy_errors_total"`
-	Recovering503Total   int64 `json:"recovering_503_total"`
-	UptimeS              int64 `json:"uptime_s"`
+	ShardsUp              int   `json:"shards_up"`
+	FailoversTotal        int64 `json:"failovers_total"`
+	HandoffSessionsTotal  int64 `json:"handoff_sessions_total"`
+	DrainsTotal           int64 `json:"drains_total"`
+	JoinsTotal            int64 `json:"joins_total"`
+	MigratedSessionsTotal int64 `json:"migrated_sessions_total"`
+	Epoch                 int64 `json:"epoch"`
+	ProxiedTotal          int64 `json:"proxied_total"`
+	ProxyErrorsTotal      int64 `json:"proxy_errors_total"`
+	Recovering503Total    int64 `json:"recovering_503_total"`
+	UptimeS               int64 `json:"uptime_s"`
 }
 
 // ShardStatus is one membership-table row as exposed on /metrics.
@@ -44,14 +48,21 @@ type ClusterMetricsDump struct {
 
 // Counters snapshots the router-side counters (certificates, tests).
 func (rt *Router) Counters() RouterCounters {
+	rt.members.mu.Lock()
+	epoch := rt.members.epoch
+	rt.members.mu.Unlock()
 	return RouterCounters{
-		ShardsUp:             rt.members.shardsUp(),
-		FailoversTotal:       rt.members.failovers.Load(),
-		HandoffSessionsTotal: rt.members.handoffSessions.Load(),
-		ProxiedTotal:         rt.proxied.Load(),
-		ProxyErrorsTotal:     rt.proxyErrors.Load(),
-		Recovering503Total:   rt.recovering503.Load(),
-		UptimeS:              int64(rt.cfg.Clock().Sub(rt.start) / time.Second),
+		ShardsUp:              rt.members.shardsUp(),
+		FailoversTotal:        rt.members.failovers.Load(),
+		HandoffSessionsTotal:  rt.members.handoffSessions.Load(),
+		DrainsTotal:           rt.members.drains.Load(),
+		JoinsTotal:            rt.members.joins.Load(),
+		MigratedSessionsTotal: rt.members.migrated.Load(),
+		Epoch:                 epoch,
+		ProxiedTotal:          rt.proxied.Load(),
+		ProxyErrorsTotal:      rt.proxyErrors.Load(),
+		Recovering503Total:    rt.recovering503.Load(),
+		UptimeS:               int64(rt.cfg.Clock().Sub(rt.start) / time.Second),
 	}
 }
 

@@ -14,8 +14,8 @@ import (
 
 // RouterConfig tunes the routing front end.
 type RouterConfig struct {
-	// Shards is the static shard map. Required, immutable for the router's
-	// lifetime.
+	// Shards is the initial shard map. Required, but no longer immutable:
+	// POST /v1/admin/drain and /v1/admin/join reshape the fleet at runtime.
 	Shards []Shard
 	// VNodes is the ring's virtual-node count per shard (DefaultVNodes).
 	VNodes int
@@ -79,12 +79,11 @@ func (c RouterConfig) withDefaults() RouterConfig {
 }
 
 // Router is the stateless routing front end: it owns no session state, only
-// the ring, the membership table, and counters — everything it serves is
-// reconstructed by asking shards. Kill a router and start another on the
-// same shard map and nothing is lost.
+// the membership table (which owns the ring) and counters — everything it
+// serves is reconstructed by asking shards. Kill a router and start another
+// on the same shard map and nothing is lost.
 type Router struct {
 	cfg     RouterConfig
-	ring    *Ring
 	members *membership
 	mux     *http.ServeMux
 	start   time.Time
@@ -94,7 +93,7 @@ type Router struct {
 	recovering503 atomic.Int64
 }
 
-// NewRouter builds a router over a static shard map.
+// NewRouter builds a router over the initial shard map.
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	if err := ValidateShards(cfg.Shards); err != nil {
 		return nil, err
@@ -110,14 +109,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	rt := &Router{
 		cfg:     cfg,
-		ring:    ring,
-		members: newMembership(cfg),
+		members: newMembership(cfg, ring, names),
 		start:   cfg.Clock(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
 	mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
 	mux.HandleFunc("/v1/sessions/{id}/{verb}", rt.handleSession)
+	mux.HandleFunc("POST /v1/admin/drain", rt.handleDrain)
+	mux.HandleFunc("POST /v1/admin/join", rt.handleJoin)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux = mux
@@ -127,25 +127,26 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 // Handler returns the router's HTTP handler; safe for concurrent use.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
-// Ring exposes the placement ring (tests, startup logging).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// Ring exposes the current placement ring (tests, startup logging). Drain
+// and join swap it; take a fresh snapshot rather than caching the pointer.
+func (rt *Router) Ring() *Ring { return rt.members.currentRing() }
 
 // routeState is one resolution outcome.
 type routeState int
 
 const (
 	routeOK routeState = iota
-	// routeRecovering: the owning shard is dead and its journals have not
-	// finished replaying on a peer — the caller must answer 503.
+	// routeRecovering: the session's current host cannot answer yet — its
+	// owning shard is dead with journals not yet replayed on a peer, or the
+	// session itself is mid-migration. The caller must answer 503.
 	routeRecovering
 )
 
-// resolve maps a session ID to the shard currently serving it: the ring
-// owner, then across journal handoffs (a failed shard's sessions follow its
-// adopter, transitively — the adopter may itself have failed over later).
+// resolve maps a session ID to the shard currently serving it: a migration
+// override when one exists, else the ring owner, then across journal
+// handoffs (a failed shard's sessions follow its adopter, transitively).
 func (rt *Router) resolve(id string) (Shard, routeState) {
-	name := rt.ring.Owner(id)
-	return rt.members.follow(name)
+	return rt.members.resolveSession(id)
 }
 
 func (rt *Router) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -155,8 +156,9 @@ func (rt *Router) writeError(w http.ResponseWriter, status int, code, format str
 }
 
 // writeRecovering is the satellite contract: while a failed shard's journals
-// are replaying, clients get an explicit 503 + Retry-After + a distinct
-// error code instead of being routed into a half-recovered peer.
+// are replaying (or a session is mid-migration), clients get an explicit 503
+// + Retry-After + a distinct error code instead of being routed into a
+// half-recovered peer.
 func (rt *Router) writeRecovering(w http.ResponseWriter, shard string) {
 	rt.recovering503.Add(1)
 	secs := int(rt.cfg.RetryAfter.Round(time.Second) / time.Second)
@@ -170,49 +172,109 @@ func (rt *Router) writeRecovering(w http.ResponseWriter, shard string) {
 
 // handleCreate places a new session: the router draws the ID so it can
 // consistent-hash placement before forwarding, and redraws (bounded) if the
-// drawn owner is mid-failover — new sessions should land on live shards
-// rather than wait out a recovery they have no stake in.
+// drawn owner is mid-failover, draining, or joining — new sessions should
+// land on fully-up shards rather than wait out a transition they have no
+// stake in.
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var (
 		id    string
 		shard Shard
 		state routeState
 	)
+	state = routeRecovering
 	for attempt := 0; attempt < 16; attempt++ {
 		var err error
 		if id, err = service.NewSessionID(); err != nil {
 			rt.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 			return
 		}
-		if shard, state = rt.resolve(id); state == routeOK {
+		if shard, state = rt.members.resolveCreate(id); state == routeOK {
 			break
 		}
 	}
 	if state != routeOK {
-		rt.writeRecovering(w, rt.ring.Owner(id))
+		rt.writeRecovering(w, rt.members.ownerName(id))
 		return
 	}
-	rt.proxy(w, r, shard, id)
+	rt.proxy(w, r, shard, id, "")
 }
 
 func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	shard, state := rt.resolve(id)
 	if state != routeOK {
-		rt.writeRecovering(w, rt.ring.Owner(id))
+		rt.writeRecovering(w, rt.members.ownerName(id))
 		return
 	}
-	rt.proxy(w, r, shard, "")
+	rt.proxy(w, r, shard, "", id)
+}
+
+// drainRequest is the POST /v1/admin/drain body.
+type drainRequest struct {
+	Shard string `json:"shard"`
+}
+
+// joinRequest is the POST /v1/admin/join body.
+type joinRequest struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	JournalDir string `json:"journal_dir"`
+}
+
+// handleDrain gracefully decommissions one shard: its sessions migrate to
+// their post-drain owners while it keeps serving, then it leaves the ring.
+// The request blocks until the drain commits (or fails retryably).
+func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req drainRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil || req.Shard == "" {
+		rt.writeError(w, http.StatusBadRequest, "bad_request", `drain wants {"shard": "<name>"}`)
+		return
+	}
+	res, err := rt.members.drain(rt.members.opCtx(), req.Shard)
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// handleJoin adds (or re-adds) a shard to the ring, migrating only the
+// minimally-remapped key ranges onto it. Blocks until the join commits.
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, "bad_request", `join wants {"name", "url", "journal_dir"}`)
+		return
+	}
+	res, err := rt.members.join(rt.members.opCtx(), Shard{Name: req.Name, URL: req.URL, JournalDir: req.JournalDir})
+	if err != nil {
+		rt.writeOpError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+func (rt *Router) writeOpError(w http.ResponseWriter, err error) {
+	if oe, ok := err.(*opError); ok {
+		rt.writeError(w, oe.status, "topology_op_failed", "%s", oe.msg)
+		return
+	}
+	rt.writeError(w, http.StatusInternalServerError, "topology_op_failed", "%v", err)
 }
 
 // hopHeaders are not forwarded in either direction.
 var hopHeaders = []string{"Connection", "Keep-Alive", "Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade"}
 
-// proxy forwards one request to a shard and relays the response verbatim. A
-// transport failure is reported as 502 shard_unreachable (retryable — the
-// client's backoff rides out the failover) and counted as a heartbeat miss,
-// so a busy cluster detects death faster than the probe loop alone.
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard Shard, assignID string) {
+// proxy forwards one request to a shard and relays the response verbatim,
+// with two exceptions. A transport failure is reported as 502
+// shard_unreachable (retryable — the client's backoff rides out the
+// failover) and counted as a heartbeat miss, so a busy cluster detects death
+// faster than the probe loop alone. And a 404 for a session that an elastic
+// operation may still be moving is rewritten into a retryable 503: the
+// session isn't gone, it just hasn't landed yet.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard Shard, assignID, sessionID string) {
 	rt.proxied.Add(1)
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, shard.URL+r.URL.RequestURI(), r.Body)
 	if err != nil {
@@ -235,6 +297,19 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard Shard, ass
 		return
 	}
 	defer resp.Body.Close()
+	if sessionID != "" && resp.StatusCode == http.StatusNotFound {
+		if rt.members.shouldRetry404(sessionID, shard.Name) {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			rt.writeRecovering(w, shard.Name)
+			return
+		}
+		// A firm 404: the session is genuinely gone; any migration
+		// override pointing at it is stale.
+		rt.members.dropOverride(sessionID)
+	}
+	if sessionID != "" && r.Method == http.MethodDelete && resp.StatusCode == http.StatusNoContent {
+		rt.members.dropOverride(sessionID)
+	}
 	hdr := w.Header()
 	for k, vs := range resp.Header {
 		hdr[k] = vs

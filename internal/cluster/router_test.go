@@ -112,7 +112,7 @@ func TestRouterPlacement(t *testing.T) {
 
 	byShard := map[string]int{}
 	for _, id := range ids {
-		byShard[rt.ring.Owner(id)]++
+		byShard[rt.Ring().Owner(id)]++
 	}
 	for _, f := range fleet {
 		if got, want := f.srv.Store().Len(), byShard[f.shard.Name]; got != want {
@@ -166,7 +166,7 @@ func TestRouterRecovering503(t *testing.T) {
 
 	var onDead string
 	for _, id := range ids {
-		if rt.ring.Owner(id) == down {
+		if rt.Ring().Owner(id) == down {
 			onDead = id
 			break
 		}
@@ -205,7 +205,7 @@ func TestRouterRecovering503(t *testing.T) {
 	// Creates redraw away from the recovering shard.
 	more := createSessions(t, client, 8)
 	for _, id := range more {
-		if rt.ring.Owner(id) == down {
+		if rt.Ring().Owner(id) == down {
 			t.Errorf("new session %s placed on recovering shard %s", id, down)
 		}
 	}

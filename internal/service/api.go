@@ -410,6 +410,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Nothing downstream retains the snapshot past the request — planStep
 	// reads it, the journal marshals it synchronously in append.
 	sess.mu.Lock()
+	if sess.gone {
+		// The session was exported to (or fenced off by) another shard after
+		// this handler picked it up. Answer retryable; the router routes the
+		// retry to the new owner.
+		sess.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, CodeSessionFenced,
+			"session %s moved to another shard; retry", sess.ID)
+		return
+	}
 	snap := sess.resetSnapScratch()
 	if !s.readSnapshot(w, r, snap) {
 		sess.mu.Unlock()
@@ -471,6 +481,25 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	lean := *snap
 	lean.Workflow = nil
 	if jerr := sess.wal.append(walRecord{Type: "plan", Seq: assigned, Snapshot: &lean, Response: resp}); jerr != nil {
+		if errors.Is(jerr, errFenced) {
+			// A peer adopted this session at a higher epoch while we were
+			// planning: this process is stale for it. The decision MUST be
+			// withheld — the adopter's WAL copy cannot contain it, so
+			// releasing it would fork the session's decision stream. Stop
+			// serving the session; the client's retry lands on the adopter.
+			wal := sess.wal
+			sess.wal = nil
+			sess.gone = true
+			sess.mu.Unlock()
+			wal.close(false)
+			s.store.Detach(sess.ID)
+			s.metrics.SessionFenced()
+			s.cfg.Logf("wire-serve: session %s fenced by a newer adoption; withholding plan seq %d", sess.ID, assigned)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, CodeSessionFenced,
+				"session %s was adopted by another shard; retry", sess.ID)
+			return
+		}
 		s.cfg.Logf("wire-serve: journal append failed for session %s: %v", sess.ID, jerr)
 	}
 	sess.lastSeq, sess.lastResp = assigned, resp
@@ -577,19 +606,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // AdoptRequest is the POST /v1/admin/adopt body: the cluster handoff. The
-// router sends the journal directories a dead shard owned; this shard
-// resurrects every session found in them via WAL replay and keeps appending
-// to the same files, so a subsequent handoff can move them again.
+// router sends either whole journal directories (death failover: everything
+// a dead shard owned) or individual WAL paths (planned migration: the files
+// a donor exported); this shard claims each session via the fenced-copy
+// protocol in handoff.go and resurrects it by WAL replay into its own
+// journal directory, so a subsequent handoff can move it again.
 type AdoptRequest struct {
-	// JournalDirs are the directories to replay, in order.
-	JournalDirs []string `json:"journal_dirs"`
-	// From names the dead shard (log context only).
+	// JournalDirs are whole directories to claim (death failover).
+	JournalDirs []string `json:"journal_dirs,omitempty"`
+	// JournalFiles are individual session WALs to claim (drain/join
+	// rebalancing, from the donor's export response).
+	JournalFiles []string `json:"journal_files,omitempty"`
+	// From names the shard the sessions come from (log + fence context).
 	From string `json:"from,omitempty"`
+	// Epoch is the router-issued fencing epoch of this handoff. Zero means
+	// unfenced (single-handoff legacy); a positive epoch below the highest
+	// this shard has seen is rejected with 409 stale_epoch.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // AdoptResponse reports an adoption's outcome.
 type AdoptResponse struct {
-	// Sessions is how many sessions were resurrected across all dirs.
+	// Sessions is how many of the offered sessions this shard now hosts
+	// (including ones an earlier retried attempt already adopted).
 	Sessions int `json:"sessions"`
 }
 
@@ -598,13 +637,18 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	if len(req.JournalDirs) == 0 {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "journal_dirs is required")
+	if len(req.JournalDirs) == 0 && len(req.JournalFiles) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "journal_dirs or journal_files is required")
+		return
+	}
+	if !s.advanceEpoch(req.Epoch) {
+		s.writeError(w, http.StatusConflict, "stale_epoch",
+			"adopt at epoch %d rejected: this shard has seen epoch %d", req.Epoch, s.Epoch())
 		return
 	}
 	total, fresh := 0, 0
 	for _, dir := range req.JournalDirs {
-		n, f, err := s.ReplayJournalDir(dir)
+		n, f, err := s.AdoptJournalDir(dir, req.Epoch, req.From)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, "adopt_failed",
 				"replaying %s: %v", dir, err)
@@ -613,10 +657,84 @@ func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
 		total += n
 		fresh += f
 	}
+	if len(req.JournalFiles) > 0 {
+		n, f := s.AdoptJournalFiles(req.JournalFiles, req.Epoch, req.From)
+		total += n
+		fresh += f
+	}
 	// total (what the router's handoff accounting wants) includes sessions a
 	// retried adoption found already hosted; the adoption counter does not.
 	s.metrics.SessionsAdopted(fresh)
-	s.cfg.Logf("wire-serve: adopted %d session(s) from %s (%d journal dir(s))",
-		total, req.From, len(req.JournalDirs))
+	s.cfg.Logf("wire-serve: adopted %d session(s) from %s (%d dir(s), %d file(s), epoch %d)",
+		total, req.From, len(req.JournalDirs), len(req.JournalFiles), req.Epoch)
 	s.writeJSON(w, http.StatusOK, AdoptResponse{Sessions: total})
+}
+
+// ExportRequest is the POST /v1/admin/export body: the donor half of a
+// planned migration. Each named session is detached from this shard — its
+// in-flight plan, if any, finishes first — and its WAL path is returned for
+// the new owner to adopt. Until the adopt lands, requests for the session
+// answer 503 and the router holds them off.
+type ExportRequest struct {
+	// SessionIDs are the sessions to detach and hand over.
+	SessionIDs []string `json:"session_ids"`
+	// Epoch is the router-issued fencing epoch of this handoff (see
+	// AdoptRequest.Epoch).
+	Epoch int64 `json:"epoch,omitempty"`
+	// To names the destination shard (log context only; per-session
+	// destinations are the router's concern).
+	To string `json:"to,omitempty"`
+}
+
+// ExportResponse reports which sessions were detached for migration.
+type ExportResponse struct {
+	// Sessions is how many sessions were exported.
+	Sessions int `json:"sessions"`
+	// JournalFiles are the WAL paths of the exported sessions, ready for an
+	// AdoptRequest.JournalFiles handoff.
+	JournalFiles []string `json:"journal_files,omitempty"`
+	// Missing lists requested IDs this shard does not host (already
+	// migrated, deleted, or never here) or cannot migrate by file — not an
+	// error: the router reconciles them against its own routing state.
+	Missing []string `json:"missing,omitempty"`
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	var req ExportRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.SessionIDs) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "session_ids is required")
+		return
+	}
+	if !s.advanceEpoch(req.Epoch) {
+		s.writeError(w, http.StatusConflict, "stale_epoch",
+			"export at epoch %d rejected: this shard has seen epoch %d", req.Epoch, s.Epoch())
+		return
+	}
+	var resp ExportResponse
+	for _, id := range req.SessionIDs {
+		path, ok := s.exportSession(id)
+		if !ok {
+			resp.Missing = append(resp.Missing, id)
+			continue
+		}
+		resp.JournalFiles = append(resp.JournalFiles, path)
+		resp.Sessions++
+	}
+	s.metrics.SessionsExported(resp.Sessions)
+	s.cfg.Logf("wire-serve: exported %d session(s) to %s (%d missing, epoch %d)",
+		resp.Sessions, req.To, len(resp.Missing), req.Epoch)
+	s.writeJSON(w, http.StatusOK, &resp)
+}
+
+// SessionListResponse is the GET /v1/admin/sessions body: the IDs this shard
+// hosts, for the router's rebalancing planner.
+type SessionListResponse struct {
+	Sessions []string `json:"sessions"`
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, SessionListResponse{Sessions: s.store.IDs()})
 }

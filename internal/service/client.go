@@ -39,6 +39,13 @@ const SessionIDHeader = "Wire-Session-Id"
 // back off and retry; the session is not lost.
 const CodeShardRecovering = "shard_recovering"
 
+// CodeSessionFenced is the error code a shard returns (as a 503 with
+// Retry-After) when the requested session was handed to another shard — by a
+// planned migration or by a fencing adoption that caught this shard serving
+// stale. Clients should retry through the router, which routes to the new
+// owner.
+const CodeSessionFenced = "session_fenced"
+
 // APIError is a non-2xx response decoded from the daemon's error body.
 type APIError struct {
 	StatusCode int
@@ -71,7 +78,16 @@ type RetryPolicy struct {
 	// PerAttemptTimeout bounds each individual attempt (default: the
 	// client timeout). The caller's context still bounds the whole call.
 	PerAttemptTimeout time.Duration
+	// MaxRetryAfter caps how far a server Retry-After hint can stretch one
+	// backoff sleep (default 15s). The hint is advisory: a buggy or
+	// malicious server must not be able to park a client for hours. A clip
+	// is logged through the client's Logf.
+	MaxRetryAfter time.Duration
 }
+
+// defaultMaxRetryAfter bounds honored Retry-After hints when the policy does
+// not set its own cap.
+const defaultMaxRetryAfter = 15 * time.Second
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxAttempts <= 0 {
@@ -82,6 +98,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MaxDelay <= 0 {
 		p.MaxDelay = 2 * time.Second
+	}
+	if p.MaxRetryAfter <= 0 {
+		p.MaxRetryAfter = defaultMaxRetryAfter
 	}
 	return p
 }
@@ -120,6 +139,12 @@ func WithRetry(p RetryPolicy) ClientOption {
 	return func(c *Client) { c.retry = p.withDefaults() }
 }
 
+// WithLogf routes the client's operational log lines (today: clipped
+// Retry-After hints) somewhere visible. Default: discarded.
+func WithLogf(logf func(format string, args ...any)) ClientOption {
+	return func(c *Client) { c.logf = logf }
+}
+
 // Client talks to a wire-serve daemon. It is safe for concurrent use; the
 // load generator shares one client across every session. By default it does
 // not retry; see WithRetry.
@@ -129,6 +154,7 @@ type Client struct {
 	timeout   time.Duration
 	transport http.RoundTripper
 	retry     RetryPolicy
+	logf      func(format string, args ...any)
 
 	retries atomic.Int64
 
@@ -165,6 +191,9 @@ func NewClient(base string, opts ...ClientOption) *Client {
 	}
 	if c.jitter == nil {
 		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
 	}
 	return c
 }
@@ -282,8 +311,19 @@ func (c *Client) attempt(ctx context.Context, method, path string, seq int64, bo
 	if resp.StatusCode >= 400 {
 		apiErr := &APIError{StatusCode: resp.StatusCode, Code: "unknown"}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 && secs <= 60 {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				hint := time.Duration(secs) * time.Second
+				// The hint is a backoff floor, so cap it: a pathological
+				// Retry-After must not stall the retry loop for hours.
+				max := c.retry.MaxRetryAfter
+				if max <= 0 {
+					max = defaultMaxRetryAfter
+				}
+				if hint > max {
+					c.logf("wire-serve client: %s %s: Retry-After %v clipped to %v", method, path, hint, max)
+					hint = max
+				}
+				apiErr.RetryAfter = hint
 			}
 		}
 		var eb ErrorBody

@@ -2,9 +2,11 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -154,5 +156,52 @@ func TestClientHonorsCallerContext(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("retry loop outlived its context by %v", elapsed)
+	}
+}
+
+// TestClientClampsRetryAfter pins the Retry-After cap: a pathological server
+// hint (hours) must not park the retry loop — the sleep floor is clipped to
+// MaxRetryAfter, the clip is logged through WithLogf, and the capped value is
+// what APIError reports.
+func TestClientClampsRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7200") // two hours
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":"recovering","code":%q}`, CodeShardRecovering)
+	}))
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var logged []string
+	client := NewClient(ts.URL,
+		WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+			MaxDelay: 5 * time.Millisecond, MaxRetryAfter: 20 * time.Millisecond}),
+		WithLogf(func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}))
+
+	start := time.Now()
+	_, err := client.State(context.Background(), "some-session")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("permanent 503 succeeded")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an APIError", err)
+	}
+	if ae.RetryAfter != 20*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want the 20ms cap", ae.RetryAfter)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("retry loop slept %v; the 2h hint was honored, not clipped", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 || !strings.Contains(logged[0], "clipped") {
+		t.Errorf("clip not logged: %q", logged)
 	}
 }

@@ -1,0 +1,404 @@
+package service
+
+// Session handoff between shards: fencing, WAL adoption, and export.
+//
+// The cluster moves a session between shards by moving its write-ahead log.
+// Two paths exist:
+//
+//   - Directory adoption (unplanned death): the router hands a dead shard's
+//     whole JournalDir to a surviving peer, which claims each WAL in it.
+//   - File adoption (planned drain/join): the donor exports named sessions —
+//     detaching them and closing their WALs — and the router hands the
+//     resulting file paths to each session's new owner.
+//
+// Either way the adopter CLAIMS a WAL with the same fenced-copy protocol:
+//
+//   1. write <wal>.fence beside the source, recording the handoff epoch;
+//   2. copy the source WAL into the adopter's own JournalDir;
+//   3. replay the copy into a detached session and insert it;
+//   4. leave the fenced source in place.
+//
+// Fencing closes the double-serve race with a process that still holds the
+// source WAL (a shard wrongly declared dead, or a drained shard that was
+// restarted from a stale snapshot of the world): journal.append re-reads the
+// fence after every synced write, so a stale writer either appended before
+// the fence landed — in which case the copy includes the record and the
+// adopter replays it — or it observes the fence and withholds the decision.
+// A record can never be released to a client by the stale process and be
+// absent from the adopter's copy. Startup recovery skips fenced WALs, so a
+// restarted shard re-enters the cluster empty instead of resurrecting
+// sessions that now live elsewhere.
+//
+// The source WAL is kept (fenced) rather than deleted so a retried adoption
+// of the same directory or file set is idempotent, and so an aborted planned
+// migration still leaves the files where a death failover would look for
+// them. Epochs are issued by the router, strictly increasing per topology
+// operation; a shard rejects adopt/export requests carrying an epoch below
+// the highest it has seen (a stale router or a replayed request).
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// errFenced is returned by journal.append when a peer has claimed the
+// session's WAL at a higher epoch: this process is stale for the session and
+// must withhold the decision.
+var errFenced = errors.New("service: session journal fenced by a newer adoption")
+
+// fenceRecord is the content of a <wal>.fence file.
+type fenceRecord struct {
+	// Epoch is the handoff epoch the claim was made at.
+	Epoch int64 `json:"epoch"`
+	// From names the shard the session was taken over from (debugging aid).
+	From string `json:"from,omitempty"`
+}
+
+func fencePath(walPath string) string { return walPath + ".fence" }
+
+// writeFence publishes a claim on walPath at epoch. The write is staged to a
+// temp file and renamed so a concurrent reader never sees a partial fence.
+func writeFence(walPath string, epoch int64, from string) error {
+	b, err := json.Marshal(fenceRecord{Epoch: epoch, From: from})
+	if err != nil {
+		return err
+	}
+	tmp := fencePath(walPath) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, fencePath(walPath))
+}
+
+// readFence reports whether walPath is fenced and at what epoch. An
+// unreadable fence body still fences — at the highest possible epoch, since
+// its true epoch is unknown and serving anyway risks a double-serve.
+func readFence(walPath string) (epoch int64, fenced bool) {
+	b, err := os.ReadFile(fencePath(walPath))
+	if err != nil {
+		return 0, false
+	}
+	var fr fenceRecord
+	if json.Unmarshal(b, &fr) != nil {
+		return math.MaxInt64, true
+	}
+	return fr.Epoch, true
+}
+
+// fencedPast reports whether walPath carries a fence from a claim NEWER than
+// claimEpoch.
+func fencedPast(walPath string, claimEpoch int64) bool {
+	ep, fenced := readFence(walPath)
+	return fenced && ep > claimEpoch
+}
+
+// copyFile copies src to dst (truncating) and syncs dst.
+func copyFile(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sessionIDFromWAL extracts the session ID a WAL file name encodes, or ""
+// when the name is not a valid session WAL.
+func sessionIDFromWAL(path string) string {
+	name := filepath.Base(path)
+	if !strings.HasSuffix(name, ".wal") {
+		return ""
+	}
+	id := strings.TrimSuffix(name, ".wal")
+	if !ValidSessionID(id) {
+		return ""
+	}
+	return id
+}
+
+// AdoptJournalDir claims every session WAL in dir for this server at the
+// given handoff epoch (the death-failover path: dir is a dead shard's whole
+// journal directory). total counts every session in the directory this
+// server now hosts — including ones already adopted by an earlier, partially
+// acknowledged attempt — so a retried handoff reports the full count; fresh
+// counts only sessions newly replayed by this call. The returned error
+// covers only an unreadable directory.
+func (s *Server) AdoptJournalDir(dir string, epoch int64, from string) (total, fresh int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	claimed := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".wal" {
+			continue
+		}
+		src := filepath.Join(dir, e.Name())
+		n, f := s.adoptWAL(src, epoch, from)
+		total += n
+		fresh += f
+		if n > 0 {
+			claimed[strings.TrimSuffix(e.Name(), ".wal")] = true
+		}
+	}
+	// A WAL consumed by an earlier attempt of this same handoff leaves only
+	// its fence behind; if the session is hosted here, it is part of this
+	// handoff and belongs in total.
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".wal.fence") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".wal.fence")
+		if claimed[id] || !ValidSessionID(id) {
+			continue
+		}
+		if _, statErr := os.Stat(filepath.Join(dir, id+".wal")); statErr == nil {
+			continue // WAL still present: adoptWAL above already decided
+		}
+		if _, getErr := s.store.Get(id); getErr == nil {
+			total++
+		}
+	}
+	return total, fresh, nil
+}
+
+// AdoptJournalFiles claims the named session WALs (the planned-migration
+// path: paths come from a donor's export response). Counting follows
+// AdoptJournalDir.
+func (s *Server) AdoptJournalFiles(paths []string, epoch int64, from string) (total, fresh int) {
+	for _, p := range paths {
+		n, f := s.adoptWAL(p, epoch, from)
+		total += n
+		fresh += f
+		if n == 0 {
+			// Retried handoff whose earlier attempt already consumed the
+			// file: hosted here means ours to count.
+			if id := sessionIDFromWAL(p); id != "" {
+				if _, statErr := os.Stat(p); statErr != nil {
+					if _, getErr := s.store.Get(id); getErr == nil {
+						total++
+					}
+				}
+			}
+		}
+	}
+	return total, fresh
+}
+
+// adoptWAL claims one session WAL via the fenced-copy protocol. It returns
+// (1, 1) for a newly adopted session, (1, 0) for one this server already
+// hosts, and (0, 0) when the WAL is not adoptable (claimed by a later epoch,
+// invalid, or unreadable — all logged, none fatal: the cluster retries).
+func (s *Server) adoptWAL(src string, epoch int64, from string) (total, fresh int) {
+	id := sessionIDFromWAL(src)
+	if id == "" {
+		s.cfg.Logf("wire-serve: adopt: %s: not a session WAL; skipping", src)
+		return 0, 0
+	}
+	if sess, err := s.store.Get(id); err == nil {
+		// Already hosted — normally an idempotent re-adopt: the local copy
+		// is authoritative and the source stays fenced in place. One
+		// exception: an UNFENCED source carrying a newer epoch than our own
+		// claim means the session has lived elsewhere since this process
+		// last claimed it (a restarted shard that replayed its WALs before a
+		// failover fenced them). The incoming copy supersedes the stale
+		// local session.
+		var held int64
+		sess.mu.Lock()
+		if sess.wal != nil {
+			held = sess.wal.claimEpoch
+		}
+		sess.mu.Unlock()
+		if _, srcFenced := readFence(src); srcFenced || epoch <= held {
+			return 1, 0
+		}
+		// Epochs order CLAIMS, not data. A migrated copy arriving under a
+		// fresh op epoch can still carry staler state than the live session
+		// (an orphan from a client-side-timed-out handoff, re-exported by a
+		// later repair pass). A session's plan seq is monotone — never let
+		// an adopt regress it: keep the fresher lineage and fence the stale
+		// source so it stops resurfacing. Keeping local additionally
+		// requires the local copy to be a viable WRITER — a session whose
+		// own WAL was fenced by some interrupted handoff can only withhold
+		// decisions, so an equal-data migrated copy claimed at this epoch
+		// supersedes it.
+		sess.mu.Lock()
+		heldSeq := sess.lastSeq
+		sess.mu.Unlock()
+		if srcSeq := walLastSeq(src); srcSeq <= heldSeq && !fencedPast(s.journalPath(id), held) {
+			s.cfg.Logf("wire-serve: adopt: session %s: migrated copy (seq %d) is behind the live session (seq %d); keeping local, fencing the stale source", id, srcSeq, heldSeq)
+			if err := writeFence(src, epoch, from); err != nil {
+				s.cfg.Logf("wire-serve: adopt: session %s: fencing stale source: %v", id, err)
+			}
+			return 1, 0
+		}
+		s.cfg.Logf("wire-serve: adopt: session %s held from a stale claim (epoch %d < %d); replacing with the migrated copy", id, held, epoch)
+		if st := s.store.Detach(id); st != nil {
+			st.mu.Lock()
+			st.gone = true
+			j := st.wal
+			st.wal = nil
+			st.mu.Unlock()
+			if j != nil {
+				j.close(false)
+			}
+		}
+	}
+	dst := s.journalPath(id)
+	if filepath.Clean(src) == filepath.Clean(dst) {
+		// Adopting out of our own journal dir — a session migrating home
+		// (rejoin). Lift any fence our own claim supersedes.
+		if ep, fenced := readFence(src); fenced {
+			if ep > epoch {
+				s.cfg.Logf("wire-serve: adopt: session %s claimed at epoch %d > %d; not ours", id, ep, epoch)
+				return 0, 0
+			}
+			if err := os.Remove(fencePath(src)); err != nil {
+				s.cfg.Logf("wire-serve: adopt: session %s: clearing fence: %v", id, err)
+				return 0, 0
+			}
+		}
+		if err := s.recoverSession(src, epoch); err != nil {
+			if errors.Is(err, ErrDuplicateID) {
+				return 1, 0
+			}
+			s.cfg.Logf("wire-serve: adopt: session %s: %v", id, err)
+			return 0, 0
+		}
+		return 1, 1
+	}
+	if ep, fenced := readFence(src); fenced && ep > epoch {
+		s.cfg.Logf("wire-serve: adopt: session %s claimed at epoch %d > %d; not ours", id, ep, epoch)
+		return 0, 0
+	}
+	if fencedPast(dst, epoch) {
+		// Our own slot for this session is claimed at a newer epoch: a later
+		// operation already moved it somewhere else. Not ours to host.
+		s.cfg.Logf("wire-serve: adopt: session %s: local journal slot claimed at a newer epoch; not ours", id)
+		return 0, 0
+	}
+	// Same data-freshness guard for the slot on disk: if our own journal
+	// copy of this session is AHEAD of the migrated one, ours is the live
+	// lineage and the incoming file is a stale orphan — recover ours
+	// instead of overwriting it.
+	if dstSeq := walLastSeq(dst); dstSeq > walLastSeq(src) {
+		s.cfg.Logf("wire-serve: adopt: session %s: local journal copy (seq %d) is ahead of the migrated one; recovering local, fencing the stale source", id, dstSeq)
+		if err := writeFence(src, epoch, from); err != nil {
+			s.cfg.Logf("wire-serve: adopt: session %s: fencing stale source: %v", id, err)
+			return 0, 0
+		}
+		if ep, fenced := readFence(dst); fenced && ep <= epoch {
+			if err := os.Remove(fencePath(dst)); err != nil {
+				s.cfg.Logf("wire-serve: adopt: session %s: clearing stale fence: %v", id, err)
+				return 0, 0
+			}
+		}
+		if err := s.recoverSession(dst, epoch); err != nil {
+			if errors.Is(err, ErrDuplicateID) {
+				return 1, 0
+			}
+			s.cfg.Logf("wire-serve: adopt: session %s: %v", id, err)
+			return 0, 0
+		}
+		return 1, 1
+	}
+	// Fence FIRST, copy SECOND — the ordering the stale-writer check in
+	// journal.append relies on.
+	if err := writeFence(src, epoch, from); err != nil {
+		s.cfg.Logf("wire-serve: adopt: session %s: fencing: %v", id, err)
+		return 0, 0
+	}
+	if err := copyFile(src, dst); err != nil {
+		s.cfg.Logf("wire-serve: adopt: session %s: copying WAL: %v", id, err)
+		return 0, 0
+	}
+	// A stale fence on dst — left from when the session migrated AWAY from
+	// this shard under an earlier epoch — would make the next restart skip
+	// the now-live copy. Our claim supersedes it.
+	if ep, fenced := readFence(dst); fenced && ep <= epoch {
+		if err := os.Remove(fencePath(dst)); err != nil {
+			s.cfg.Logf("wire-serve: adopt: session %s: clearing stale fence: %v", id, err)
+			return 0, 0
+		}
+	}
+	if err := s.recoverSession(dst, epoch); err != nil {
+		if errors.Is(err, ErrDuplicateID) {
+			return 1, 0
+		}
+		s.cfg.Logf("wire-serve: adopt: session %s: %v", id, err)
+		_ = os.Remove(dst)
+		return 0, 0
+	}
+	return 1, 1
+}
+
+// walLastSeq scans a WAL and returns the highest plan sequence it records —
+// 0 for a create-only, missing, or unreadable file. Conservative on errors:
+// an unreadable migrated copy must never displace a live session, and a
+// missing local slot never blocks an adoption.
+func walLastSeq(path string) int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	var last int64
+	for {
+		var rec walRecord
+		if err := dec.Decode(&rec); err != nil {
+			return last
+		}
+		if rec.Type == "plan" && rec.Seq > last {
+			last = rec.Seq
+		}
+	}
+}
+
+// exportSession detaches one session for migration to a peer: it is removed
+// from the store, its in-flight plan (if any) is waited out, and its WAL —
+// which at that point contains every decision ever released for it — is
+// closed and its path returned. A session without a WAL cannot migrate by
+// file; it is re-inserted and reported as not exportable.
+func (s *Server) exportSession(id string) (walPath string, ok bool) {
+	sess := s.store.Detach(id)
+	if sess == nil {
+		return "", false
+	}
+	sess.mu.Lock()
+	sess.gone = true
+	j := sess.wal
+	sess.wal = nil
+	sess.mu.Unlock()
+	if j == nil {
+		// Journaling was disabled for this session (disk trouble at
+		// create). Keep serving it here rather than dropping state.
+		sess.mu.Lock()
+		sess.gone = false
+		sess.mu.Unlock()
+		if err := s.store.Insert(sess); err != nil {
+			s.cfg.Logf("wire-serve: export: session %s has no WAL and could not be re-inserted: %v", id, err)
+		} else {
+			s.cfg.Logf("wire-serve: export: session %s has no WAL; keeping it local", id)
+		}
+		return "", false
+	}
+	j.close(false)
+	return j.path, true
+}

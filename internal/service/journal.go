@@ -49,6 +49,13 @@ type journal struct {
 	path string
 	f    *os.File
 	enc  *json.Encoder
+	// claimEpoch is the fencing epoch this WAL was opened (or adopted) at;
+	// a fence file bearing a strictly higher epoch means a peer has since
+	// claimed the session and this handle belongs to a stale process.
+	claimEpoch int64
+	// checkFence enables the fence checks around append (shard mode only —
+	// a standalone daemon has no peers that could fence it).
+	checkFence bool
 }
 
 func openJournal(path string) (*journal, error) {
@@ -59,15 +66,41 @@ func openJournal(path string) (*journal, error) {
 	return &journal{path: path, f: f, enc: json.NewEncoder(f)}, nil
 }
 
-// append writes one record and syncs it to stable storage.
+// openJournalAt opens a WAL carrying the server's fencing posture: the claim
+// epoch the handle was established at, with fence checks on in shard mode.
+func (s *Server) openJournalAt(path string, claimEpoch int64) (*journal, error) {
+	j, err := openJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	j.claimEpoch = claimEpoch
+	j.checkFence = s.cfg.ShardMode
+	return j, nil
+}
+
+// append writes one record and syncs it to stable storage. In shard mode it
+// re-reads the session's fence file AFTER the sync: an adopter fences first
+// and copies the WAL second, so a stale writer that raced the handoff either
+// appended before the fence landed (the copy includes the record) or sees
+// the fence here and gets errFenced — in which case the caller must withhold
+// the decision, because the adopter's copy cannot contain it.
 func (j *journal) append(rec walRecord) error {
 	if j == nil {
 		return nil
 	}
+	if j.checkFence && fencedPast(j.path, j.claimEpoch) {
+		return errFenced
+	}
 	if err := j.enc.Encode(rec); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if j.checkFence && fencedPast(j.path, j.claimEpoch) {
+		return errFenced
+	}
+	return nil
 }
 
 // close closes the file, removing it when remove is set (deleted sessions
@@ -93,7 +126,7 @@ func (s *Server) openSessionJournal(sess *Session, req *CreateSessionRequest) {
 	if s.cfg.JournalDir == "" {
 		return
 	}
-	j, err := openJournal(s.journalPath(sess.ID))
+	j, err := s.openJournalAt(s.journalPath(sess.ID), s.Epoch())
 	if err != nil {
 		s.cfg.Logf("wire-serve: journal disabled for session %s: %v", sess.ID, err)
 		return
@@ -126,14 +159,14 @@ func (s *Server) recoverJournals() {
 	}
 }
 
-// ReplayJournalDir replays every session WAL in dir into the live store. It
-// backs both startup recovery (dir = the server's own JournalDir) and cluster
-// journal handoff, where a router hands a dead shard's journal directory to
-// this server via POST /v1/admin/adopt. Per-WAL failures are logged and
-// skipped — a session whose ID is already hosted (an adoption retried after
-// partial success) counts in total but not in fresh, so a retried handoff
-// reports the full session count without double-counting adoptions. The
-// returned error covers only an unreadable directory.
+// ReplayJournalDir replays every session WAL in dir into the live store.
+// It backs startup recovery (dir = the server's own JournalDir): fenced WALs
+// — sessions a peer adopted at some epoch while this process was down — are
+// skipped, so a restarted shard cannot resurrect sessions that now live
+// elsewhere (it re-enters the cluster empty and is rehydrated by a join).
+// Per-WAL failures are logged and skipped — a session whose ID is already
+// hosted counts in total but not in fresh. The returned error covers only an
+// unreadable directory.
 func (s *Server) ReplayJournalDir(dir string) (total, fresh int, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -144,7 +177,11 @@ func (s *Server) ReplayJournalDir(dir string) (total, fresh int, err error) {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
-		if err := s.recoverSession(path); err != nil {
+		if ep, fenced := readFence(path); fenced {
+			s.cfg.Logf("wire-serve: journal recovery: %s fenced at epoch %d (adopted by a peer); skipping", e.Name(), ep)
+			continue
+		}
+		if err := s.recoverSession(path, s.Epoch()); err != nil {
 			if errors.Is(err, ErrDuplicateID) {
 				total++
 				continue
@@ -162,11 +199,12 @@ func (s *Server) ReplayJournalDir(dir string) (total, fresh int, err error) {
 // record, replays every journaled snapshot through it in sequence order
 // (skipping duplicate sequence numbers — a crash mid-append can leave the
 // same interval twice), restores the exactly-once cache from the last
-// record, and re-attaches the journal for appends. A torn trailing record is
-// truncated away. The session is replayed fully detached and only inserted
-// into the store at the end, so adoption while the daemon serves traffic can
-// never expose a half-replayed controller.
-func (s *Server) recoverSession(path string) error {
+// record, and re-attaches the journal for appends at claimEpoch (the fencing
+// epoch this server's claim on the WAL was established at). A torn trailing
+// record is truncated away. The session is replayed fully detached and only
+// inserted into the store at the end, so adoption while the daemon serves
+// traffic can never expose a half-replayed controller.
+func (s *Server) recoverSession(path string, claimEpoch int64) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -237,7 +275,7 @@ func (s *Server) recoverSession(path string) error {
 		}
 	}
 
-	j, err := openJournal(path)
+	j, err := s.openJournalAt(path, claimEpoch)
 	if err != nil {
 		s.cfg.Logf("wire-serve: journal disabled for recovered session %s: %v", sess.ID, err)
 	} else {

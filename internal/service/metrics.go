@@ -26,11 +26,13 @@ type Metrics struct {
 	sessionsEvicted  atomic.Int64
 	sessionsRejected atomic.Int64
 
-	planRetries     atomic.Int64
-	degradedPlans   atomic.Int64
-	journalReplays  atomic.Int64
-	sessionsAdopted atomic.Int64
-	encodeErrors    atomic.Int64
+	planRetries      atomic.Int64
+	degradedPlans    atomic.Int64
+	journalReplays   atomic.Int64
+	sessionsAdopted  atomic.Int64
+	sessionsExported atomic.Int64
+	fencedRejects    atomic.Int64
+	encodeErrors     atomic.Int64
 
 	// endpoints maps endpoint name → *endpointMetrics. It stops growing
 	// after every endpoint has been hit once, which is sync.Map's ideal
@@ -93,6 +95,18 @@ func (m *Metrics) SessionsAdopted(n int) {
 		m.sessionsAdopted.Add(int64(n))
 	}
 }
+
+// SessionsExported counts sessions detached and handed to a peer via the
+// planned-migration export endpoint.
+func (m *Metrics) SessionsExported(n int) {
+	if n != 0 {
+		m.sessionsExported.Add(int64(n))
+	}
+}
+
+// SessionFenced counts plan decisions withheld because a peer adopted the
+// session at a higher epoch while this shard was planning it.
+func (m *Metrics) SessionFenced() { m.fencedRejects.Add(1) }
 
 // EncodeError counts responses whose JSON encoding failed (served as 500
 // encode_failed instead of a truncated 200).
@@ -181,6 +195,12 @@ type FaultToleranceCounters struct {
 	// SessionsAdoptedTotal counts sessions resurrected from a dead peer's
 	// journal directory via the cluster handoff endpoint.
 	SessionsAdoptedTotal int64 `json:"sessions_adopted_total,omitempty"`
+	// SessionsExportedTotal counts sessions handed to peers via the
+	// planned-migration export endpoint (drain/join rebalancing).
+	SessionsExportedTotal int64 `json:"sessions_exported_total,omitempty"`
+	// FencedRejectsTotal counts plan decisions withheld because the session
+	// was adopted by a peer at a higher fencing epoch mid-plan.
+	FencedRejectsTotal int64 `json:"fenced_rejects_total,omitempty"`
 }
 
 // MetricsDump is the GET /metrics response body.
@@ -220,10 +240,12 @@ func (m *Metrics) dump(now time.Time, activeSessions int, raw bool) MetricsDump 
 			Rejected: m.sessionsRejected.Load(),
 		},
 		FaultTolerance: FaultToleranceCounters{
-			RetriesTotal:         m.planRetries.Load(),
-			DegradedPlansTotal:   m.degradedPlans.Load(),
-			JournalReplaysTotal:  m.journalReplays.Load(),
-			SessionsAdoptedTotal: m.sessionsAdopted.Load(),
+			RetriesTotal:          m.planRetries.Load(),
+			DegradedPlansTotal:    m.degradedPlans.Load(),
+			JournalReplaysTotal:   m.journalReplays.Load(),
+			SessionsAdoptedTotal:  m.sessionsAdopted.Load(),
+			SessionsExportedTotal: m.sessionsExported.Load(),
+			FencedRejectsTotal:    m.fencedRejects.Load(),
 		},
 		EncodeErrorsTotal: m.encodeErrors.Load(),
 	}
@@ -264,6 +286,8 @@ func (d *MetricsDump) Merge(o MetricsDump) {
 	d.FaultTolerance.DegradedPlansTotal += o.FaultTolerance.DegradedPlansTotal
 	d.FaultTolerance.JournalReplaysTotal += o.FaultTolerance.JournalReplaysTotal
 	d.FaultTolerance.SessionsAdoptedTotal += o.FaultTolerance.SessionsAdoptedTotal
+	d.FaultTolerance.SessionsExportedTotal += o.FaultTolerance.SessionsExportedTotal
+	d.FaultTolerance.FencedRejectsTotal += o.FaultTolerance.FencedRejectsTotal
 	d.EncodeErrorsTotal += o.EncodeErrorsTotal
 	if d.Endpoints == nil {
 		d.Endpoints = make(map[string]EndpointCounters)

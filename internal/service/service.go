@@ -25,6 +25,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
@@ -111,6 +112,10 @@ type Server struct {
 	mux     *http.ServeMux
 	live    *exec.Registry
 	start   time.Time
+	// epoch is the highest cluster fencing epoch this shard has witnessed
+	// on an adopt/export request (see handoff.go). A fresh process starts
+	// at zero and learns the current epoch from its first handoff.
+	epoch atomic.Int64
 }
 
 // New assembles a server from the configuration.
@@ -139,6 +144,8 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	if cfg.ShardMode {
 		mux.Handle("POST /v1/admin/adopt", s.instrument("adopt", s.handleAdopt))
+		mux.Handle("POST /v1/admin/export", s.instrument("export", s.handleExport))
+		mux.Handle("GET /v1/admin/sessions", s.instrument("session_list", s.handleListSessions))
 	}
 	if cfg.LiveMaxRuns > 0 {
 		live, err := exec.NewRegistry(exec.RegistryConfig{
@@ -172,6 +179,28 @@ func (s *Server) Store() *Store { return s.store }
 
 // Metrics exposes the metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Epoch returns the highest cluster fencing epoch this shard has seen.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// advanceEpoch ratchets the shard's fencing epoch up to e. It reports false
+// when e is positive but BELOW an epoch already witnessed — the request
+// comes from a stale router view and must be rejected. e == 0 (legacy
+// unfenced handoff) is always accepted and never moves the ratchet.
+func (s *Server) advanceEpoch(e int64) bool {
+	if e <= 0 {
+		return true
+	}
+	for {
+		cur := s.epoch.Load()
+		if e < cur {
+			return false
+		}
+		if e == cur || s.epoch.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
 
 // Handler returns the daemon's HTTP handler; it is safe for concurrent use.
 func (s *Server) Handler() http.Handler { return s.mux }

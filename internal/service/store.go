@@ -47,6 +47,11 @@ type Session struct {
 	fallback sim.Controller
 	// wal is the session's crash-recovery journal (nil when disabled).
 	wal *journal
+	// gone marks a session that was exported to a peer or fenced out by a
+	// newer adoption: a handler that raced the handoff and already holds a
+	// reference must answer 503 instead of releasing a decision this
+	// shard can no longer journal authoritatively.
+	gone bool
 	// snapScratch is the plan handler's decode target; reusing it keeps
 	// the per-plan task-record array out of the allocator. Guarded by mu.
 	snapScratch monitor.Snapshot
@@ -245,6 +250,29 @@ func (st *Store) Delete(id string) error {
 	}
 	s.takeWAL().close(true)
 	return nil
+}
+
+// Detach removes the session from the table without touching its journal
+// and returns it (nil when absent). The cluster export path uses it: the
+// caller takes over the session's WAL file so a peer can adopt it.
+func (st *Store) Detach(id string) *Session {
+	st.mu.Lock()
+	s := st.sessions[id]
+	delete(st.sessions, id)
+	st.mu.Unlock()
+	return s
+}
+
+// IDs snapshots the hosted session IDs (cluster rebalancing lists them to
+// compute which sessions a topology change moves).
+func (st *Store) IDs() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.sessions))
+	for id := range st.sessions {
+		out = append(out, id)
+	}
+	return out
 }
 
 // Len returns the number of live sessions.
