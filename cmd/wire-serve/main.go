@@ -12,6 +12,17 @@
 //
 //	wire-serve loadgen -server http://127.0.0.1:8080 -sessions 100 -workflow genome-s
 //
+// Arrival-stream mode replaces the fixed fleet with a multi-tenant arrival
+// process (internal/tenancy): tenant-tagged sessions arrive over compressed
+// time, heterogeneous workflows are drawn per arrival, and the daemon's
+// admission gate throttles tenants against their budgets and session caps.
+// A CSV trace (wire-workflows -stream) replays through the same path:
+//
+//	wire-serve loadgen -arrivals poisson -sessions 51 -tenants 3 \
+//	  -stream-keys tpch6-s,tpch1-s,pagerank-s -tenant-budget 30
+//	wire-serve loadgen -trace-in stream.csv
+//	wire-serve loadgen -shards 3 -kill-shard -arrivals poisson -sessions 24
+//
 // Chaos mode runs the fault-tolerance certificate: it hosts a daemon
 // in-process, drives the sessions through deterministically injected network
 // and cloud faults, optionally kills and restarts the daemon mid-run
@@ -77,6 +88,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/report"
 	"repro/internal/service"
+	"repro/internal/tenancy"
 )
 
 func main() {
@@ -354,11 +366,23 @@ func runLoadgen(args []string) error {
 	rolling := fs.Bool("rolling-restart", false, "cluster certificate: drain, restart, and rejoin every shard in sequence under live traffic")
 	churn := fs.Int("churn", 0, "cluster certificate: apply this many seeded kill/drain/join churn events, then heal the fleet")
 	withRetry := fs.Bool("retry", false, "retrying shared client (required to ride out a live failover)")
+	arrivalsProc := fs.String("arrivals", "", "arrival-stream mode: "+strings.Join(tenancy.Processes(), " | ")+" (sessions arrive over time instead of all at once)")
+	tenants := fs.Int("tenants", 3, "tenant streams in arrival mode")
+	arrivalRate := fs.Float64("arrival-rate", 24, "per-tenant arrivals per simulated hour")
+	tenantBudget := fs.Int("tenant-budget", 0, "per-tenant budget in charging units (0 = unlimited)")
+	tenantMaxActive := fs.Int("tenant-max-active", 0, "per-tenant concurrent-session cap (0 = unlimited)")
+	streamKeys := fs.String("stream-keys", "", "comma-separated workflow keys drawn per arrival (default: -workflow)")
+	compress := fs.Float64("compress", 3600, "time compression for arrival dispatch (simulated seconds per wall second)")
+	traceIn := fs.String("trace-in", "", "replay an arrival-stream CSV (see wire-workflows -stream) instead of generating one")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaosMode && *shardCount > 1 {
 		return fmt.Errorf("-chaos and -shards are separate certificates; pick one")
+	}
+	streamMode := *arrivalsProc != "" || *traceIn != ""
+	if streamMode && *chaosMode {
+		return fmt.Errorf("arrival-stream mode does not compose with -chaos; drop one")
 	}
 	if (*rolling || *churn > 0) && *shardCount <= 1 {
 		return fmt.Errorf("-rolling-restart and -churn need -shards N (the fleet to churn)")
@@ -383,9 +407,15 @@ func runLoadgen(args []string) error {
 			ChargingUnit:     unit.Seconds(),
 			MaxInstances:     *maxInst,
 		},
-		Noise:    *noise,
-		SeedBase: *seed,
-		Verify:   *verify,
+		Noise:              *noise,
+		SeedBase:           *seed,
+		Verify:             *verify,
+		Arrivals:           *arrivalsProc,
+		Tenants:            *tenants,
+		ArrivalRatePerHour: *arrivalRate,
+		TenantBudget:       *tenantBudget,
+		TenantMaxActive:    *tenantMaxActive,
+		TimeCompression:    *compress,
 		Progress: func(done, total int) {
 			if done%10 == 0 || done == total {
 				fmt.Fprintf(os.Stderr, "\rwire-serve loadgen: %d/%d sessions", done, total)
@@ -394,6 +424,25 @@ func runLoadgen(args []string) error {
 				}
 			}
 		},
+	}
+	if streamMode {
+		for _, k := range strings.Split(*streamKeys, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				cfg.StreamKeys = append(cfg.StreamKeys, k)
+			}
+		}
+		if *traceIn != "" {
+			f, err := os.Open(*traceIn)
+			if err != nil {
+				return err
+			}
+			s, err := tenancy.ReadStreamCSV(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("reading %s: %w", *traceIn, err)
+			}
+			cfg.Stream = s
+		}
 	}
 
 	var (
@@ -461,8 +510,16 @@ func runLoadgen(args []string) error {
 		}
 	}
 
+	load := fmt.Sprintf("%d×%s", res.Sessions, *workflow)
+	if streamMode {
+		keys := strings.Join(cfg.StreamKeys, ",")
+		if cfg.Stream != nil {
+			keys = "trace"
+		}
+		load = fmt.Sprintf("%d arrivals (%s) over %d tenants", res.Sessions, keys, res.Tenants)
+	}
 	t := &report.Table{
-		Title:   fmt.Sprintf("Loadgen — %d×%s under %s via %s", res.Sessions, *workflow, *policy, via),
+		Title:   fmt.Sprintf("Loadgen — %s under %s via %s", load, *policy, via),
 		Headers: []string{"metric", "value"},
 	}
 	t.AddRow("sessions completed", fmt.Sprintf("%d/%d", res.Completed, res.Sessions))
@@ -482,6 +539,12 @@ func runLoadgen(args []string) error {
 	}
 	if res.DegradedPlans > 0 {
 		t.AddRow("degraded plans", res.DegradedPlans)
+	}
+	if streamMode {
+		t.AddRow("tenants", res.Tenants)
+		t.AddRow("throttled creates", res.Throttled)
+		t.AddRow("deadline misses", res.DeadlineMisses)
+		t.AddRow("tenant spend", report.F(res.TenantSpendUnits, 1)+" units")
 	}
 	if *chaosMode {
 		n := res.NetFaults

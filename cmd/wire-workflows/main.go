@@ -1,5 +1,6 @@
 // Command wire-workflows prints the Table I workload characterization
-// (generated vs paper) and can export any catalogued workflow as JSON.
+// (generated vs paper), exports catalogued workflows, and drives the
+// multi-tenant arrival-stream subsystem (internal/tenancy).
 //
 // Usage:
 //
@@ -7,19 +8,28 @@
 //	wire-workflows -stages KEY          # per-stage breakdown of one run
 //	wire-workflows -export KEY          # workflow as JSON to stdout
 //	wire-workflows -dot KEY             # workflow as Graphviz DOT to stdout
+//	wire-workflows -stream              # generate an arrival stream as CSV
+//	wire-workflows -replay FILE         # replay a stream CSV through the
+//	                                    # multi-run simulator per policy
+//	wire-workflows -sweep               # arrival-rate x policy sweep table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/cloud"
 	"repro/internal/dagio"
 	"repro/internal/dot"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/simtime"
+	"repro/internal/tenancy"
 	"repro/internal/workloads"
 )
 
@@ -29,6 +39,19 @@ func main() {
 	export := flag.String("export", "", "export one catalogued workflow (by key, e.g. genome-s) as JSON to stdout")
 	stages := flag.String("stages", "", "print the per-stage breakdown of one catalogued workflow")
 	dotKey := flag.String("dot", "", "render one catalogued workflow as Graphviz DOT to stdout")
+	stream := flag.Bool("stream", false, "generate a multi-tenant arrival stream and emit it as a trace CSV")
+	replay := flag.String("replay", "", "replay a stream CSV (path, or - for stdin) through the multi-run simulator")
+	sweep := flag.Bool("sweep", false, "run the arrival-rate x arbiter-policy sweep")
+	n := flag.Int("n", 51, "arrivals per stream (-stream/-sweep)")
+	tenants := flag.Int("tenants", 3, "tenants per stream (-stream/-sweep)")
+	arrivals := flag.String("arrivals", tenancy.Poisson, "arrival process: "+strings.Join(tenancy.Processes(), "|"))
+	rate := flag.Float64("rate", 24, "per-tenant arrival rate per hour (-stream)")
+	rates := flag.String("rates", "12,24,48", "comma-separated per-tenant rates (-sweep)")
+	keys := flag.String("keys", "tpch6-s,tpch1-s,pagerank-s", "comma-separated workflow keys drawn by the stream")
+	policies := flag.String("policies", "", "comma-separated arbiter policies (default "+strings.Join(tenancy.Policies(), ",")+")")
+	capN := flag.Int("cap", 6, "shared site cap in instances (-replay/-sweep)")
+	budget := flag.Int("budget", 0, "shared budget in charging units; 0 derives it from the stream's draws")
+	workers := flag.Int("workers", 0, "sweep worker pool (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *dotKey != "" {
@@ -65,6 +88,21 @@ func main() {
 		return
 	}
 
+	if *stream || *replay != "" || *sweep {
+		err := runStreamMode(streamOpts{
+			stream: *stream, replay: *replay, sweep: *sweep, csv: *csv,
+			seed: *seed, n: *n, tenants: *tenants, process: *arrivals,
+			rate: *rate, rates: *rates, keys: splitList(*keys),
+			policies: splitList(*policies), cap_: *capN, budget: *budget,
+			workers: *workers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wire-workflows:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := experiments.Defaults()
 	cfg.Seed = *seed
 	tbl := experiments.Table1Report(experiments.Table1(cfg))
@@ -78,6 +116,161 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wire-workflows:", err)
 		os.Exit(1)
 	}
+}
+
+// streamOpts carries the tenancy-mode flag values.
+type streamOpts struct {
+	stream   bool
+	replay   string
+	sweep    bool
+	csv      bool
+	seed     int64
+	n        int
+	tenants  int
+	process  string
+	rate     float64
+	rates    string
+	keys     []string
+	policies []string
+	cap_     int
+	budget   int
+	workers  int
+}
+
+// streamSite is the shared-site template the stream modes simulate against:
+// small instances and a tight cap, so the cross-run arbiter has something to
+// arbitrate even at modest arrival counts.
+func streamSite() cloud.Config {
+	return cloud.Config{
+		SlotsPerInstance: 2,
+		LagTime:          3 * simtime.Minute,
+		ChargingUnit:     15 * simtime.Minute,
+		MaxInstances:     6,
+	}
+}
+
+// runStreamMode dispatches the tenancy modes: -stream (generate + export),
+// -replay (trace import through the multi-run simulator), -sweep.
+func runStreamMode(o streamOpts) error {
+	site := streamSite()
+	switch {
+	case o.stream:
+		s, err := tenancy.Generate(tenancy.StreamConfig{
+			Seed:          o.seed,
+			Process:       o.process,
+			N:             o.n,
+			Tenants:       o.tenants,
+			RatePerHour:   o.rate,
+			Keys:          o.keys,
+			Slots:         site.SlotsPerInstance,
+			LagS:          float64(site.LagTime),
+			ChargingUnitS: float64(site.ChargingUnit),
+		})
+		if err != nil {
+			return err
+		}
+		return tenancy.WriteStreamCSV(os.Stdout, s)
+
+	case o.replay != "":
+		var in io.Reader = os.Stdin
+		if o.replay != "-" {
+			f, err := os.Open(o.replay)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		s, err := tenancy.ReadStreamCSV(in)
+		if err != nil {
+			return err
+		}
+		return replayStream(s, o, site)
+
+	default: // -sweep
+		var rateList []float64
+		for _, part := range splitList(o.rates) {
+			r, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return fmt.Errorf("bad -rates entry %q: %w", part, err)
+			}
+			rateList = append(rateList, r)
+		}
+		_, tbl, err := tenancy.Sweep(tenancy.SweepConfig{
+			Seed:         o.seed,
+			Process:      o.process,
+			RatesPerHour: rateList,
+			Policies:     o.policies,
+			N:            o.n,
+			Tenants:      o.tenants,
+			Keys:         o.keys,
+			Cloud:        site,
+			Cap:          o.cap_,
+			BudgetUnits:  o.budget,
+			Workers:      o.workers,
+		})
+		if err != nil {
+			return err
+		}
+		if o.csv {
+			return tbl.WriteCSV(os.Stdout)
+		}
+		return tbl.Render(os.Stdout)
+	}
+}
+
+// replayStream runs an imported trace under each requested arbiter policy
+// and renders the per-policy comparison — the paired design on one stream.
+func replayStream(s *tenancy.Stream, o streamOpts, site cloud.Config) error {
+	policies := o.policies
+	if len(policies) == 0 {
+		policies = tenancy.Policies()
+	}
+	tbl := &report.Table{
+		Title: fmt.Sprintf("Trace replay: %d arrivals x %d tenants, cap %d (sim seed %d)",
+			len(s.Arrivals), len(s.Tenants()), o.cap_, o.seed),
+		Headers: []string{"policy", "budget_u", "misses", "miss_rate", "units",
+			"peak_held", "throttled", "q_delay_s", "makespan_s"},
+	}
+	for _, policy := range policies {
+		budget := o.budget
+		if budget <= 0 {
+			budget = s.TotalBudget()
+		}
+		if policy == tenancy.FCFS {
+			budget = 0 // the no-arbiter baseline ignores the budget
+		}
+		res, err := tenancy.RunStream(s, tenancy.MultiConfig{
+			Cloud: site,
+			Arbiter: tenancy.ArbiterConfig{
+				Policy:      policy,
+				Cap:         o.cap_,
+				BudgetUnits: budget,
+			},
+			SimSeed: o.seed,
+		})
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", policy, err)
+		}
+		tbl.AddRow(policy, budget, res.Misses, report.F(res.MissRate(), 3),
+			res.TotalUnits, res.PeakHeld, res.ThrottledAdmissions,
+			report.F(res.QueueDelayMeanS, 1), report.F(res.MakespanS, 0))
+	}
+	if o.csv {
+		return tbl.WriteCSV(os.Stdout)
+	}
+	return tbl.Render(os.Stdout)
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // printStages renders the per-stage breakdown of one catalogued run.

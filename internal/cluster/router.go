@@ -116,6 +116,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
 	mux.HandleFunc("/v1/sessions/{id}", rt.handleSession)
 	mux.HandleFunc("/v1/sessions/{id}/{verb}", rt.handleSession)
+	mux.HandleFunc("POST /v1/tenants", rt.handleTenantCreate)
+	mux.HandleFunc("GET /v1/tenants", rt.handleTenantList)
+	mux.HandleFunc("GET /v1/tenants/{name}", rt.handleTenantGet)
 	mux.HandleFunc("POST /v1/admin/drain", rt.handleDrain)
 	mux.HandleFunc("POST /v1/admin/join", rt.handleJoin)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)

@@ -107,6 +107,15 @@ type CreateSessionRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// Controller tunes it; nil reproduces the paper's settings.
 	Controller *ControllerSpec `json:"controller,omitempty"`
+
+	// Tenant tags the session with a tenant identity. Tenant-tagged creates
+	// pass the tenant registry's admission gate and are answered 429
+	// tenant_throttled while the tenant's budget or session cap is
+	// exhausted.
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineS is a soft completion deadline on the session's run clock
+	// (seconds, 0 = none), metered into the tenancy deadline-miss counter.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
 }
 
 // SessionInfo describes one session in API responses.
@@ -114,6 +123,7 @@ type SessionInfo struct {
 	ID        string    `json:"id"`
 	Policy    string    `json:"policy"`
 	Workflow  string    `json:"workflow"`
+	Tenant    string    `json:"tenant,omitempty"`
 	Tasks     int       `json:"tasks"`
 	Stages    int       `json:"stages"`
 	CreatedAt time.Time `json:"created_at"`
@@ -259,6 +269,7 @@ func (s *Server) sessionInfo(sess *Session) SessionInfo {
 		ID:        sess.ID,
 		Policy:    sess.Policy,
 		Workflow:  sess.Workflow.Name,
+		Tenant:    sess.TenantTag(),
 		Tasks:     sess.Workflow.NumTasks(),
 		Stages:    sess.Workflow.NumStages(),
 		CreatedAt: sess.CreatedAt(),
@@ -325,12 +336,35 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
+	if req.Tenant != "" && !ValidTenantName(req.Tenant) {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid tenant %q", req.Tenant)
+		return
+	}
+	if req.DeadlineS < 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "deadline_s must be non-negative")
+		return
+	}
+	// The tenancy admission gate runs after validation (refused nonsense is
+	// not an arrival) and before the store insert; every error path below
+	// must release the slot it took.
+	if req.Tenant != "" && !s.tenants.Admit(req.Tenant) {
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, CodeTenantThrottled,
+			"tenant %q throttled: budget or session cap exhausted; retry later", req.Tenant)
+		return
+	}
+	releaseTenant := func() {
+		if req.Tenant != "" {
+			s.tenants.Release(req.Tenant)
+		}
+	}
 	var sess *Session
 	if assigned != "" {
 		sess, err = s.store.CreateWithID(assigned, policy, wf, ctrl)
 		if errors.Is(err, ErrDuplicateID) {
 			// Lost the race against a concurrent retry of the same create.
 			if dup, derr := s.store.Get(assigned); derr == nil {
+				releaseTenant()
 				s.writeJSON(w, http.StatusOK, s.sessionInfo(dup))
 				return
 			}
@@ -339,14 +373,22 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		sess, err = s.store.Create(policy, wf, ctrl)
 	}
 	if errors.Is(err, ErrMaxSessions) {
+		releaseTenant()
 		s.metrics.SessionRejected()
 		s.writeError(w, http.StatusTooManyRequests, "max_sessions",
 			"session limit %d reached; delete a session or retry later", s.cfg.MaxSessions)
 		return
 	}
 	if err != nil {
+		releaseTenant()
 		s.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
+	}
+	if req.Tenant != "" || req.DeadlineS > 0 {
+		sess.mu.Lock()
+		sess.Tenant = req.Tenant
+		sess.DeadlineS = req.DeadlineS
+		sess.mu.Unlock()
 	}
 	s.metrics.SessionCreated()
 	s.openSessionJournal(sess, &req)
@@ -490,9 +532,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			wal := sess.wal
 			sess.wal = nil
 			sess.gone = true
+			tenant := sess.Tenant
 			sess.mu.Unlock()
 			wal.close(false)
 			s.store.Detach(sess.ID)
+			if tenant != "" {
+				s.tenants.Release(tenant)
+			}
 			s.metrics.SessionFenced()
 			s.cfg.Logf("wire-serve: session %s fenced by a newer adoption; withholding plan seq %d", sess.ID, assigned)
 			w.Header().Set("Retry-After", "1")
@@ -503,7 +549,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Logf("wire-serve: journal append failed for session %s: %v", sess.ID, jerr)
 	}
 	sess.lastSeq, sess.lastResp = assigned, resp
+	ten, tenOK := observeTenancy(sess, snap)
 	sess.mu.Unlock()
+	if tenOK {
+		s.applyTenancy(ten)
+	}
 	if degraded {
 		s.metrics.PlanDegraded()
 	}
@@ -575,9 +625,19 @@ func (s *Server) handleSessionState(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.store.Delete(id); err != nil {
+	sess, err := s.store.Get(id)
+	if err != nil {
 		s.writeError(w, http.StatusNotFound, "not_found", "session %q not found", id)
 		return
+	}
+	if err := s.store.Delete(id); err != nil {
+		// Lost a race against a concurrent delete/evict; that path released
+		// the tenant slot.
+		s.writeError(w, http.StatusNotFound, "not_found", "session %q not found", id)
+		return
+	}
+	if tenant := sess.TenantTag(); tenant != "" {
+		s.tenants.Release(tenant)
 	}
 	s.metrics.SessionDeleted()
 	w.WriteHeader(http.StatusNoContent)
@@ -598,6 +658,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		dump = s.metrics.Dump(s.now(), s.store.Len())
 	}
+	dump.Tenancy = s.tenants.Counters(dump.UptimeS)
 	if s.live != nil {
 		lm := s.live.Metrics()
 		dump.Live = &lm

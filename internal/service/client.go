@@ -46,6 +46,12 @@ const CodeShardRecovering = "shard_recovering"
 // owner.
 const CodeSessionFenced = "session_fenced"
 
+// CodeTenantThrottled is the error code a daemon returns (as a 429 with
+// Retry-After) when a tenant-tagged session create is refused because the
+// tenant's budget or active-session cap is exhausted. Pressure releases as
+// the tenant's sessions finish; clients should back off and retry.
+const CodeTenantThrottled = "tenant_throttled"
+
 // APIError is a non-2xx response decoded from the daemon's error body.
 type APIError struct {
 	StatusCode int
@@ -412,6 +418,33 @@ func (c *Client) MetricsDump(ctx context.Context) (*MetricsDump, error) {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// CreateTenant creates or updates a tenant's budget and session cap.
+func (c *Client) CreateTenant(ctx context.Context, spec TenantSpec) (*TenantInfo, error) {
+	var info TenantInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/tenants", 0, spec, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Tenants lists every tenant the daemon has seen.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var resp TenantListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants", 0, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Tenants, nil
+}
+
+// Tenant fetches one tenant's state.
+func (c *Client) Tenant(ctx context.Context, name string) (*TenantInfo, error) {
+	var info TenantInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/tenants/"+name, 0, nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
 }
 
 // RemoteController adapts one daemon session to sim.Controller, so the

@@ -254,9 +254,14 @@ func (s *Server) adoptWAL(src string, epoch int64, from string) (total, fresh in
 			st.gone = true
 			j := st.wal
 			st.wal = nil
+			tenant := st.Tenant
 			st.mu.Unlock()
 			if j != nil {
 				j.close(false)
+			}
+			if tenant != "" {
+				// The replay below reattaches the migrated copy's slot.
+				s.tenants.Release(tenant)
 			}
 		}
 	}
@@ -400,5 +405,9 @@ func (s *Server) exportSession(id string) (walPath string, ok bool) {
 		return "", false
 	}
 	j.close(false)
+	if tenant := sess.TenantTag(); tenant != "" {
+		// The session now spends on its adopter's ledger.
+		s.tenants.Release(tenant)
+	}
 	return j.path, true
 }

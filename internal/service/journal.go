@@ -34,6 +34,8 @@ type walRecord struct {
 	Policy     string          `json:"policy,omitempty"`
 	Workflow   *dagio.Document `json:"workflow,omitempty"`
 	Controller *ControllerSpec `json:"controller,omitempty"`
+	Tenant     string          `json:"tenant,omitempty"`
+	DeadlineS  float64         `json:"deadline_s,omitempty"`
 	CreatedAt  time.Time       `json:"created_at"`
 
 	// plan
@@ -141,6 +143,8 @@ func (s *Server) openSessionJournal(sess *Session, req *CreateSessionRequest) {
 		Policy:     sess.Policy,
 		Workflow:   doc,
 		Controller: req.Controller,
+		Tenant:     req.Tenant,
+		DeadlineS:  req.DeadlineS,
 		CreatedAt:  sess.CreatedAt(),
 	}
 	if err := j.append(rec); err != nil {
@@ -232,6 +236,8 @@ func (s *Server) recoverSession(path string, claimEpoch int64) error {
 		createdAt = s.now()
 	}
 	sess := s.store.NewDetached(create.ID, create.Policy, wf, ctrl, createdAt)
+	sess.Tenant = create.Tenant
+	sess.DeadlineS = create.DeadlineS
 
 	goodOffset := dec.InputOffset()
 	torn := false
@@ -284,6 +290,12 @@ func (s *Server) recoverSession(path string, claimEpoch int64) error {
 	if err := s.store.Insert(sess); err != nil {
 		sess.takeWAL().close(false)
 		return err
+	}
+	if sess.Tenant != "" {
+		// Recovery bypasses the admission gate: the daemon already accepted
+		// this session, so replay must never drop it — but its slot must
+		// count against the tenant again.
+		s.tenants.Reattach(sess.Tenant)
 	}
 	s.metrics.JournalReplayed()
 	s.cfg.Logf("wire-serve: recovered session %s (%s, %d plan(s)) from journal", sess.ID, sess.Policy, sess.lastSeq)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/sim"
+	"repro/internal/tenancy"
 	"repro/internal/workloads"
 )
 
@@ -68,6 +69,32 @@ type LoadgenConfig struct {
 	// exactly-once certificate.
 	Verify bool
 
+	// Arrivals, when set to an arrival-process name (poisson, burst,
+	// diurnal), switches to stream mode: sessions are submitted by a
+	// multi-tenant arrival stream instead of all at once, each tagged with
+	// its tenant and deadline (see loadgen_stream.go). Sessions becomes the
+	// stream length; WorkflowKey (or StreamKeys) bounds the workflow draw.
+	Arrivals string
+	// Stream replays an explicit arrival stream (a trace import) instead of
+	// generating one; it implies stream mode.
+	Stream *tenancy.Stream
+	// Tenants is the number of tenant streams (default 3).
+	Tenants int
+	// ArrivalRatePerHour is each tenant's mean arrival rate (default 24).
+	ArrivalRatePerHour float64
+	// TenantBudget, when positive, registers every tenant with this budget
+	// in charging units — creates beyond it are throttled and retried.
+	TenantBudget int
+	// TenantMaxActive, when positive, caps each tenant's concurrently
+	// active sessions.
+	TenantMaxActive int
+	// StreamKeys bounds the per-arrival workflow draw (default: WorkflowKey
+	// when set, else the full catalog).
+	StreamKeys []string
+	// TimeCompression divides simulated inter-arrival gaps to get wall
+	// sleeps (default 3600: one simulated hour per wall second).
+	TimeCompression float64
+
 	// Progress, when set, is called after each finished session.
 	Progress func(done, total int)
 }
@@ -107,6 +134,19 @@ type LoadgenResult struct {
 	NetFaults chaos.Counts
 	// CloudFaults aggregates injected cloud faults (chaos mode).
 	CloudFaults chaos.CloudCounts
+
+	// Tenants is the number of tenant streams (stream mode).
+	Tenants int
+	// Throttled counts tenant_throttled create refusals the generator
+	// observed and retried; every one was eventually admitted (a throttled
+	// session that never got in is counted in Failed instead).
+	Throttled int64
+	// DeadlineMisses sums the daemon's per-tenant deadline-miss counters
+	// after the run (stream mode).
+	DeadlineMisses int64
+	// TenantSpendUnits sums the daemon's per-tenant metered spend, in
+	// charging units (stream mode).
+	TenantSpendUnits float64
 
 	// Errors holds the first few failure messages.
 	Errors []string
@@ -166,6 +206,9 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
 	}
 	if cfg.Client == nil {
 		return nil, fmt.Errorf("loadgen: Client is required")
+	}
+	if cfg.Arrivals != "" || cfg.Stream != nil {
+		return loadgenStream(ctx, cfg)
 	}
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 100

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dagio"
+	"repro/internal/dist"
+	"repro/internal/sim"
+	"repro/internal/tenancy"
+	"repro/internal/workloads"
+)
+
+// Stream-mode load generation: instead of the classic fixed-N model — every
+// session created up front, all lifetimes starting together — sessions are
+// submitted by a multi-tenant arrival stream (internal/tenancy). Each arrival
+// creates a tenant-tagged session at its (time-compressed) arrival instant
+// and runs a heterogeneous workflow drawn by the stream, so the daemon sees
+// overlapping lifetimes, per-tenant admission pressure, and budget throttling
+// the way the multi-run simulator does. A create refused with
+// tenant_throttled is retried until admitted: the stream drops no sessions,
+// it queues them — mirroring the simulator arbiter's deferred queue.
+
+// streamDefaults fills the stream-mode fields of a LoadgenConfig.
+func (cfg *LoadgenConfig) streamDefaults() {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 100
+	}
+	if cfg.Tenants <= 0 {
+		cfg.Tenants = 3
+	}
+	if cfg.ArrivalRatePerHour <= 0 {
+		cfg.ArrivalRatePerHour = 24
+	}
+	if cfg.TimeCompression <= 0 {
+		// 1 simulated hour of arrival spacing ≈ 1 wall second.
+		cfg.TimeCompression = 3600
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = cfg.Sessions
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "wire"
+	}
+}
+
+// streamFor materializes the arrival stream the run will replay: the explicit
+// trace when set, a generated stream otherwise.
+func (cfg *LoadgenConfig) streamFor() (*tenancy.Stream, error) {
+	if cfg.Stream != nil {
+		if len(cfg.Stream.Arrivals) == 0 {
+			return nil, fmt.Errorf("loadgen: stream replay with no arrivals")
+		}
+		return cfg.Stream, nil
+	}
+	keys := cfg.StreamKeys
+	if len(keys) == 0 && cfg.WorkflowKey != "" {
+		keys = []string{cfg.WorkflowKey}
+	}
+	return tenancy.Generate(tenancy.StreamConfig{
+		Seed:          cfg.SeedBase,
+		Process:       cfg.Arrivals,
+		N:             cfg.Sessions,
+		Tenants:       cfg.Tenants,
+		RatePerHour:   cfg.ArrivalRatePerHour,
+		Keys:          keys,
+		Slots:         cfg.Cloud.SlotsPerInstance,
+		LagS:          float64(cfg.Cloud.LagTime),
+		ChargingUnitS: float64(cfg.Cloud.ChargingUnit),
+	})
+}
+
+// sessionSpec clones the controller spec for one arrival: the deadline policy
+// races each arrival's own deadline unless the caller pinned one.
+func (cfg *LoadgenConfig) sessionSpec(arr tenancy.Arrival) *ControllerSpec {
+	if cfg.Policy != "deadline" {
+		return cfg.Controller
+	}
+	spec := ControllerSpec{}
+	if cfg.Controller != nil {
+		spec = *cfg.Controller
+	}
+	if spec.Deadline <= 0 {
+		spec.Deadline = arr.DeadlineS
+	}
+	return &spec
+}
+
+// loadgenStream runs the arrival-stream mode of Loadgen.
+func loadgenStream(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
+	cfg.streamDefaults()
+	if cfg.Chaos != nil && cfg.Chaos.Active() {
+		return nil, fmt.Errorf("loadgen: chaos injection is not supported in arrival-stream mode")
+	}
+	if err := cfg.Cloud.Validate(); err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	stream, err := cfg.streamFor()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := NewPolicyController(cfg.Policy, cfg.Controller); err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+
+	tenants := stream.Tenants()
+	for _, name := range tenants {
+		spec := TenantSpec{Name: name, BudgetUnits: cfg.TenantBudget, MaxActive: cfg.TenantMaxActive}
+		if _, err := cfg.Client.CreateTenant(ctx, spec); err != nil {
+			return nil, fmt.Errorf("loadgen: registering tenant %s: %w", name, err)
+		}
+	}
+
+	res := &LoadgenResult{Sessions: len(stream.Arrivals), Tenants: len(tenants)}
+	var mu sync.Mutex // guards res, latencies, done
+	var latencies []float64
+	done := 0
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		res.Failed++
+		if len(res.Errors) < 5 {
+			res.Errors = append(res.Errors, fmt.Sprintf("arrival %d: %v", i, err))
+		}
+	}
+	finish := func() {
+		mu.Lock()
+		done++
+		d, total := done, len(stream.Arrivals)
+		mu.Unlock()
+		if cfg.Progress != nil {
+			cfg.Progress(d, total)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	prev := 0.0
+dispatch:
+	for idx := range stream.Arrivals {
+		arr := stream.Arrivals[idx]
+		gap := (float64(arr.Time) - prev) / cfg.TimeCompression
+		prev = float64(arr.Time)
+		if gap > 0 {
+			select {
+			case <-time.After(time.Duration(gap * float64(time.Second))):
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		wg.Add(1)
+		go func(i int, arr tenancy.Arrival) {
+			defer wg.Done()
+			defer finish()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				fail(i, ctx.Err())
+				return
+			}
+			defer func() { <-sem }()
+			cfg.runStreamSession(ctx, i, arr, res, &mu, &latencies, fail)
+		}(idx, arr)
+	}
+	wg.Wait()
+
+	res.Retries += cfg.Client.Retries()
+	res.Wall = time.Since(start)
+	if s := res.Wall.Seconds(); s > 0 {
+		res.PlansPerSec = float64(res.Plans) / s
+	}
+	res.Latency = SummarizeLatencies(latencies)
+
+	// The daemon's ledger is authoritative for misses and spend.
+	for _, name := range tenants {
+		info, err := cfg.Client.Tenant(ctx, name)
+		if err != nil {
+			continue
+		}
+		res.DeadlineMisses += info.DeadlineMisses
+		res.TenantSpendUnits += info.SpendUnits
+	}
+	return res, nil
+}
+
+// runStreamSession creates and runs one arrival's session, retrying
+// tenant-throttled creates until the daemon admits it.
+func (cfg *LoadgenConfig) runStreamSession(ctx context.Context, i int, arr tenancy.Arrival,
+	res *LoadgenResult, mu *sync.Mutex, latencies *[]float64, fail func(int, error)) {
+	run, ok := workloads.ByKey(arr.WorkflowKey)
+	if !ok {
+		fail(i, fmt.Errorf("unknown workflow key %q", arr.WorkflowKey))
+		return
+	}
+	wf := run.Generate(arr.WorkflowSeed)
+	simCfg := sim.Config{Cloud: cfg.Cloud, Seed: arr.WorkflowSeed}
+	if cfg.Noise > 0 {
+		simCfg.Interference = dist.NewLognormalFromMean(1, cfg.Noise)
+	}
+	if cfg.Policy == "full-site" {
+		simCfg.InitialInstances = cfg.Cloud.MaxInstances
+	}
+	spec := cfg.sessionSpec(arr)
+	req := CreateSessionRequest{
+		Workflow:   dagio.Encode(wf),
+		Policy:     cfg.Policy,
+		Controller: spec,
+		Tenant:     arr.Tenant,
+		DeadlineS:  arr.DeadlineS,
+	}
+
+	var rc *RemoteController
+	for {
+		var err error
+		rc, err = NewRemoteController(ctx, cfg.Client, req)
+		if err == nil {
+			break
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Code == CodeTenantThrottled {
+			// Back-pressure, not failure: the tenant's budget or session cap
+			// is exhausted and releases as its sessions finish. Honor the
+			// Retry-After floor but keep the loop tight enough for
+			// time-compressed runs.
+			mu.Lock()
+			res.Throttled++
+			mu.Unlock()
+			sleep := 200 * time.Millisecond
+			if ae.RetryAfter > sleep {
+				sleep = ae.RetryAfter
+			}
+			select {
+			case <-time.After(sleep):
+				continue
+			case <-ctx.Done():
+				fail(i, fmt.Errorf("create session: %w", ctx.Err()))
+				return
+			}
+		}
+		fail(i, fmt.Errorf("create session: %w", err))
+		return
+	}
+	defer rc.Close()
+	rc.SetLatencyObserver(func(d time.Duration) {
+		mu.Lock()
+		*latencies = append(*latencies, float64(d)/float64(time.Millisecond))
+		mu.Unlock()
+	})
+
+	remoteTee := &decisionTee{inner: rc}
+	remote, err := sim.Run(wf, remoteTee, simCfg)
+	if err != nil {
+		fail(i, fmt.Errorf("remote-planned run: %w", err))
+		return
+	}
+	if err := rc.Err(); err != nil {
+		fail(i, fmt.Errorf("plan transport: %w", err))
+		return
+	}
+
+	mismatch := ""
+	if cfg.Verify {
+		ctrl, err := NewPolicyController(cfg.Policy, spec)
+		if err != nil {
+			fail(i, err)
+			return
+		}
+		localTee := &decisionTee{inner: ctrl}
+		local, err := sim.Run(run.Generate(arr.WorkflowSeed), localTee, simCfg)
+		if err != nil {
+			fail(i, fmt.Errorf("in-process twin run: %w", err))
+			return
+		}
+		if d := diffDecisionStreams(remoteTee.decs, localTee.decs); d != "" {
+			mismatch = "decision streams differ: " + d
+		} else if d := diffResults(remote, local); d != "" {
+			mismatch = "remote/local mismatch: " + d
+		}
+	}
+
+	mu.Lock()
+	res.Completed++
+	if mismatch != "" {
+		res.Mismatched++
+		if len(res.Errors) < 5 {
+			res.Errors = append(res.Errors, fmt.Sprintf("arrival %d: %s", i, mismatch))
+		}
+	}
+	res.Plans += int64(remote.Decisions)
+	res.Decisions += int64(remote.Decisions)
+	res.DegradedPlans += rc.Degraded()
+	mu.Unlock()
+}

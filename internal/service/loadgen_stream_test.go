@@ -1,0 +1,124 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/tenancy"
+)
+
+// TestLoadgenStream is the live-plane arrival-sweep acceptance: a seeded
+// Poisson stream of heterogeneous tenant-tagged workflows submitted over
+// HTTP, with a per-tenant session cap forcing the admission gate to throttle
+// — and every throttled create retried until admitted, so no session drops.
+// Each run is twin-verified against an in-process controller.
+func TestLoadgenStream(t *testing.T) {
+	srv := New(Config{MaxSessions: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := Loadgen(context.Background(), LoadgenConfig{
+		Client:             NewClient(ts.URL),
+		Sessions:           12,
+		Arrivals:           tenancy.Poisson,
+		Tenants:            3,
+		ArrivalRatePerHour: 600, // tight gaps: whole dispatch ≈ a few wall ms
+		TenantMaxActive:    1,   // force throttled creates under concurrency
+		StreamKeys:         []string{"tpch6-s", "tpch1-s", "pagerank-s"},
+		TimeCompression:    36000,
+		Cloud:              testCloud,
+		SeedBase:           42,
+		Verify:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 || res.Failed != 0 {
+		t.Fatalf("completed %d / failed %d of %d: %v", res.Completed, res.Failed, res.Sessions, res.Errors)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d remote runs diverged from in-process twins: %v", res.Mismatched, res.Errors)
+	}
+	if res.Tenants != 3 {
+		t.Errorf("stream used %d tenants, want 3", res.Tenants)
+	}
+	if res.Throttled == 0 {
+		t.Error("no creates throttled under a 1-session tenant cap; admission gate inert")
+	}
+	if res.TenantSpendUnits <= 0 {
+		t.Errorf("no tenant spend metered: %+v", res.TenantSpendUnits)
+	}
+	if srv.Store().Len() != 0 {
+		t.Errorf("%d sessions leaked after stream loadgen", srv.Store().Len())
+	}
+	dump := srv.Metrics().Dump(srv.now(), srv.Store().Len())
+	tc := srv.Tenants().Counters(dump.UptimeS)
+	if tc.ArrivalsTotal != 12 {
+		t.Errorf("daemon admitted %d arrivals, want 12", tc.ArrivalsTotal)
+	}
+	if tc.AdmissionsThrottledTotal == 0 {
+		t.Error("daemon recorded no throttled admissions")
+	}
+}
+
+// TestLoadgenStreamTrace replays an explicit stream (the trace-import path)
+// and pins determinism: two replays of the same stream submit the same
+// session population and produce identical per-arrival workflow draws.
+func TestLoadgenStreamTrace(t *testing.T) {
+	stream, err := tenancy.Generate(tenancy.StreamConfig{
+		Seed: 7, Process: tenancy.Poisson, N: 6, Tenants: 2, RatePerHour: 600,
+		Keys: []string{"tpch6-s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() *LoadgenResult {
+		srv := New(Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		res, err := Loadgen(context.Background(), LoadgenConfig{
+			Client:          NewClient(ts.URL),
+			Stream:          stream,
+			TimeCompression: 36000,
+			Cloud:           testCloud,
+			Verify:          true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := runOnce(), runOnce()
+	if a.Completed != 6 || a.Failed != 0 || a.Mismatched != 0 {
+		t.Fatalf("trace replay: %+v errors %v", a, a.Errors)
+	}
+	if a.Completed != b.Completed || a.Plans != b.Plans || a.Decisions != b.Decisions {
+		t.Errorf("two replays of the same trace differ: %d/%d plans vs %d/%d",
+			a.Completed, a.Plans, b.Completed, b.Plans)
+	}
+}
+
+// TestLoadgenStreamValidation pins stream-mode configuration errors.
+func TestLoadgenStreamValidation(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+
+	if _, err := Loadgen(context.Background(), LoadgenConfig{
+		Client: client, Arrivals: "lunar", Cloud: testCloud,
+	}); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	if _, err := Loadgen(context.Background(), LoadgenConfig{
+		Client: client, Arrivals: tenancy.Poisson,
+	}); err == nil {
+		t.Error("invalid cloud config accepted")
+	}
+	if _, err := Loadgen(context.Background(), LoadgenConfig{
+		Client: client, Stream: &tenancy.Stream{}, Cloud: testCloud,
+	}); err == nil {
+		t.Error("empty stream accepted")
+	}
+}

@@ -203,11 +203,32 @@ type FaultToleranceCounters struct {
 	FencedRejectsTotal int64 `json:"fenced_rejects_total,omitempty"`
 }
 
+// TenancyCounters is the tenancy block of the metrics document: the
+// multi-tenant admission and budget view aggregated over every tenant the
+// daemon has seen.
+type TenancyCounters struct {
+	// TenantsActive counts tenants with at least one active session.
+	TenantsActive int `json:"tenants_active"`
+	// ArrivalsTotal counts admitted tenant-tagged session creates.
+	ArrivalsTotal int64 `json:"arrivals_total"`
+	// AdmissionsThrottledTotal counts creates refused by a tenant budget or
+	// active-session cap (answered 429 tenant_throttled).
+	AdmissionsThrottledTotal int64 `json:"admissions_throttled_total"`
+	// BudgetSpendRate is the aggregate metered spend in charging units per
+	// hour of daemon uptime.
+	BudgetSpendRate float64 `json:"budget_spend_rate"`
+	// DeadlineMissesTotal counts sessions observed past their deadline with
+	// work remaining.
+	DeadlineMissesTotal int64 `json:"deadline_misses_total"`
+}
+
 // MetricsDump is the GET /metrics response body.
 type MetricsDump struct {
 	UptimeS        float64                `json:"uptime_s"`
 	Sessions       SessionCounters        `json:"sessions"`
 	FaultTolerance FaultToleranceCounters `json:"fault_tolerance"`
+	// Tenancy aggregates the multi-tenant admission view (see TenancyCounters).
+	Tenancy TenancyCounters `json:"tenancy"`
 	// EncodeErrorsTotal counts responses that failed JSON encoding and were
 	// served as 500 encode_failed.
 	EncodeErrorsTotal int64 `json:"encode_errors_total"`
@@ -288,6 +309,11 @@ func (d *MetricsDump) Merge(o MetricsDump) {
 	d.FaultTolerance.SessionsAdoptedTotal += o.FaultTolerance.SessionsAdoptedTotal
 	d.FaultTolerance.SessionsExportedTotal += o.FaultTolerance.SessionsExportedTotal
 	d.FaultTolerance.FencedRejectsTotal += o.FaultTolerance.FencedRejectsTotal
+	d.Tenancy.TenantsActive += o.Tenancy.TenantsActive
+	d.Tenancy.ArrivalsTotal += o.Tenancy.ArrivalsTotal
+	d.Tenancy.AdmissionsThrottledTotal += o.Tenancy.AdmissionsThrottledTotal
+	d.Tenancy.BudgetSpendRate += o.Tenancy.BudgetSpendRate
+	d.Tenancy.DeadlineMissesTotal += o.Tenancy.DeadlineMissesTotal
 	d.EncodeErrorsTotal += o.EncodeErrorsTotal
 	if d.Endpoints == nil {
 		d.Endpoints = make(map[string]EndpointCounters)

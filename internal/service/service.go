@@ -109,6 +109,7 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	metrics *Metrics
+	tenants *TenantRegistry
 	mux     *http.ServeMux
 	live    *exec.Registry
 	start   time.Time
@@ -125,6 +126,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		store:   NewStore(cfg.MaxSessions, cfg.Clock),
 		metrics: NewMetrics(cfg.Clock()),
+		tenants: NewTenantRegistry(),
 		start:   cfg.Clock(),
 	}
 	if cfg.JournalDir != "" {
@@ -142,6 +144,9 @@ func New(cfg Config) *Server {
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.Handle("POST /v1/tenants", s.instrument("create_tenant", s.handleCreateTenant))
+	mux.Handle("GET /v1/tenants", s.instrument("tenant_list", s.handleListTenants))
+	mux.Handle("GET /v1/tenants/{name}", s.instrument("tenant_state", s.handleGetTenant))
 	if cfg.ShardMode {
 		mux.Handle("POST /v1/admin/adopt", s.instrument("adopt", s.handleAdopt))
 		mux.Handle("POST /v1/admin/export", s.instrument("export", s.handleExport))
@@ -179,6 +184,9 @@ func (s *Server) Store() *Store { return s.store }
 
 // Metrics exposes the metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tenants exposes the tenant registry (tests and embedding callers).
+func (s *Server) Tenants() *TenantRegistry { return s.tenants }
 
 // Epoch returns the highest cluster fencing epoch this shard has seen.
 func (s *Server) Epoch() int64 { return s.epoch.Load() }
@@ -228,7 +236,13 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 // EvictIdleNow runs one eviction sweep and returns the number of sessions
 // dropped. The janitor calls it on every tick; tests call it directly.
 func (s *Server) EvictIdleNow() int {
-	n := s.store.EvictIdle(s.cfg.IdleTTL)
+	evicted := s.store.EvictIdleSessions(s.cfg.IdleTTL)
+	for _, sess := range evicted {
+		if sess.Tenant != "" {
+			s.tenants.Release(sess.Tenant)
+		}
+	}
+	n := len(evicted)
 	s.metrics.SessionsEvicted(n)
 	if n > 0 {
 		s.cfg.Logf("wire-serve: evicted %d idle session(s), %d live", n, s.store.Len())

@@ -34,6 +34,18 @@ type Session struct {
 	ID       string
 	Policy   string
 	Workflow *dag.Workflow
+	// Tenant, when non-empty, names the tenant this session was admitted
+	// under; the registry releases its slot when the session goes away.
+	// Set once at create/recovery, before the session is routable.
+	Tenant string
+	// DeadlineS is the session's soft deadline on its run clock (seconds,
+	// 0 = none); plan handling flags a deadline miss when a snapshot passes
+	// it with tasks remaining.
+	DeadlineS float64
+
+	// missRecorded latches the one-shot deadline-miss observation above.
+	// Guarded by mu.
+	missRecorded bool
 
 	// mu guards ctrl and the planning state below (controllers keep
 	// mutable run state).
@@ -98,6 +110,15 @@ func (s *Session) takeWAL() *journal {
 	s.wal = nil
 	s.mu.Unlock()
 	return j
+}
+
+// TenantTag returns the session's tenant identity (empty when untagged).
+// Tenant is written once at create/recovery; the mutex makes the write
+// visible to handlers that picked the session up concurrently.
+func (s *Session) TenantTag() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Tenant
 }
 
 // CreatedAt returns the session creation time.
@@ -285,8 +306,14 @@ func (st *Store) Len() int {
 // EvictIdle removes every session idle for longer than ttl and returns how
 // many were evicted. A non-positive ttl disables eviction.
 func (st *Store) EvictIdle(ttl time.Duration) int {
+	return len(st.EvictIdleSessions(ttl))
+}
+
+// EvictIdleSessions is EvictIdle returning the evicted sessions themselves,
+// so the caller can release their tenant slots.
+func (st *Store) EvictIdleSessions(ttl time.Duration) []*Session {
 	if ttl <= 0 {
-		return 0
+		return nil
 	}
 	cutoff := st.now().Add(-ttl).UnixNano()
 	st.mu.Lock()
@@ -301,5 +328,5 @@ func (st *Store) EvictIdle(ttl time.Duration) int {
 	for _, s := range evicted {
 		s.takeWAL().close(true)
 	}
-	return len(evicted)
+	return evicted
 }

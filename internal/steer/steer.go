@@ -144,6 +144,75 @@ func ResizePoolTarget(remaining []float64, u simtime.Duration, l int, restartFra
 	return p
 }
 
+// Throttle clamps a per-workflow controller's decision to a cross-run grant
+// (internal/tenancy's arbiter): launches are cut to what the grant allows,
+// and any pool surplus above the granted target is shed with boundary-timed
+// releases — the same no-recharge release the single-run policy uses, so a
+// throttled run never forfeits paid-for capacity early. target is the
+// granted pool ceiling; maxLaunch additionally bounds new launches this
+// interval (the arbiter derives it from the shared site cap).
+func Throttle(dec sim.Decision, instances []monitor.InstanceRecord, target, maxLaunch int) sim.Decision {
+	if target < 0 {
+		target = 0
+	}
+	if maxLaunch < 0 {
+		maxLaunch = 0
+	}
+	released := make(map[cloud.InstanceID]bool, len(dec.Releases))
+	for _, r := range dec.Releases {
+		released[r.Instance] = true
+	}
+	// Instances that survive the controller's own releases and are not
+	// already draining are the run's effective pool after this decision.
+	survivors := make([]monitor.InstanceRecord, 0, len(instances))
+	for _, in := range instances {
+		if in.Draining || released[in.ID] {
+			continue
+		}
+		survivors = append(survivors, in)
+	}
+	held := len(survivors)
+
+	allow := target - held
+	if allow > maxLaunch {
+		allow = maxLaunch
+	}
+	if allow < 0 {
+		allow = 0
+	}
+	if dec.Launch > allow {
+		dec.Launch = allow
+	}
+
+	excess := held + dec.Launch - target
+	if excess <= 0 {
+		return dec
+	}
+	// Shed the surplus gently: only idle instances are released (at their
+	// charging boundary, so no paid capacity is forfeited). Busy instances
+	// are never killed — a run above its grant simply loses launch rights
+	// and drains as its tasks finish; the target is a ceiling on growth,
+	// not a preemption order. Youngest (highest ID) first, keeping
+	// long-lived instances with established charging origins.
+	idle := survivors[:0]
+	for _, in := range survivors {
+		if len(in.Running) == 0 {
+			idle = append(idle, in)
+		}
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i].ID > idle[j].ID })
+	rel := append([]sim.ReleaseOrder(nil), dec.Releases...)
+	for _, in := range idle {
+		if excess <= 0 {
+			break
+		}
+		rel = append(rel, sim.ReleaseOrder{Instance: in.ID, AtBoundary: true})
+		excess--
+	}
+	dec.Releases = rel
+	return dec
+}
+
 // Candidate describes one current instance for the shrink path of
 // Algorithm 2.
 type Candidate struct {

@@ -1,0 +1,84 @@
+package tenancy
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Accountant replicates one run's billing onto the shared global ledger by
+// watching its sim events. The simulator bills from activation (pending and
+// DOA-written-off instances are never charged); the accountant mirrors that
+// exactly, so after the run finishes its settled total equals the run
+// Result's UnitsCharged — an invariant the harness checks every run.
+type Accountant struct {
+	unit   simtime.Duration
+	offset simtime.Time // run start on the global clock
+
+	// pending holds requested instances that have not activated; origins
+	// maps active instances to their global charge origin.
+	pending map[cloud.InstanceID]struct{}
+	origins map[cloud.InstanceID]simtime.Time
+	settled int
+}
+
+// NewAccountant tracks a run started at the given global time, billed in
+// the given charging unit.
+func NewAccountant(unit simtime.Duration, offset simtime.Time) *Accountant {
+	return &Accountant{
+		unit:    unit,
+		offset:  offset,
+		pending: make(map[cloud.InstanceID]struct{}),
+		origins: make(map[cloud.InstanceID]simtime.Time),
+	}
+}
+
+// Observe consumes one sim event (run-local time). It is called on the run's
+// goroutine; the harness's grant protocol serializes access.
+func (a *Accountant) Observe(ev sim.Event) {
+	switch ev.Kind {
+	case sim.EvInstanceLaunch:
+		a.pending[ev.Instance] = struct{}{}
+	case sim.EvInstanceActive:
+		delete(a.pending, ev.Instance)
+		a.origins[ev.Instance] = a.offset + ev.Time
+	case sim.EvInstanceDOA:
+		// Written off unbilled; no terminate event follows.
+		delete(a.pending, ev.Instance)
+	case sim.EvInstanceTerminated, sim.EvInstanceFailed:
+		if _, ok := a.pending[ev.Instance]; ok {
+			// Canceled before activation: unbilled.
+			delete(a.pending, ev.Instance)
+			return
+		}
+		origin, ok := a.origins[ev.Instance]
+		if !ok {
+			return
+		}
+		delete(a.origins, ev.Instance)
+		a.settled += simtime.UnitsCharged(origin, a.offset+ev.Time, a.unit)
+	}
+}
+
+// Held counts instances currently held: pending orders plus active
+// instances (draining ones stay held until their terminate event).
+func (a *Accountant) Held() int { return len(a.pending) + len(a.origins) }
+
+// Settled returns the units of terminated instances.
+func (a *Accountant) Settled() int { return a.settled }
+
+// Committed projects the run's spend at the given global instant: settled
+// units, plus the accrued units of every active instance, plus one unit per
+// pending order (a launch commits at least its first unit once it
+// activates).
+func (a *Accountant) Committed(now simtime.Time) int {
+	total := a.settled + len(a.pending)
+	for _, origin := range a.origins {
+		u := simtime.UnitsCharged(origin, now, a.unit)
+		if u < 1 {
+			u = 1
+		}
+		total += u
+	}
+	return total
+}

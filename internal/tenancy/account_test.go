@@ -1,0 +1,88 @@
+package tenancy
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// The accountant's event-replicated billing must match the simulator's own
+// Result exactly — for every catalog workload, under the real controller.
+func TestAccountantMatchesSimulator(t *testing.T) {
+	for _, run := range workloads.Catalog() {
+		run := run
+		t.Run(run.Key, func(t *testing.T) {
+			acct := NewAccountant(900, 1234.5)
+			res, err := sim.Run(run.Generate(7), core.New(core.Config{}), sim.Config{
+				Cloud:    cloud.Config{SlotsPerInstance: 2, LagTime: 180, ChargingUnit: 900, MaxInstances: 6},
+				Observer: acct.Observe,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acct.Settled() != res.UnitsCharged {
+				t.Errorf("accountant settled %d units, simulator charged %d", acct.Settled(), res.UnitsCharged)
+			}
+			if acct.Held() != 0 {
+				t.Errorf("%d instances still held after the run finished", acct.Held())
+			}
+		})
+	}
+}
+
+func TestAccountantLifecycle(t *testing.T) {
+	acct := NewAccountant(900, 1000)
+
+	// A pending launch is held and commits one unit, but settles nothing.
+	acct.Observe(sim.Event{Kind: sim.EvInstanceLaunch, Instance: 1, Time: 0})
+	if acct.Held() != 1 {
+		t.Fatalf("held %d after launch, want 1", acct.Held())
+	}
+	if got := acct.Committed(1000); got != 1 {
+		t.Errorf("committed %d with one pending launch, want 1", got)
+	}
+
+	// Canceled before activation: unbilled, no longer held.
+	acct.Observe(sim.Event{Kind: sim.EvInstanceTerminated, Instance: 1, Time: 100})
+	if acct.Held() != 0 || acct.Settled() != 0 {
+		t.Errorf("pending cancel billed: held %d settled %d", acct.Held(), acct.Settled())
+	}
+
+	// DOA: written off unbilled.
+	acct.Observe(sim.Event{Kind: sim.EvInstanceLaunch, Instance: 2, Time: 100})
+	acct.Observe(sim.Event{Kind: sim.EvInstanceDOA, Instance: 2, Time: 200})
+	if acct.Held() != 0 || acct.Settled() != 0 {
+		t.Errorf("DOA billed: held %d settled %d", acct.Held(), acct.Settled())
+	}
+
+	// Active instance: committed accrues with global time, settles on
+	// terminate from its activation origin.
+	acct.Observe(sim.Event{Kind: sim.EvInstanceLaunch, Instance: 3, Time: 200})
+	acct.Observe(sim.Event{Kind: sim.EvInstanceActive, Instance: 3, Time: 380})
+	if got := acct.Committed(1000 + 380); got != 1 {
+		t.Errorf("committed %d just after activation, want 1", got)
+	}
+	if got := acct.Committed(1000 + 380 + 901); got != 2 {
+		t.Errorf("committed %d into the second unit, want 2", got)
+	}
+	acct.Observe(sim.Event{Kind: sim.EvInstanceTerminated, Instance: 3, Time: 380 + 1800})
+	if acct.Settled() != 2 {
+		t.Errorf("settled %d after two full units, want 2", acct.Settled())
+	}
+	if acct.Held() != 0 {
+		t.Errorf("held %d after terminate, want 0", acct.Held())
+	}
+
+	// Failed instances settle like terminated ones (the simulator emits
+	// Failed then Terminated at the same instant; settling must not double).
+	acct.Observe(sim.Event{Kind: sim.EvInstanceLaunch, Instance: 4, Time: 2000})
+	acct.Observe(sim.Event{Kind: sim.EvInstanceActive, Instance: 4, Time: 2100})
+	acct.Observe(sim.Event{Kind: sim.EvInstanceFailed, Instance: 4, Time: 2500})
+	acct.Observe(sim.Event{Kind: sim.EvInstanceTerminated, Instance: 4, Time: 2500})
+	if acct.Settled() != 3 {
+		t.Errorf("settled %d after failed instance, want 3 (one unit, not double)", acct.Settled())
+	}
+}

@@ -1,0 +1,83 @@
+package tenancy
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// A write/read round trip must reproduce the stream's arrivals bit for bit
+// (floats use strconv's shortest exact form).
+func TestTraceRoundTrip(t *testing.T) {
+	for _, process := range Processes() {
+		s, err := Generate(testStreamConfig(process, 24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteStreamCSV(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadStreamCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Process != TraceProcess {
+			t.Errorf("imported process %q, want %q", back.Process, TraceProcess)
+		}
+		if !reflect.DeepEqual(s.Arrivals, back.Arrivals) {
+			t.Errorf("%s: arrivals changed across the CSV round trip", process)
+		}
+	}
+}
+
+// The checked-in fixture pins the acceptance stream: generation must still
+// reproduce it exactly (the determinism certificate for arrival draws), and
+// replaying it through the simulator plane must be reproducible.
+func TestTraceFixtureReplay(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "stream_poisson_s42.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixture, err := ReadStreamCSV(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(testStreamConfig(Poisson, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gen.Arrivals, fixture.Arrivals) {
+		t.Fatal("generated stream no longer matches the checked-in fixture; " +
+			"if the generator changed intentionally, regenerate testdata with wire-workflows stream")
+	}
+
+	a := runAcceptance(t, fixture, Urgency, 70)
+	b := runAcceptance(t, fixture, Urgency, 70)
+	if !reflect.DeepEqual(normalized(a), normalized(b)) {
+		t.Error("fixture replay is not reproducible")
+	}
+	if len(a.Outcomes) != len(fixture.Arrivals) {
+		t.Errorf("%d outcomes for %d fixture arrivals", len(a.Outcomes), len(fixture.Arrivals))
+	}
+}
+
+func TestReadStreamCSVRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad header":       "when,who,what,seed,deadline_s,budget_units\n",
+		"empty":            "arrival_s,tenant,workflow,seed,deadline_s,budget_units\n",
+		"unknown workflow": "arrival_s,tenant,workflow,seed,deadline_s,budget_units\n1,t0,nope,7,100,1\n",
+		"empty tenant":     "arrival_s,tenant,workflow,seed,deadline_s,budget_units\n1,,tpch6-s,7,100,1\n",
+		"unsorted": "arrival_s,tenant,workflow,seed,deadline_s,budget_units\n" +
+			"5,t0,tpch6-s,7,100,1\n1,t0,tpch6-s,8,100,1\n",
+		"bad float": "arrival_s,tenant,workflow,seed,deadline_s,budget_units\nxyz,t0,tpch6-s,7,100,1\n",
+	}
+	for name, csvText := range cases {
+		if _, err := ReadStreamCSV(strings.NewReader(csvText)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

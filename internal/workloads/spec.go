@@ -165,6 +165,31 @@ func (s Spec) TotalTasks() int {
 	return n
 }
 
+// NominalWork returns the spec's total slot-seconds of work (mean exec plus
+// mean transfer per task, no skew) — the catalog-level prior for cost
+// estimates before any observations exist.
+func (s Spec) NominalWork() float64 {
+	work := 0.0
+	for _, ss := range s.Stages {
+		work += float64(ss.Count) * (ss.MeanExec + ss.TransferMean)
+	}
+	return work
+}
+
+// MeanExecTime returns the spec's work-weighted mean per-task execution
+// time; 1 for a spec with no tasks, so it is always a usable divisor.
+func (s Spec) MeanExecTime() float64 {
+	work, n := 0.0, 0
+	for _, ss := range s.Stages {
+		work += float64(ss.Count) * ss.MeanExec
+		n += ss.Count
+	}
+	if n == 0 {
+		return 1
+	}
+	return work / float64(n)
+}
+
 // linkDeps returns task i's dependency list. The result is borrowed — it
 // may alias prev or scratch and is only valid until the next call; callers
 // hand it straight to Builder.AddTask, which copies.

@@ -227,3 +227,21 @@ func TestTotalTasks(t *testing.T) {
 		t.Fatalf("TotalTasks = %d", r.Spec.TotalTasks())
 	}
 }
+
+// TestNominalEstimates pins the catalog-level priors the tenancy arbiter
+// seeds its remaining-work and cost estimates from.
+func TestNominalEstimates(t *testing.T) {
+	spec := Spec{Stages: []StageSpec{
+		{Count: 4, MeanExec: 10, TransferMean: 2},
+		{Count: 1, MeanExec: 8},
+	}}
+	if got, want := spec.NominalWork(), 4*(10+2.0)+8; got != want {
+		t.Errorf("NominalWork = %v, want %v", got, want)
+	}
+	if got, want := spec.MeanExecTime(), (4*10+8.0)/5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanExecTime = %v, want %v", got, want)
+	}
+	if got := (Spec{}).MeanExecTime(); got != 1 {
+		t.Errorf("empty-spec MeanExecTime = %v, want the usable-divisor default 1", got)
+	}
+}
