@@ -56,6 +56,24 @@
 //	wire-serve loadgen -shards 3 -rolling-restart -sessions 30 -concurrency 4
 //	wire-serve loadgen -shards 3 -churn 8 -sessions 30 -concurrency 4
 //
+// The partition certificate replaces process kills with a seeded network
+// nemesis: symmetric splits, one-way router→shard drops, and slow links are
+// applied and healed in sequence under live load, after which the post-run
+// journal audit must come back clean:
+//
+//	wire-serve loadgen -shards 3 -partition split,oneway,slow -sessions 60
+//	wire-serve loadgen -shards 3 -partition seeded:4 -sessions 60
+//
+// Audit mode replays a set of journal directories (the union of every
+// shard's -journal dir, gathered after a run or an incident) and checks
+// machine-verifiable global invariants: exactly-once decisions, at most one
+// unfenced writer per session, monotone seq/epoch, no lost or double-billed
+// planning intervals, lease grant/terminal identity, and per-tenant spend
+// within budget. It prints a JSON report and exits non-zero on violations:
+//
+//	wire-serve audit -journal /mnt/journals/s0 -journal /mnt/journals/s1
+//	wire-serve audit -selftest    # mutation self-test of the auditor itself
+//
 // Admin mode drives the router's elastic membership endpoints from the
 // command line:
 //
@@ -79,10 +97,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/cluster"
@@ -94,7 +115,7 @@ import (
 func main() {
 	args := os.Args[1:]
 	mode := "serve"
-	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" || args[0] == "route" || args[0] == "admin") {
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen" || args[0] == "route" || args[0] == "admin" || args[0] == "audit") {
 		mode, args = args[0], args[1:]
 	}
 	var err error
@@ -107,6 +128,8 @@ func main() {
 		err = runRoute(args)
 	case "admin":
 		err = runAdmin(args)
+	case "audit":
+		err = runAudit(args)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wire-serve:", err)
@@ -123,10 +146,14 @@ func runServe(args []string) error {
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain bound for HTTP requests")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown drain bound for in-flight agent leases")
 	journal := fs.String("journal", "", "crash-recovery journal directory (empty = journaling off)")
+	fsyncMode := fs.String("journal-fsync", service.FsyncPerInterval, "WAL durability: record (fsync every append) | interval (at most once per -journal-fsync-interval) | off")
+	fsyncInterval := fs.Duration("journal-fsync-interval", 100*time.Millisecond, "sync period for -journal-fsync interval")
 	liveRuns := fs.Int("live-max-runs", 8, "concurrent live execution runs (-1 = live plane off)")
 	shardMode := fs.Bool("shard", false, "session-shard mode: honor router-assigned session IDs and serve the /v1/admin handoff endpoints")
 	selfName := fs.String("name", "", "this shard's name on the router's ring (enables SIGTERM self-drain with -router)")
 	routerURL := fs.String("router", "", "router base URL; with -name, SIGTERM drains this shard out of the ring before shutdown")
+	partAfter := fs.Duration("chaos-partition-after", 0, "partition nemesis: this long after startup, start dropping router-tagged requests (0 = off)")
+	partFor := fs.Duration("chaos-partition-for", 3*time.Second, "partition nemesis: how long the one-way drop window lasts")
 	quiet := fs.Bool("quiet", false, "suppress operational log lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +164,11 @@ func runServe(args []string) error {
 	if (*selfName == "") != (*routerURL == "") {
 		return fmt.Errorf("serve -name and -router go together (both identify this shard to the router for SIGTERM self-drain)")
 	}
+	switch *fsyncMode {
+	case service.FsyncRecord, service.FsyncPerInterval, service.FsyncOff:
+	default:
+		return fmt.Errorf("serve -journal-fsync wants record, interval, or off (got %q)", *fsyncMode)
+	}
 
 	logf := func(format string, fargs ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", fargs...)
@@ -144,17 +176,43 @@ func runServe(args []string) error {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := service.New(service.Config{
+	scfg := service.Config{
 		MaxSessions:     *maxSessions,
 		IdleTTL:         *ttl,
 		JanitorInterval: *janitor,
 		ShutdownGrace:   *grace,
 		DrainTimeout:    *drainTimeout,
 		JournalDir:      *journal,
+		FsyncMode:       *fsyncMode,
+		FsyncInterval:   *fsyncInterval,
 		LiveMaxRuns:     *liveRuns,
 		ShardMode:       *shardMode,
 		Logf:            logf,
-	})
+	}
+	if *partAfter > 0 {
+		// One-way link cut, realized in-process: during the window, any
+		// request tagged with the router's identity header is dropped with a
+		// connection reset (no HTTP response), exactly what a severed
+		// router→shard link looks like from the router's side. Untagged
+		// traffic — including the peer-relayed confirmation probes — still
+		// lands, so the router can prove this shard alive-but-partitioned.
+		scfg.Middleware = func(next http.Handler) http.Handler {
+			start := time.Now()
+			var once sync.Once
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Header.Get(service.RouterIdentityHeader) != "" {
+					if el := time.Since(start); el >= *partAfter && el < *partAfter+*partFor {
+						once.Do(func() {
+							logf("wire-serve: chaos: dropping router-tagged requests for %v", *partFor)
+						})
+						panic(http.ErrAbortHandler)
+					}
+				}
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	srv := service.New(scfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -254,6 +312,69 @@ func runAdmin(args []string) error {
 		return fmt.Errorf("join %s: %w", sh.Name, err)
 	}
 	fmt.Printf("wire-serve admin: joined: %s\n", strings.TrimSpace(string(body)))
+	return nil
+}
+
+// runAudit merges a set of journal directories and checks the global
+// consistency invariants (internal/audit), printing the JSON report to
+// stdout. Exit status is the verdict: non-zero when any violation is found,
+// so `wire-serve audit ... || alert` is the whole integration. With
+// -selftest it instead runs the auditor's own mutation-coverage check.
+func runAudit(args []string) error {
+	fs := flag.NewFlagSet("wire-serve audit", flag.ExitOnError)
+	var dirs stringList
+	fs.Var(&dirs, "journal", "journal directory to audit (repeatable; positional args are accepted too)")
+	var budgetFlags stringList
+	fs.Var(&budgetFlags, "budget", "per-tenant budget as tenant=units (repeatable; enables the budget_overspend check)")
+	slack := fs.Float64("slack", 0, "charging units of slack before budget_overspend fires (austerity admission may legitimately run slightly over)")
+	selftest := fs.Bool("selftest", false, "run the auditor's mutation self-test (seeded corruptions must all be caught) instead of auditing journals")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if *selftest {
+		res, err := audit.SelfTest()
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		if !res.Ok() {
+			return fmt.Errorf("audit selftest: missed %d of %d seeded corruption(s)", len(res.Missed), res.Cases)
+		}
+		fmt.Fprintf(os.Stderr, "wire-serve audit: selftest caught %d/%d seeded corruptions\n", res.Caught, res.Cases)
+		return nil
+	}
+	dirs = append(dirs, fs.Args()...)
+	if len(dirs) == 0 {
+		return fmt.Errorf("audit wants at least one -journal directory (or -selftest)")
+	}
+	budgets := map[string]float64{}
+	for _, b := range budgetFlags {
+		tenant, units, ok := strings.Cut(b, "=")
+		if !ok {
+			return fmt.Errorf("audit -budget wants tenant=units (got %q)", b)
+		}
+		u, err := strconv.ParseFloat(units, 64)
+		if err != nil {
+			return fmt.Errorf("audit -budget %s: %w", b, err)
+		}
+		budgets[tenant] = u
+	}
+	rep, err := audit.Run(audit.Config{Dirs: dirs, TenantBudgets: budgets, SlackUnits: *slack})
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.Clean() {
+		return fmt.Errorf("audit: %d violation(s) across %d session(s)", len(rep.Violations), rep.Sessions)
+	}
+	fmt.Fprintf(os.Stderr, "wire-serve audit: clean — %d session(s), %d WAL(s), %d plan(s), %d live record(s)\n",
+		rep.Sessions, rep.WALs, rep.Plans, rep.LiveRecords)
 	return nil
 }
 
@@ -365,7 +486,9 @@ func runLoadgen(args []string) error {
 	killShard := fs.Bool("kill-shard", false, "cluster certificate: SIGKILL one shard mid-run and require journal-handoff failover")
 	rolling := fs.Bool("rolling-restart", false, "cluster certificate: drain, restart, and rejoin every shard in sequence under live traffic")
 	churn := fs.Int("churn", 0, "cluster certificate: apply this many seeded kill/drain/join churn events, then heal the fleet")
+	partition := fs.String("partition", "", "partition certificate: nemesis spec, a kind list (split,oneway,slow) or seeded:N")
 	withRetry := fs.Bool("retry", false, "retrying shared client (required to ride out a live failover)")
+	retain := fs.Bool("retain", false, "skip the session DELETE on completion so journals survive for wire-serve audit")
 	arrivalsProc := fs.String("arrivals", "", "arrival-stream mode: "+strings.Join(tenancy.Processes(), " | ")+" (sessions arrive over time instead of all at once)")
 	tenants := fs.Int("tenants", 3, "tenant streams in arrival mode")
 	arrivalRate := fs.Float64("arrival-rate", 24, "per-tenant arrivals per simulated hour")
@@ -390,6 +513,22 @@ func runLoadgen(args []string) error {
 	if *rolling && *churn > 0 {
 		return fmt.Errorf("-rolling-restart and -churn are separate certificates; pick one")
 	}
+	if *retain && (*tenantBudget > 0 || *tenantMaxActive > 0) {
+		return fmt.Errorf("-retain never releases tenant slots; drop -tenant-budget/-tenant-max-active")
+	}
+	var partSpec *chaos.PartitionSpec
+	if *partition != "" {
+		if *shardCount <= 1 {
+			return fmt.Errorf("-partition needs -shards N (the fleet to partition)")
+		}
+		if *killShard || *rolling || *churn > 0 {
+			return fmt.Errorf("-partition is its own certificate; drop -kill-shard/-rolling-restart/-churn")
+		}
+		var err error
+		if partSpec, err = chaos.ParsePartitionSpec(*partition); err != nil {
+			return err
+		}
+	}
 
 	var spec *service.ControllerSpec
 	if *deadline > 0 {
@@ -410,6 +549,7 @@ func runLoadgen(args []string) error {
 		Noise:              *noise,
 		SeedBase:           *seed,
 		Verify:             *verify,
+		RetainSessions:     *retain,
 		Arrivals:           *arrivalsProc,
 		Tenants:            *tenants,
 		ArrivalRatePerHour: *arrivalRate,
@@ -474,6 +614,7 @@ func runLoadgen(args []string) error {
 			Seed:           *chaosSeed,
 			RollingRestart: *rolling,
 			ChurnEvents:    *churn,
+			Partition:      partSpec,
 			Logf: func(format string, fargs ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", fargs...)
 			},
@@ -577,6 +718,16 @@ func runLoadgen(args []string) error {
 		if *churn > 0 {
 			t.AddRow("churn events applied", ccert.ChurnApplied)
 		}
+		if partSpec != nil {
+			t.AddRow("partitions applied", ccert.PartitionsApplied)
+			t.AddRow("partitions suspected", ccert.PartitionsSuspected)
+			t.AddRow("partitions healed", ccert.PartitionsHealed)
+			t.AddRow("503s while partitioned", ccert.Partitioned503)
+			if ccert.Audit != nil {
+				t.AddRow("journal audit", fmt.Sprintf("%d session(s), %d WAL(s), %d violation(s)",
+					ccert.Audit.Sessions, ccert.Audit.WALs, len(ccert.Audit.Violations)))
+			}
+		}
 	}
 	if err := t.Render(os.Stdout); err != nil {
 		return err
@@ -610,6 +761,30 @@ func runLoadgen(args []string) error {
 		}
 		if *churn > 0 && ccert.ShardsUp != *shardCount {
 			return fmt.Errorf("churn certificate failed: only %d/%d shards up after healing", ccert.ShardsUp, *shardCount)
+		}
+		if partSpec != nil {
+			want := len(partSpec.Kinds)
+			if want == 0 {
+				if want = partSpec.Events; want <= 0 {
+					want = 3
+				}
+			}
+			if ccert.PartitionsApplied != want {
+				return fmt.Errorf("partition certificate inconclusive: %d of %d nemesis events applied (raise -sessions so the load outlasts the schedule)", ccert.PartitionsApplied, want)
+			}
+			if ccert.ShardsUp != *shardCount {
+				return fmt.Errorf("partition certificate failed: only %d/%d shards up after healing", ccert.ShardsUp, *shardCount)
+			}
+			if ccert.Audit == nil {
+				return fmt.Errorf("partition certificate failed: no journal audit ran")
+			}
+			if !ccert.Audit.Clean() {
+				b, _ := json.MarshalIndent(ccert.Audit.Violations, "", "  ")
+				fmt.Fprintln(os.Stderr, string(b))
+				return fmt.Errorf("partition certificate failed: journal audit found %d violation(s)", len(ccert.Audit.Violations))
+			}
+			fmt.Println("partition certificate PASSED: zero dropped sessions, fleet healed, journal audit clean")
+			return nil
 		}
 		fmt.Println("cluster certificate PASSED: zero dropped sessions, decision streams byte-identical to in-process twins")
 	}

@@ -1,0 +1,73 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfTestFullCoverage is the mutation-coverage acceptance gate: every
+// seeded corruption must be flagged by the check named for it. An auditor
+// that certifies a corrupted corpus is a liability, so 100% is the bar.
+func TestSelfTestFullCoverage(t *testing.T) {
+	res, err := SelfTest()
+	if err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("auditor missed %d of %d seeded corruption(s):\n%v", len(res.Missed), res.Cases, res.Missed)
+	}
+	if res.Caught != res.Cases {
+		t.Fatalf("caught %d of %d cases with no misses reported — selftest accounting bug", res.Caught, res.Cases)
+	}
+}
+
+// TestCleanCorpusReport pins the report statistics over the clean baseline:
+// sessions, WAL copies, fences, merged plans, lease totals, and the lease
+// identity equation.
+func TestCleanCorpusReport(t *testing.T) {
+	root := t.TempDir()
+	a := filepath.Join(root, "shard-a")
+	b := filepath.Join(root, "shard-b")
+	for _, d := range []string{a, b} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cleanCorpus(a, b); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Dirs: []string{a, b}, TenantBudgets: map[string]float64{"acme": 1}, SlackUnits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean corpus flagged: %+v", rep.Violations)
+	}
+	if rep.Sessions != 2 || rep.WALs != 3 || rep.Fenced != 1 {
+		t.Errorf("sessions=%d wals=%d fenced=%d, want 2/3/1", rep.Sessions, rep.WALs, rep.Fenced)
+	}
+	lt := rep.Leases
+	if lt.Granted != lt.Completed+lt.Reclaimed+lt.Superseded+lt.Outstanding {
+		t.Errorf("lease identity broken: %+v", lt)
+	}
+	if lt.Granted != 3 || lt.Completed != 1 || lt.Reclaimed != 1 || lt.Outstanding != 1 {
+		t.Errorf("lease totals %+v, want granted=3 completed=1 reclaimed=1 outstanding=1", lt)
+	}
+	// 4 merged plan intervals (3 for s-handed, 1 for s-solo) at
+	// (2,2,2,1) instances x 30s = 210 instance-seconds / 3600 = 0.0583 units.
+	spend := rep.TenantSpend["acme"]
+	if spend <= 0 || spend > 1 {
+		t.Errorf("acme spend %.4f units, want small positive", spend)
+	}
+}
+
+// TestRunRejectsEmptyConfig pins the I/O error contract.
+func TestRunRejectsEmptyConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(Config{Dirs: []string{filepath.Join(t.TempDir(), "missing")}}); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/chaos"
 	"repro/internal/service"
 )
@@ -75,6 +76,30 @@ type ShardCertConfig struct {
 	// DefaultChaosRetry — persistent enough to ride out the failover).
 	Retry *service.RetryPolicy
 
+	// Partition, when non-nil, runs the partition nemesis: a seeded schedule
+	// of link faults (symmetric splits, one-way router→shard drops, slow
+	// links) realized by a chaos.Network wrapper that the router, every
+	// shard's relay-probe client, and the loadgen client thread through.
+	// Each event heals before the next; the run ends with the fleet at full
+	// strength and the post-run journal audit attached to the result.
+	// Incompatible with TenantBudget/TenantMaxActive: the audit needs
+	// RetainSessions, and retained sessions never release their tenant
+	// slots, so admission would starve.
+	Partition *chaos.PartitionSpec
+	// PartitionMinGap/PartitionMaxGap bound the gaps between partition
+	// events (defaults 200ms and 500ms); PartitionMinDur/PartitionMaxDur
+	// bound each event's hold time (defaults 700ms and 1.4s — long enough
+	// to cross the router's confirmation threshold, short enough to heal
+	// well inside the client retry budget).
+	PartitionMinGap time.Duration
+	PartitionMaxGap time.Duration
+	PartitionMinDur time.Duration
+	PartitionMaxDur time.Duration
+	// SlowMaxDelay bounds the seeded per-request delay on slow-link events
+	// (default 250ms — well under the router's 2s probe timeout, so a slow
+	// link degrades latency without tripping failover).
+	SlowMaxDelay time.Duration
+
 	// Logf receives harness and router log lines.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +128,16 @@ type ShardCertResult struct {
 	Restarted []string
 	// ChurnApplied counts churn events that were actually applied.
 	ChurnApplied int
+	// PartitionsApplied counts nemesis events that ran to their heal.
+	PartitionsApplied int
+	// PartitionsSuspected, PartitionsHealed, and Partitioned503 are the
+	// router's partition counters at the end of the run.
+	PartitionsSuspected int64
+	PartitionsHealed    int64
+	Partitioned503      int64
+	// Audit is the post-run journal consistency report (partition nemesis
+	// runs only — they retain sessions so the WALs survive to be audited).
+	Audit *audit.Report
 }
 
 // inflightHandler counts in-flight requests so the harness can wait out the
@@ -309,6 +344,30 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	if cfg.ChurnMaxGap <= 0 {
 		cfg.ChurnMaxGap = 400 * time.Millisecond
 	}
+	if cfg.PartitionMinGap <= 0 {
+		cfg.PartitionMinGap = 200 * time.Millisecond
+	}
+	if cfg.PartitionMaxGap <= 0 {
+		cfg.PartitionMaxGap = 500 * time.Millisecond
+	}
+	if cfg.PartitionMinDur <= 0 {
+		cfg.PartitionMinDur = 700 * time.Millisecond
+	}
+	if cfg.PartitionMaxDur <= 0 {
+		cfg.PartitionMaxDur = 1400 * time.Millisecond
+	}
+	if cfg.SlowMaxDelay <= 0 {
+		cfg.SlowMaxDelay = 250 * time.Millisecond
+	}
+	var network *chaos.Network
+	if cfg.Partition != nil {
+		if cfg.Loadgen.TenantBudget > 0 || cfg.Loadgen.TenantMaxActive > 0 {
+			return nil, fmt.Errorf("cluster cert: -partition retains sessions for the post-run audit, which never releases tenant slots; it cannot run with tenant budgets or active caps")
+		}
+		network = chaos.NewNetwork(chaos.Plan{Seed: cfg.Seed})
+		// Sessions must outlive the run so their WALs survive to be audited.
+		cfg.Loadgen.RetainSessions = true
+	}
 	if cfg.JournalRoot == "" {
 		dir, err := os.MkdirTemp("", "wire-serve-cluster-*")
 		if err != nil {
@@ -342,16 +401,24 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 		scfg := cfg.Server
 		scfg.ShardMode = true
 		scfg.JournalDir = jdir
+		if network != nil {
+			// Peer relay probes traverse the same faulty links as everything
+			// else: a peer on the victim's side of a split cannot vouch for it.
+			scfg.ProbeClient = &http.Client{Transport: network.Transport(name, nil)}
+		}
 		cs := &certShard{name: name, jdir: jdir, scfg: scfg}
 		if err := cs.start(); err != nil {
 			return nil, fmt.Errorf("cluster cert: %w", err)
 		}
 		shards[i] = cs
 		shardList[i], _ = cs.current()
+		if network != nil {
+			network.Register(name, shardList[i].URL)
+		}
 	}
 
 	// Start the router.
-	rt, err := NewRouter(RouterConfig{
+	rcfg := RouterConfig{
 		Shards:            shardList,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		// A dead listener refuses connections instantly, so a generous
@@ -361,7 +428,13 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 		HeartbeatTimeout: 2 * time.Second,
 		FailThreshold:    cfg.FailThreshold,
 		Logf:             logf,
-	})
+	}
+	if network != nil {
+		// Every router-originated request (proxies, probes, adopts) rides
+		// the router's side of the nemesis links.
+		rcfg.Client = &http.Client{Transport: network.Transport("router", nil)}
+	}
+	rt, err := NewRouter(rcfg)
 	if err != nil {
 		return nil, fmt.Errorf("cluster cert: %w", err)
 	}
@@ -376,12 +449,21 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	go func() { _ = rhs.Serve(rln) }()
 	defer rhs.Close()
 	routerURL := "http://" + rln.Addr().String()
+	if network != nil {
+		network.Register("router", routerURL)
+	}
 
 	retry := service.DefaultChaosRetry()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
 	}
-	cfg.Loadgen.Client = service.NewClient(routerURL, service.WithRetry(retry))
+	copts := []service.ClientOption{service.WithRetry(retry)}
+	if network != nil {
+		// The client only talks to the router, but registering it gives the
+		// nemesis a labeled edge should a schedule ever cut client↔router.
+		copts = append(copts, service.WithTransport(network.Transport("client", nil)))
+	}
+	cfg.Loadgen.Client = service.NewClient(routerURL, copts...)
 
 	resc := make(chan *service.LoadgenResult, 1)
 	errc := make(chan error, 1)
@@ -401,6 +483,10 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	// cycle to finish even if the loadgen outpaces it).
 	faultc := make(chan error, 1)
 	switch {
+	case cfg.Partition != nil:
+		go func() {
+			faultc <- partitionDriver(rctx, cfg, rt, network, shards, out, logf)
+		}()
 	case cfg.RollingRestart:
 		go func() {
 			faultc <- rollingRestartDriver(rctx, cfg, rt, routerURL, shards, out, logf)
@@ -483,7 +569,113 @@ func ShardCertify(ctx context.Context, cfg ShardCertConfig) (*ShardCertResult, e
 	out.Drains = rc.DrainsTotal
 	out.Joins = rc.JoinsTotal
 	out.Migrated = rc.MigratedSessionsTotal
+	out.PartitionsSuspected = rc.PartitionsSuspectedTotal
+	out.PartitionsHealed = rc.PartitionsHealedTotal
+	out.Partitioned503 = rc.Partitioned503Total
+
+	// Partition runs retain every session's WAL; audit the merged journals
+	// before the harness (possibly) removes its temp root. The report — not
+	// an error — carries any violations: the caller decides pass/fail.
+	if cfg.Partition != nil {
+		dirs := make([]string, len(shards))
+		for i, cs := range shards {
+			dirs[i] = cs.jdir
+		}
+		rep, err := audit.Run(audit.Config{Dirs: dirs})
+		if err != nil {
+			return nil, fmt.Errorf("cluster cert: post-run audit: %w", err)
+		}
+		out.Audit = rep
+	}
 	return out, nil
+}
+
+// partitionDriver realizes the nemesis schedule: per event it injects the
+// link fault, holds it for the event's duration, heals, and moves on; after
+// the last event it waits for the fleet to return to full strength (healed
+// links re-answer probes; a split's fenced victim auto-rejoins).
+func partitionDriver(ctx context.Context, cfg ShardCertConfig, rt *Router, network *chaos.Network, shards []*certShard, out *ShardCertResult, logf func(string, ...any)) error {
+	plan := chaos.Plan{Seed: cfg.Seed}
+	var events []chaos.PartitionEvent
+	if len(cfg.Partition.Kinds) > 0 {
+		events = plan.PartitionScheduleKinds(cfg.Partition.Kinds, len(shards), cfg.PartitionMinGap, cfg.PartitionMaxGap, cfg.PartitionMinDur, cfg.PartitionMaxDur)
+	} else {
+		n := cfg.Partition.Events
+		if n <= 0 {
+			n = 3
+		}
+		events = plan.PartitionSchedule(len(shards), n, cfg.PartitionMinGap, cfg.PartitionMaxGap, cfg.PartitionMinDur, cfg.PartitionMaxDur)
+	}
+	// Hold the schedule until the fleet actually hosts sessions: the event
+	// offsets are relative to load being present, not to fleet boot, so the
+	// first fault cannot outrun the loadgen's warm-up (mirrors the
+	// hosted-session gate on the kill driver).
+	gate := time.NewTicker(5 * time.Millisecond)
+	for {
+		hosted := 0
+		for _, cs := range shards {
+			cs.mu.Lock()
+			if !cs.down && cs.srv != nil {
+				hosted += cs.srv.Store().Len()
+			}
+			cs.mu.Unlock()
+		}
+		if hosted > 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			gate.Stop()
+			return ctx.Err()
+		case <-gate.C:
+		}
+	}
+	gate.Stop()
+	start := time.Now()
+	for _, ev := range events {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		victim, _ := shards[ev.Shard].current()
+		switch ev.Kind {
+		case chaos.PartitionSplit:
+			// The victim alone on one side; router and every peer on the
+			// other. Peers can't vouch for it → it is fenced and failed
+			// over; after the heal it comes back fenced-stale and rejoins.
+			others := []string{"router"}
+			for i, cs := range shards {
+				if i != ev.Shard {
+					osh, _ := cs.current()
+					others = append(others, osh.Name)
+				}
+			}
+			logf("cluster cert: partition: splitting %s from {%s} for %v", victim.Name, strings.Join(others, ","), ev.Duration)
+			network.Partition([]string{victim.Name}, others)
+		case chaos.PartitionOneWay:
+			// Router loses the victim but the peers still reach it → the
+			// router suspects a partition, withholds failover, and answers
+			// its sessions 503 shard_partitioned until the heal.
+			logf("cluster cert: partition: cutting router->%s (one-way) for %v", victim.Name, ev.Duration)
+			network.Cut("router", victim.Name)
+		case chaos.PartitionSlow:
+			logf("cluster cert: partition: slowing router->%s (<=%v/request) for %v", victim.Name, cfg.SlowMaxDelay, ev.Duration)
+			network.Slow("router", victim.Name, cfg.SlowMaxDelay, 0.5)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(ev.Duration):
+		}
+		network.Heal()
+		out.PartitionsApplied++
+		logf("cluster cert: partition: healed %s (%s)", victim.Name, ev.Kind)
+	}
+	logf("cluster cert: partition: schedule applied; waiting for full strength")
+	return waitShardsUp(ctx, rt, len(shards), 60*time.Second)
 }
 
 // rollingRestartDriver drains, restarts, and rejoins every shard in

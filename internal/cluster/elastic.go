@@ -531,6 +531,21 @@ func (ms *membership) join(ctx context.Context, sh Shard) (*JoinResult, error) {
 			break
 		}
 	}
+	// A partitioned member (or one mid-confirmation) cannot be enumerated
+	// as a migration donor, yet it may host sessions whose routing depends
+	// on the adopter chain or ring assignment this join is about to change
+	// — flipping a rejoiner to serving would orphan them (routed to a shard
+	// that fenced them away, answered with 404s). Partitions are transient:
+	// defer the join and let the auto-rejoin retry after the link heals. A
+	// partition that never heals escalates to a real failover, which also
+	// unblocks this path.
+	for n2, m := range ms.members {
+		if m.state == memberPartitioned || m.confirming {
+			ms.mu.Unlock()
+			return nil, opErrorf(http.StatusServiceUnavailable,
+				"join %s deferred: shard %s is partitioned from the router; its hosted sessions cannot be rebalanced until the link heals", sh.Name, n2)
+		}
+	}
 	existing := ms.members[sh.Name]
 	rejoined := false
 	var prevState memberState
@@ -769,14 +784,16 @@ func (ms *membership) anyUpLocked() bool {
 	return false
 }
 
-// checkHealth probes one shard's /healthz once.
+// checkHealth probes one shard's /readyz once: only a ready shard counts —
+// a draining or replaying one must not be revived or join-committed yet.
 func (ms *membership) checkHealth(ctx context.Context, sh Shard) error {
 	hctx, cancel := context.WithTimeout(ctx, ms.cfg.HeartbeatTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(hctx, http.MethodGet, sh.URL+"/healthz", nil)
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, sh.URL+"/readyz", nil)
 	if err != nil {
 		return err
 	}
+	req.Header.Set(service.RouterIdentityHeader, "1")
 	resp, err := ms.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -784,7 +801,7 @@ func (ms *membership) checkHealth(ctx context.Context, sh Shard) error {
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+		return fmt.Errorf("readyz: HTTP %d", resp.StatusCode)
 	}
 	return nil
 }

@@ -39,6 +39,12 @@ const (
 	// sessions the join migration has already handed it, but takes no new
 	// creates until the join commits.
 	memberJoining
+	// memberPartitioned: unreachable from this router but confirmed alive by
+	// a peer relay probe. NOT failed over — its journals are live and fencing
+	// them would split-brain; its sessions answer 503 shard_partitioned until
+	// the link heals (direct probe answers again) or the peers lose it too
+	// (escalates to a real death declaration).
+	memberPartitioned
 )
 
 func (s memberState) String() string {
@@ -55,6 +61,8 @@ func (s memberState) String() string {
 		return "left"
 	case memberJoining:
 		return "joining"
+	case memberPartitioned:
+		return "partitioned"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -79,6 +87,9 @@ type member struct {
 	// prober auto-rejoins it; rejoining guards against spawning twice.
 	comebacks int
 	rejoining bool
+	// confirming guards against stacking peer-confirmation probes: one
+	// in-flight confirmDown per member at a time.
+	confirming bool
 }
 
 // membership is the router's shard liveness table, failover engine, and —
@@ -127,6 +138,11 @@ type membership struct {
 	drains          atomic.Int64
 	joins           atomic.Int64
 	migrated        atomic.Int64
+	// partitionsSuspected counts serving→partitioned transitions (a peer
+	// confirmed a router-unreachable shard alive); partitionsHealed counts
+	// partitioned→up restorations.
+	partitionsSuspected atomic.Int64
+	partitionsHealed    atomic.Int64
 }
 
 func newMembership(cfg RouterConfig, ring *Ring, names []string) *membership {
@@ -180,6 +196,8 @@ func (ms *membership) followLocked(name string) (Shard, routeState) {
 			return m.shard, routeOK
 		case m.state == memberFailed && m.adopter != "":
 			name = m.adopter
+		case m.state == memberPartitioned:
+			return m.shard, routePartitioned
 		default:
 			return m.shard, routeRecovering
 		}
@@ -283,7 +301,7 @@ func (ms *membership) probeAll(ctx context.Context) {
 	ms.mu.Lock()
 	targets := make([]Shard, 0, len(ms.order))
 	for _, name := range ms.order {
-		if m := ms.members[name]; m.state.serving() || m.state == memberFailed {
+		if m := ms.members[name]; m.state.serving() || m.state == memberFailed || m.state == memberPartitioned {
 			targets = append(targets, m.shard)
 		}
 	}
@@ -300,14 +318,20 @@ func (ms *membership) probeAll(ctx context.Context) {
 	wg.Wait()
 }
 
+// probe heartbeats one shard's readiness endpoint. /readyz rather than
+// /healthz: a shard mid-replay or draining answers 503 there, which counts as
+// alive-but-not-ready (noteBusy) — it neither accrues death misses nor earns
+// comeback credit, so a replaying shard is never routed to nor rejoined
+// early. Only a transport error or a non-ready non-503 answer is a miss.
 func (ms *membership) probe(ctx context.Context, sh Shard) {
 	pctx, cancel := context.WithTimeout(ctx, ms.cfg.HeartbeatTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(pctx, http.MethodGet, sh.URL+"/healthz", nil)
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, sh.URL+"/readyz", nil)
 	if err != nil {
 		ms.noteFailure(sh.Name)
 		return
 	}
+	req.Header.Set(service.RouterIdentityHeader, "1")
 	resp, err := ms.cfg.Client.Do(req)
 	if err != nil {
 		ms.noteFailure(sh.Name)
@@ -315,11 +339,14 @@ func (ms *membership) probe(ctx context.Context, sh Shard) {
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		ms.noteSuccess(sh.Name)
+	case http.StatusServiceUnavailable:
+		ms.noteBusy(sh.Name)
+	default:
 		ms.noteFailure(sh.Name)
-		return
 	}
-	ms.noteSuccess(sh.Name)
 }
 
 func (ms *membership) noteSuccess(name string) {
@@ -332,6 +359,15 @@ func (ms *membership) noteSuccess(name string) {
 	if m.state.serving() {
 		m.misses = 0
 		ms.mu.Unlock()
+		return
+	}
+	if m.state == memberPartitioned {
+		// The router can reach it directly again: the partition healed.
+		m.state = memberUp
+		m.misses = 0
+		ms.partitionsHealed.Add(1)
+		ms.mu.Unlock()
+		ms.cfg.Logf("wire-serve route: partition to shard %s healed; restoring it to up", name)
 		return
 	}
 	if m.state != memberFailed {
@@ -371,14 +407,36 @@ func (ms *membership) autoRejoin(sh Shard) {
 	ms.cfg.Logf("wire-serve route: auto-rejoined %s: %d session(s) moved back (epoch %d)", sh.Name, res.SessionsMoved, res.Epoch)
 }
 
-// noteFailure records one heartbeat miss (or proxy transport error) and
-// declares the shard dead at the threshold, spawning the failover. Draining
-// and joining members die like up ones — kill-during-drain falls back to
-// the unplanned-death path.
+// noteBusy records an alive-but-not-ready answer (503 from /readyz: the
+// shard is draining or replaying an adopt). It clears death misses — the
+// process is demonstrably up — but earns no comeback credit: auto-rejoining
+// a failed member mid-replay would route traffic into its 503s.
+func (ms *membership) noteBusy(name string) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m := ms.members[name]
+	if m == nil {
+		return
+	}
+	if m.state.serving() || m.state == memberPartitioned {
+		m.misses = 0
+	}
+}
+
+// noteFailure records one heartbeat miss (or proxy transport error). At the
+// threshold the shard is NOT declared dead outright: a confirmation probe is
+// relayed through a surviving peer first, and only when no peer can reach it
+// either does the journal handoff start. A shard peers can still reach is
+// partitioned from the router, not dead — fencing it would orphan a live
+// writer's sessions behind a healable link fault. Draining and joining
+// members die like up ones — kill-during-drain falls back to the
+// unplanned-death path. A partitioned member keeps missing direct probes;
+// at each fresh threshold the confirmation re-runs, so a partition that
+// widens (peers lose it too) escalates to a real failover.
 func (ms *membership) noteFailure(name string) {
 	ms.mu.Lock()
 	m := ms.members[name]
-	if m == nil || !m.state.serving() {
+	if m == nil || !(m.state.serving() || m.state == memberPartitioned) {
 		if m != nil && m.state == memberFailed {
 			m.comebacks = 0
 		}
@@ -386,21 +444,111 @@ func (ms *membership) noteFailure(name string) {
 		return
 	}
 	m.misses++
-	if m.misses < ms.cfg.FailThreshold {
+	if m.misses < ms.cfg.FailThreshold || m.confirming {
 		ms.mu.Unlock()
 		return
 	}
+	m.confirming = true
+	m.misses = 0
 	was := m.state
-	m.state = memberRecovering
-	misses := m.misses
 	ctx := ms.ctx
 	ms.mu.Unlock()
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	go ms.confirmDown(ctx, name, was)
+}
+
+// confirmDown asks the surviving peers whether they can reach a shard the
+// router has lost. Reachable → the member is partitioned-from-me: withhold
+// failover, answer its sessions 503 shard_partitioned, keep probing.
+// Unreachable from everyone → declared dead, journal handoff starts.
+func (ms *membership) confirmDown(ctx context.Context, name string, was memberState) {
+	reachable := ms.peerConfirm(ctx, name)
+	ms.mu.Lock()
+	m := ms.members[name]
+	if m == nil {
+		ms.mu.Unlock()
+		return
+	}
+	m.confirming = false
+	if m.state != was {
+		// The member moved on while we confirmed (healed, drained, or an
+		// operator intervened); this verdict is stale.
+		ms.mu.Unlock()
+		return
+	}
+	if reachable {
+		if m.state != memberPartitioned {
+			m.state = memberPartitioned
+			ms.partitionsSuspected.Add(1)
+			ms.mu.Unlock()
+			ms.cfg.Logf("wire-serve route: shard %s unreachable from the router but confirmed alive via a peer; suspecting a partition (failover withheld)", name)
+			return
+		}
+		ms.mu.Unlock()
+		return
+	}
+	m.state = memberRecovering
+	ms.mu.Unlock()
 	ms.failovers.Add(1)
-	ms.cfg.Logf("wire-serve route: shard %s (%s) declared dead after %d consecutive failures; starting journal handoff", name, was, misses)
+	ms.cfg.Logf("wire-serve route: shard %s (%s) declared dead after %d consecutive failures and no peer confirmation; starting journal handoff", name, was, ms.cfg.FailThreshold)
 	go ms.failover(ctx, name)
+}
+
+// peerConfirm relays a reachability probe for the suspect through each up
+// peer in membership order, stopping at the first peer that reports the
+// suspect answered HTTP at all (any status — a replaying shard is alive).
+// No up peers, or no peer able to reach it, means unconfirmed: false.
+func (ms *membership) peerConfirm(ctx context.Context, suspect string) bool {
+	ms.mu.Lock()
+	sm := ms.members[suspect]
+	if sm == nil {
+		ms.mu.Unlock()
+		return false
+	}
+	target := sm.shard.URL + "/readyz"
+	peers := make([]string, 0, len(ms.order))
+	for _, n := range ms.order {
+		if n == suspect {
+			continue
+		}
+		if m := ms.members[n]; m != nil && m.state == memberUp {
+			peers = append(peers, m.shard.URL)
+		}
+	}
+	ms.mu.Unlock()
+	body, err := json.Marshal(service.ProbeRequest{URL: target})
+	if err != nil {
+		return false
+	}
+	for _, peer := range peers {
+		pctx, cancel := context.WithTimeout(ctx, ms.cfg.HeartbeatTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodPost, peer+"/v1/admin/probe", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(service.RouterIdentityHeader, "1")
+		resp, err := ms.cfg.Client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		var pr service.ProbeResponse
+		derr := json.NewDecoder(resp.Body).Decode(&pr)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if pr.Reachable {
+			return true
+		}
+	}
+	return false
 }
 
 // pickAdopter chooses the surviving peer that inherits a dead shard's
@@ -556,6 +704,7 @@ func (ms *membership) adopt(ctx context.Context, adopter string, areq service.Ad
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.RouterIdentityHeader, "1")
 	resp, err := ms.cfg.Client.Do(req)
 	if err != nil {
 		return 0, err
@@ -594,7 +743,7 @@ func (ms *membership) status() map[string]ShardStatus {
 	out := make(map[string]ShardStatus, len(ms.members))
 	for name, m := range ms.members {
 		var dirs []string
-		if m.state.serving() || m.state == memberRecovering {
+		if m.state.serving() || m.state == memberRecovering || m.state == memberPartitioned {
 			dirs = []string{m.shard.JournalDir}
 		}
 		out[name] = ShardStatus{

@@ -24,7 +24,14 @@ type RouterCounters struct {
 	ProxiedTotal          int64 `json:"proxied_total"`
 	ProxyErrorsTotal      int64 `json:"proxy_errors_total"`
 	Recovering503Total    int64 `json:"recovering_503_total"`
-	UptimeS               int64 `json:"uptime_s"`
+	// PartitionsSuspectedTotal counts shards confirmed alive via a peer
+	// while unreachable from the router; PartitionsHealedTotal counts
+	// partitioned shards restored to up by a direct probe answering again.
+	// Partitioned503Total counts requests refused with shard_partitioned.
+	PartitionsSuspectedTotal int64 `json:"partitions_suspected_total"`
+	PartitionsHealedTotal    int64 `json:"partitions_healed_total"`
+	Partitioned503Total      int64 `json:"partitioned_503_total"`
+	UptimeS                  int64 `json:"uptime_s"`
 }
 
 // ShardStatus is one membership-table row as exposed on /metrics.
@@ -59,10 +66,13 @@ func (rt *Router) Counters() RouterCounters {
 		JoinsTotal:            rt.members.joins.Load(),
 		MigratedSessionsTotal: rt.members.migrated.Load(),
 		Epoch:                 epoch,
-		ProxiedTotal:          rt.proxied.Load(),
-		ProxyErrorsTotal:      rt.proxyErrors.Load(),
-		Recovering503Total:    rt.recovering503.Load(),
-		UptimeS:               int64(rt.cfg.Clock().Sub(rt.start) / time.Second),
+		ProxiedTotal:             rt.proxied.Load(),
+		ProxyErrorsTotal:         rt.proxyErrors.Load(),
+		Recovering503Total:       rt.recovering503.Load(),
+		PartitionsSuspectedTotal: rt.members.partitionsSuspected.Load(),
+		PartitionsHealedTotal:    rt.members.partitionsHealed.Load(),
+		Partitioned503Total:      rt.partitioned503.Load(),
+		UptimeS:                  int64(rt.cfg.Clock().Sub(rt.start) / time.Second),
 	}
 }
 

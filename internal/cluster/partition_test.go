@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cloud"
+	"repro/internal/dag"
+	"repro/internal/service"
+	"repro/internal/workloads"
+)
+
+// TestShardCertifyPartition is the partition certificate: a 3-shard fleet
+// behind a router, hit with one symmetric split, one one-way router→shard
+// drop, and one slow link in sequence under live load — each healed before
+// the next — after which the fleet must be back at full strength, every
+// session completed with its decision stream byte-identical to its
+// in-process twin, and the post-run journal audit clean. With -race this is
+// the concurrency certificate of the peer-confirmation, fencing, and
+// partitioned-503 paths.
+func TestShardCertifyPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster certificate is slow")
+	}
+	res, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			// Low concurrency over many sessions stretches the load across
+			// the full nemesis schedule, so every event lands under traffic.
+			Sessions:    60,
+			Concurrency: 2,
+			Policy:      "wire",
+			Workflow: func(seed int64) *dag.Workflow {
+				return workloads.Linear(60+int(seed%5), 300)
+			},
+			Cloud: cloud.Config{
+				SlotsPerInstance: 2,
+				LagTime:          60,
+				ChargingUnit:     300,
+				MaxInstances:     6,
+			},
+			Noise:    0.08,
+			SeedBase: 1300,
+			Verify:   true,
+		},
+		Shards: 3,
+		Seed:   23,
+		Partition: &chaos.PartitionSpec{
+			Kinds: []chaos.PartitionKind{chaos.PartitionSplit, chaos.PartitionOneWay, chaos.PartitionSlow},
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionsApplied != 3 {
+		t.Fatalf("applied %d of 3 partition events", res.PartitionsApplied)
+	}
+	if res.Failed != 0 || res.Completed != res.Sessions {
+		t.Fatalf("completed %d / failed %d of %d: %v", res.Completed, res.Failed, res.Sessions, res.Errors)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d decision streams diverged from in-process twins: %v", res.Mismatched, res.Errors)
+	}
+	if res.ShardsUp != 3 {
+		t.Errorf("shards_up = %d at end, want 3 (fleet did not heal)", res.ShardsUp)
+	}
+	if res.Audit == nil {
+		t.Fatal("partition run produced no journal audit")
+	}
+	if !res.Audit.Clean() {
+		t.Fatalf("journal audit found %d violation(s): %+v", len(res.Audit.Violations), res.Audit.Violations)
+	}
+	if res.Audit.Sessions == 0 || res.Audit.Plans == 0 {
+		t.Fatalf("audit saw an empty corpus (%d sessions, %d plans) — RetainSessions is not retaining", res.Audit.Sessions, res.Audit.Plans)
+	}
+	if res.Retries == 0 && res.Failovers == 0 && res.PartitionsSuspected == 0 {
+		// Whether a given event surfaces as client retries, a fenced failover,
+		// or a suspected partition depends on which sessions were in flight
+		// when it hit; all three zero means the schedule ran against an idle
+		// fleet and certified nothing.
+		t.Error("no retries, failovers, or suspected partitions despite three partition events")
+	}
+}
+
+// TestShardCertifyPartitionOneWay pins the partitioned-503 degradation
+// contract in isolation: a one-way router→shard cut must be detected as a
+// partition (peer confirmation succeeds), answered with shard_partitioned
+// rather than a failover, and healed without ever fencing the victim.
+func TestShardCertifyPartitionOneWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster certificate is slow")
+	}
+	res, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			Sessions:    12,
+			Concurrency: 3,
+			Policy:      "wire",
+			Workflow: func(seed int64) *dag.Workflow {
+				return workloads.Linear(45, 300)
+			},
+			Cloud: cloud.Config{
+				SlotsPerInstance: 2,
+				LagTime:          60,
+				ChargingUnit:     300,
+				MaxInstances:     6,
+			},
+			SeedBase: 1400,
+			Verify:   true,
+		},
+		Shards: 3,
+		Seed:   7,
+		Partition: &chaos.PartitionSpec{
+			Kinds: []chaos.PartitionKind{chaos.PartitionOneWay},
+		},
+		// Hold the cut long enough for the router to cross its threshold and
+		// confirm via a peer even on a slow -race run.
+		PartitionMinDur: 1200 * time.Millisecond,
+		PartitionMaxDur: 1800 * time.Millisecond,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Mismatched != 0 {
+		t.Fatalf("failed %d mismatched %d: %v", res.Failed, res.Mismatched, res.Errors)
+	}
+	if res.PartitionsSuspected == 0 {
+		t.Error("one-way cut never became a suspected partition (peer confirmation path not exercised)")
+	}
+	if res.PartitionsHealed == 0 {
+		t.Error("suspected partition never healed back to up")
+	}
+	if res.Failovers != 0 {
+		t.Errorf("one-way cut triggered %d failover(s); a peer-confirmed-alive shard must not be fenced", res.Failovers)
+	}
+	if res.Audit == nil || !res.Audit.Clean() {
+		t.Fatalf("audit: %+v", res.Audit)
+	}
+}
+
+// TestPartitionRejectsTenantCaps pins the config guard: retained sessions
+// never release tenant slots, so the partition nemesis refuses to run with
+// tenant budgets or active caps rather than hang the stream.
+func TestPartitionRejectsTenantCaps(t *testing.T) {
+	_, err := ShardCertify(context.Background(), ShardCertConfig{
+		Loadgen: service.LoadgenConfig{
+			Sessions:     2,
+			Policy:       "wire",
+			Workflow:     func(seed int64) *dag.Workflow { return workloads.Linear(5, 60) },
+			Cloud:        cloud.Config{SlotsPerInstance: 2, LagTime: 60, ChargingUnit: 300, MaxInstances: 2},
+			TenantBudget: 10,
+		},
+		Partition: &chaos.PartitionSpec{Events: 1},
+	})
+	if err == nil {
+		t.Fatal("partition nemesis accepted a tenant budget despite RetainSessions")
+	}
+}

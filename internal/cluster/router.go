@@ -88,9 +88,10 @@ type Router struct {
 	mux     *http.ServeMux
 	start   time.Time
 
-	proxied       atomic.Int64
-	proxyErrors   atomic.Int64
-	recovering503 atomic.Int64
+	proxied        atomic.Int64
+	proxyErrors    atomic.Int64
+	recovering503  atomic.Int64
+	partitioned503 atomic.Int64
 }
 
 // NewRouter builds a router over the initial shard map.
@@ -143,6 +144,11 @@ const (
 	// owning shard is dead with journals not yet replayed on a peer, or the
 	// session itself is mid-migration. The caller must answer 503.
 	routeRecovering
+	// routePartitioned: the owning shard is alive (a peer confirmed it) but
+	// unreachable from this router. Proxying would fail and misrouting would
+	// split-brain; the caller must answer 503 shard_partitioned and let the
+	// client's backoff ride out the link fault.
+	routePartitioned
 )
 
 // resolve maps a session ID to the shard currently serving it: a migration
@@ -171,6 +177,22 @@ func (rt *Router) writeRecovering(w http.ResponseWriter, shard string) {
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	rt.writeError(w, http.StatusServiceUnavailable, service.CodeShardRecovering,
 		"shard %s is failing over; its sessions are being recovered on a peer", shard)
+}
+
+// writePartitioned answers for a shard the router cannot reach but a peer
+// confirmed alive: an explicit 503 + Retry-After + shard_partitioned rather
+// than misrouting its sessions to a peer that doesn't own them (or fencing a
+// live writer). The client retries until the link heals or the suspicion
+// escalates to a real failover.
+func (rt *Router) writePartitioned(w http.ResponseWriter, shard string) {
+	rt.partitioned503.Add(1)
+	secs := int(rt.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	rt.writeError(w, http.StatusServiceUnavailable, service.CodeShardPartitioned,
+		"shard %s is partitioned from the router but alive; retry until the link heals", shard)
 }
 
 // handleCreate places a new session: the router draws the ID so it can
@@ -205,7 +227,12 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	shard, state := rt.resolve(id)
-	if state != routeOK {
+	switch state {
+	case routePartitioned:
+		rt.writePartitioned(w, shard.Name)
+		return
+	case routeOK:
+	default:
 		rt.writeRecovering(w, rt.members.ownerName(id))
 		return
 	}
@@ -288,6 +315,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, shard Shard, ass
 	for _, h := range hopHeaders {
 		req.Header.Del(h)
 	}
+	req.Header.Set(service.RouterIdentityHeader, "1")
 	if assignID != "" {
 		req.Header.Set(service.SessionIDHeader, assignID)
 	}

@@ -1,0 +1,11 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any live-execution goroutine (lease
+// reclaimer, run supervisor, ...) outlives a passing test run.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -1,0 +1,94 @@
+// Package leakcheck is a dependency-free goroutine-leak harness for test
+// mains. A control-plane package that passes its tests but leaves janitors,
+// probe loops, or drain workers running has a shutdown bug that only shows
+// up as flaky CI or a slowly fattening daemon; this package turns that into
+// a hard test failure.
+//
+// Usage — one file per package:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the package's tests pass, Main polls the runtime for goroutines
+// still executing this module's code. Goroutines are given a grace window
+// to drain (contexts cancel asynchronously; a Serve loop needs a few
+// scheduler ticks to observe ctx.Done), after which any straggler's full
+// stack is printed and the test binary exits non-zero.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies "our" frames in a goroutine stack. Runtime,
+// testing-framework, and net/http service goroutines owned by the standard
+// library are invisible to the check unless repro code appears somewhere in
+// their stack.
+const modulePrefix = "repro/internal/"
+
+// selfPrefix excludes this package's own frames (the polling goroutine is
+// itself running repro code).
+const selfPrefix = "repro/internal/leakcheck"
+
+// grace is how long stragglers get to drain after the last test finishes.
+// It bounds the worst case; the poll returns as soon as the count hits
+// zero, so clean packages pay only one 10ms tick.
+const grace = 5 * time.Second
+
+// Main runs the package's tests and then fails the binary if any goroutine
+// spawned by module code outlives them. Leak checking only runs when the
+// tests themselves passed — a failing test is allowed to abandon goroutines.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := poll(grace); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"leakcheck: %d goroutine(s) still running %s code %v after tests passed:\n\n%s\n",
+				len(leaked), modulePrefix, grace, strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// poll samples the leak set every 10ms until it drains or the grace window
+// closes, returning the final set of straggler stacks.
+func poll(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := leaks(modulePrefix, selfPrefix)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// leaks returns the stacks of live goroutines whose traces contain match,
+// excluding those that also contain exclude (when non-empty).
+func leaks(match, exclude string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, match) {
+			continue
+		}
+		if exclude != "" && strings.Contains(g, exclude) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeaksDetectsAndDrains pins the detection primitive: goroutines
+// blocked inside matching code are reported with their stacks, and the
+// report drains once they exit.
+func TestLeaksDetectsAndDrains(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	const n = 3
+	for i := 0; i < n; i++ {
+		go func() {
+			started <- struct{}{}
+			<-release
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+
+	// Match on this test's own closure frames so the count is exact
+	// regardless of what else the test binary is running.
+	const match = "leakcheck.TestLeaksDetectsAndDrains"
+	got := leaks(match, "")
+	// The test goroutine itself matches too (it is running this function).
+	if len(got) < n {
+		t.Fatalf("leaks() found %d goroutine(s), want >= %d blocked workers", len(got), n)
+	}
+	if !strings.Contains(strings.Join(got, ""), "goroutine ") {
+		t.Fatal("leak report lost the stack headers")
+	}
+
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		// Only the test goroutine itself should remain.
+		if len(leaks(match, "")) <= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers released but still reported: %v", leaks(match, ""))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLeaksExclude pins the self-exclusion used by Main: a matching
+// goroutine disappears from the report when the exclude pattern also hits.
+func TestLeaksExclude(t *testing.T) {
+	const match = "leakcheck.TestLeaksExclude"
+	if len(leaks(match, "")) == 0 {
+		t.Fatal("test goroutine did not match its own frame")
+	}
+	if got := leaks(match, match); len(got) != 0 {
+		t.Fatalf("exclude pattern ignored: %v", got)
+	}
+}

@@ -2,9 +2,11 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -651,6 +653,73 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe: unlike /healthz (pure liveness — the
+// process answers), it returns 503 while the shard should not take traffic:
+// draining on shutdown, or replaying adopted journals. The router probes
+// this, so a shard mid-replay is never routed to (and never mistaken for
+// healed before its sessions are live).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ready", http.StatusOK
+	switch {
+	case s.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case s.replaying.Load() > 0:
+		status, code = "replaying", http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, HealthResponse{
+		Status:   status,
+		Sessions: s.store.Len(),
+		UptimeS:  s.now().Sub(s.start).Seconds(),
+	})
+}
+
+// ProbeRequest is the POST /v1/admin/probe body: a relayed reachability
+// check. When the router loses contact with a shard it asks a surviving peer
+// to try before fencing — a shard reachable from a peer but not the router
+// is partitioned, not dead, and must not be failed over (its journals are
+// live and a concurrent adopter would split-brain).
+type ProbeRequest struct {
+	// URL is the endpoint to GET on the router's behalf.
+	URL string `json:"url"`
+}
+
+// ProbeResponse reports what the relay saw.
+type ProbeResponse struct {
+	// Reachable is true when the target answered HTTP at all — any status
+	// counts; a 503 replaying shard is alive, just not ready.
+	Reachable bool `json:"reachable"`
+	// Status is the HTTP status the target returned (0 when unreachable).
+	Status int `json:"status,omitempty"`
+	// Error is the transport error when unreachable.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	var req ProbeRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.URL == "" {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "url is required")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodGet, req.URL, nil)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "probe url: %v", err)
+		return
+	}
+	resp, err := s.cfg.ProbeClient.Do(preq)
+	if err != nil {
+		s.writeJSON(w, http.StatusOK, ProbeResponse{Error: err.Error()})
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.writeJSON(w, http.StatusOK, ProbeResponse{Reachable: true, Status: resp.StatusCode})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var dump MetricsDump
 	if r.URL.Query().Get("raw") == "1" {
@@ -694,6 +763,10 @@ type AdoptResponse struct {
 }
 
 func (s *Server) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	// Replay flips readiness off: until the adopted sessions are live this
+	// shard must not be routed to or counted as healed.
+	s.replaying.Add(1)
+	defer s.replaying.Add(-1)
 	var req AdoptRequest
 	if !s.readJSON(w, r, &req) {
 		return

@@ -374,3 +374,59 @@ func TestPlanPanicsDegrade(t *testing.T) {
 		t.Errorf("degraded_plans_total = %d, want 1", md.FaultTolerance.DegradedPlansTotal)
 	}
 }
+
+// TestReadyzLifecycle pins the liveness/readiness split: /healthz answers
+// 200 for as long as the process lives, while /readyz flips to 503 the
+// moment the server starts draining — that flip is what steers the router's
+// probes away before shutdown tears connections down.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, client := newTestServer(t, Config{})
+	base := client.BaseURL()
+
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d while idle, want 200", ep, resp.StatusCode)
+		}
+	}
+
+	srv.draining.Store(true)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rz HealthResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&rz); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rz.Status != "draining" {
+		t.Fatalf("draining /readyz = %d %q, want 503 draining", resp.StatusCode, rz.Status)
+	}
+	// Liveness is unaffected: the process is up, just not accepting work.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d while draining, want 200", resp.StatusCode)
+	}
+	srv.draining.Store(false)
+
+	// An in-flight adopt replay also withholds readiness.
+	srv.replaying.Add(1)
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("replaying /readyz = %d, want 503", resp.StatusCode)
+	}
+	srv.replaying.Add(-1)
+}

@@ -52,6 +52,21 @@ const CodeSessionFenced = "session_fenced"
 // the tenant's sessions finish; clients should back off and retry.
 const CodeTenantThrottled = "tenant_throttled"
 
+// CodeShardPartitioned is the error code a cluster router returns (as a 503
+// with Retry-After) while the shard owning the requested session is
+// unreachable from the router but confirmed alive through a peer: a network
+// partition is suspected, and the router refuses to misroute or fence a live
+// writer. Clients should back off and retry; the partition heals or
+// escalates to a failover, either way resolving the route.
+const CodeShardPartitioned = "shard_partitioned"
+
+// RouterIdentityHeader marks requests originating from a cluster router
+// (probes, proxied traffic, handoffs). Fault-injection harnesses key on it
+// to realize one-way partitions against a real-process shard: inbound
+// router-tagged requests are dropped while untagged peer relay probes still
+// land, so the shard looks dead to the router yet alive to its peers.
+const RouterIdentityHeader = "Wire-Router"
+
 // APIError is a non-2xx response decoded from the daemon's error body.
 type APIError struct {
 	StatusCode int

@@ -44,6 +44,21 @@ type walRecord struct {
 	Response *PlanResponse     `json:"response,omitempty"`
 }
 
+// Fsync modes (Config.FsyncMode): when a WAL append reaches stable storage.
+const (
+	// FsyncRecord syncs every append before the decision is released: zero
+	// loss window, one fsync per plan.
+	FsyncRecord = "record"
+	// FsyncPerInterval syncs at most once per Config.FsyncInterval (plus on
+	// close): a bounded power-loss window, amortized fsync cost. In-process
+	// readers (the fenced-copy handoff, torn-tail recovery after SIGKILL)
+	// see unsynced writes, so only an OS crash can lose the tail — and a
+	// torn tail truncates to the last whole record on replay.
+	FsyncPerInterval = "interval"
+	// FsyncOff never syncs; the OS flushes when it pleases.
+	FsyncOff = "off"
+)
+
 // journal is one session's WAL handle. It has its own mutex: appends run
 // under the session mutex, but Close races with in-flight plans when a
 // session is deleted.
@@ -58,6 +73,11 @@ type journal struct {
 	// checkFence enables the fence checks around append (shard mode only —
 	// a standalone daemon has no peers that could fence it).
 	checkFence bool
+	// mode and syncEvery implement the fsync policy; lastSync tracks the
+	// per-interval mode's last sync instant.
+	mode      string
+	syncEvery time.Duration
+	lastSync  time.Time
 }
 
 func openJournal(path string) (*journal, error) {
@@ -65,7 +85,7 @@ func openJournal(path string) (*journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &journal{path: path, f: f, enc: json.NewEncoder(f)}, nil
+	return &journal{path: path, f: f, enc: json.NewEncoder(f), mode: FsyncRecord}, nil
 }
 
 // openJournalAt opens a WAL carrying the server's fencing posture: the claim
@@ -77,7 +97,24 @@ func (s *Server) openJournalAt(path string, claimEpoch int64) (*journal, error) 
 	}
 	j.claimEpoch = claimEpoch
 	j.checkFence = s.cfg.ShardMode
+	j.mode = s.cfg.FsyncMode
+	j.syncEvery = s.cfg.FsyncInterval
 	return j, nil
+}
+
+// sync applies the fsync policy after one append.
+func (j *journal) sync() error {
+	switch j.mode {
+	case FsyncOff:
+		return nil
+	case FsyncPerInterval:
+		now := time.Now()
+		if !j.lastSync.IsZero() && now.Sub(j.lastSync) < j.syncEvery {
+			return nil
+		}
+		j.lastSync = now
+	}
+	return j.f.Sync()
 }
 
 // append writes one record and syncs it to stable storage. In shard mode it
@@ -96,7 +133,7 @@ func (j *journal) append(rec walRecord) error {
 	if err := j.enc.Encode(rec); err != nil {
 		return err
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.sync(); err != nil {
 		return err
 	}
 	if j.checkFence && fencedPast(j.path, j.claimEpoch) {
@@ -106,10 +143,14 @@ func (j *journal) append(rec walRecord) error {
 }
 
 // close closes the file, removing it when remove is set (deleted sessions
-// must not resurrect on restart).
+// must not resurrect on restart). A kept file is synced first, so the
+// per-interval and off modes leave nothing in flight on a clean shutdown.
 func (j *journal) close(remove bool) {
 	if j == nil {
 		return
+	}
+	if !remove {
+		_ = j.f.Sync()
 	}
 	_ = j.f.Close()
 	if remove {

@@ -8,7 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"repro/internal/audit"
 	"repro/internal/dagio"
 )
 
@@ -223,5 +225,75 @@ func TestJournalRemovedOnDelete(t *testing.T) {
 	}
 	if srv2 := New(Config{JournalDir: dir}); srv2.Store().Len() != 0 {
 		t.Fatalf("deleted session resurrected: %d sessions recovered", srv2.Store().Len())
+	}
+}
+
+// TestJournalFsyncModes drives the same journaled workload under each WAL
+// durability mode and requires identical recovery semantics: every complete
+// interval replays, a torn tail is tolerated, and the offline auditor finds
+// nothing to flag. The modes differ only in when bytes reach stable storage
+// — in-process reads always see page-cache writes, so recovery and the
+// fenced-handoff protocol must be mode-blind.
+func TestJournalFsyncModes(t *testing.T) {
+	for _, mode := range []string{FsyncRecord, FsyncPerInterval, FsyncOff} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			_, client := newTestServer(t, Config{
+				JournalDir:    dir,
+				FsyncMode:     mode,
+				FsyncInterval: 20 * time.Millisecond,
+			})
+			ctx := context.Background()
+			wf := smallWorkflow(3)
+			info, err := client.CreateSession(ctx, CreateSessionRequest{Workflow: dagio.Encode(wf)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := readySnapshot(wf)
+			var last *PlanResponse
+			for seq := int64(1); seq <= 3; seq++ {
+				if last, err = client.Plan(ctx, info.ID, seq, snap); err != nil {
+					t.Fatalf("seq %d: %v", seq, err)
+				}
+			}
+
+			// Crash mid-append: a torn trailing record on top of the synced
+			// (or unsynced) complete ones.
+			walPath := filepath.Join(dir, info.ID+".wal")
+			f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(`{"type":"plan","seq":4,"snapsho`); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			srv2 := New(Config{JournalDir: dir, FsyncMode: mode})
+			if srv2.Store().Len() != 1 {
+				t.Fatalf("recovered %d sessions, want 1", srv2.Store().Len())
+			}
+			ts2 := httptest.NewServer(srv2.Handler())
+			defer ts2.Close()
+			c2 := NewClient(ts2.URL)
+			replayed, err := c2.Plan(ctx, info.ID, 3, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replayed.Iteration != last.Iteration || !sameDecision(replayed.Decision, last.Decision) {
+				t.Fatalf("recovered cache diverged under %s: %+v != %+v", mode, replayed, last)
+			}
+
+			rep, err := audit.Run(audit.Config{Dirs: []string{dir}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("auditor flagged a crashed-but-consistent %s journal: %+v", mode, rep.Violations)
+			}
+			if rep.Sessions != 1 || rep.Plans != 3 {
+				t.Fatalf("audit saw %d session(s), %d plan(s), want 1/3", rep.Sessions, rep.Plans)
+			}
+		})
 	}
 }

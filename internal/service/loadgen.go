@@ -69,6 +69,13 @@ type LoadgenConfig struct {
 	// exactly-once certificate.
 	Verify bool
 
+	// RetainSessions skips the DELETE at session end, leaving every WAL on
+	// disk. Post-run auditors (internal/audit) need the journals; deletion
+	// would remove them. Do not combine with TenantBudget/TenantMaxActive:
+	// retained sessions hold their tenant slots forever, so admission
+	// starves and the stream hangs.
+	RetainSessions bool
+
 	// Arrivals, when set to an arrival-process name (poisson, burst,
 	// diurnal), switches to stream mode: sessions are submitted by a
 	// multi-tenant arrival stream instead of all at once, each tagged with
@@ -285,7 +292,9 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
 			fail(i, fmt.Errorf("create session: %w", err))
 			return nil
 		}
-		defer rc.Close()
+		if !cfg.RetainSessions {
+			defer rc.Close()
+		}
 		rc.SetLatencyObserver(func(d time.Duration) {
 			mu.Lock()
 			latencies = append(latencies, float64(d)/float64(time.Millisecond))

@@ -244,7 +244,9 @@ func (cfg *LoadgenConfig) runStreamSession(ctx context.Context, i int, arr tenan
 		fail(i, fmt.Errorf("create session: %w", err))
 		return
 	}
-	defer rc.Close()
+	if !cfg.RetainSessions {
+		defer rc.Close()
+	}
 	rc.SetLatencyObserver(func(d time.Duration) {
 		mu.Lock()
 		*latencies = append(*latencies, float64(d)/float64(time.Millisecond))

@@ -1,0 +1,11 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the binary if any service goroutine (janitor, live-run
+// reclaimer, loadgen worker, ...) outlives a passing test run.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

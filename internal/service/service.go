@@ -64,6 +64,26 @@ type Config struct {
 	// down (default 30s). HTTP connection draining alone would abandon
 	// agents mid-task; this flag is the lease-level counterpart.
 	DrainTimeout time.Duration
+	// FsyncMode controls when session WAL appends reach stable storage:
+	// FsyncRecord syncs every append, FsyncPerInterval syncs at most once
+	// per FsyncInterval (plus on close), FsyncOff never syncs (the OS
+	// decides). Default FsyncPerInterval: the fenced-copy handoff protocol
+	// is unaffected (in-process reads see unsynced writes), only the
+	// power-loss window changes. An unknown value falls back to the default.
+	FsyncMode string
+	// FsyncInterval is the per-interval sync period (default 100ms).
+	FsyncInterval time.Duration
+	// ProbeClient issues the outbound relay probes of POST /v1/admin/probe
+	// (shard mode): a router suspecting a shard dead asks its peers to
+	// confirm through their own network paths. Default: a plain client.
+	// Chaos harnesses swap in a fault-injecting transport so an in-process
+	// partition also severs the peer->suspect edges.
+	ProbeClient *http.Client
+	// Middleware, when set, wraps the HTTP handler returned by Handler()
+	// (and therefore everything Serve serves). The real-process partition
+	// harness uses it to drop router-tagged requests for a window,
+	// realizing a one-way link cut without touching the network stack.
+	Middleware func(http.Handler) http.Handler
 	// Clock overrides the wall clock (tests).
 	Clock func() time.Time
 	// Logf, when set, receives operational log lines.
@@ -95,6 +115,17 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	switch c.FsyncMode {
+	case FsyncRecord, FsyncPerInterval, FsyncOff:
+	default:
+		c.FsyncMode = FsyncPerInterval
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.ProbeClient == nil {
+		c.ProbeClient = &http.Client{}
+	}
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
@@ -117,6 +148,14 @@ type Server struct {
 	// on an adopt/export request (see handoff.go). A fresh process starts
 	// at zero and learns the current epoch from its first handoff.
 	epoch atomic.Int64
+	// draining flips when shutdown begins; /readyz answers 503 from then on
+	// so a router's membership probe steers traffic away before the
+	// listener closes.
+	draining atomic.Bool
+	// replaying counts in-flight journal adoptions; /readyz answers 503
+	// while any replay runs, so a probe can't rejoin a shard that is still
+	// rebuilding sessions.
+	replaying atomic.Int32
 }
 
 // New assembles a server from the configuration.
@@ -143,6 +182,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/sessions/{id}/state", s.instrument("session_state", s.handleSessionState))
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete_session", s.handleDeleteSession))
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.Handle("POST /v1/tenants", s.instrument("create_tenant", s.handleCreateTenant))
 	mux.Handle("GET /v1/tenants", s.instrument("tenant_list", s.handleListTenants))
@@ -151,6 +191,7 @@ func New(cfg Config) *Server {
 		mux.Handle("POST /v1/admin/adopt", s.instrument("adopt", s.handleAdopt))
 		mux.Handle("POST /v1/admin/export", s.instrument("export", s.handleExport))
 		mux.Handle("GET /v1/admin/sessions", s.instrument("session_list", s.handleListSessions))
+		mux.Handle("POST /v1/admin/probe", s.instrument("probe", s.handleProbe))
 	}
 	if cfg.LiveMaxRuns > 0 {
 		live, err := exec.NewRegistry(exec.RegistryConfig{
@@ -211,7 +252,12 @@ func (s *Server) advanceEpoch(e int64) bool {
 }
 
 // Handler returns the daemon's HTTP handler; it is safe for concurrent use.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler {
+	if s.cfg.Middleware != nil {
+		return s.cfg.Middleware(s.mux)
+	}
+	return s.mux
+}
 
 // statusWriter captures the response status for the metrics middleware.
 type statusWriter struct {
@@ -286,6 +332,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Readiness drops first: the router's probe steers new traffic away
+		// while the drain below still answers in-flight work.
+		s.draining.Store(true)
 		// Drain live agent leases first, while the API is still up: agents
 		// must be able to report (or time out and be reclaimed) before the
 		// HTTP server stops accepting their requests.
